@@ -1,0 +1,171 @@
+// Package jouppi's root benchmark harness: one testing.B benchmark per
+// table and figure of the paper, timing the full regeneration of that
+// exhibit (trace generation + all simulator sweeps), plus micro-benchmarks
+// of the core simulation loop. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// Each benchmark reports MAcc/s — millions of simulated memory accesses
+// per second across the whole sweep — so throughput is comparable between
+// exhibits of different sizes.
+package jouppi
+
+import (
+	"testing"
+
+	"jouppi/internal/cache"
+	"jouppi/internal/core"
+	"jouppi/internal/experiments"
+	"jouppi/internal/memtrace"
+	"jouppi/internal/workload"
+	"jouppi/sim"
+)
+
+// benchScale keeps each exhibit's regeneration in the hundreds of
+// milliseconds; jouppisim uses larger scales for reported results.
+const benchScale = 0.05
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	e, ok := experiments.ByID(id)
+	if !ok {
+		b.Fatalf("unknown experiment %q", id)
+	}
+	// Share traces across iterations; the sweep work itself is the
+	// benchmark body.
+	traces := experiments.NewTraceSet(benchScale)
+	cfg := experiments.Config{Scale: benchScale, Traces: traces}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := e.Run(cfg)
+		if res == nil || len(res.Text) == 0 {
+			b.Fatal("experiment produced no output")
+		}
+	}
+}
+
+func BenchmarkTable1_1(b *testing.B) { benchExperiment(b, "table1-1") }
+func BenchmarkTable2_1(b *testing.B) { benchExperiment(b, "table2-1") }
+func BenchmarkTable2_2(b *testing.B) { benchExperiment(b, "table2-2") }
+func BenchmarkFig2_2(b *testing.B)   { benchExperiment(b, "fig2-2") }
+func BenchmarkFig3_1(b *testing.B)   { benchExperiment(b, "fig3-1") }
+func BenchmarkFig3_3(b *testing.B)   { benchExperiment(b, "fig3-3") }
+func BenchmarkFig3_5(b *testing.B)   { benchExperiment(b, "fig3-5") }
+func BenchmarkFig3_6(b *testing.B)   { benchExperiment(b, "fig3-6") }
+func BenchmarkFig3_7(b *testing.B)   { benchExperiment(b, "fig3-7") }
+func BenchmarkFig4_1(b *testing.B)   { benchExperiment(b, "fig4-1") }
+func BenchmarkFig4_3(b *testing.B)   { benchExperiment(b, "fig4-3") }
+func BenchmarkFig4_5(b *testing.B)   { benchExperiment(b, "fig4-5") }
+func BenchmarkFig4_6(b *testing.B)   { benchExperiment(b, "fig4-6") }
+func BenchmarkFig4_7(b *testing.B)   { benchExperiment(b, "fig4-7") }
+func BenchmarkFig5_1(b *testing.B)   { benchExperiment(b, "fig5-1") }
+func BenchmarkOverlap(b *testing.B)  { benchExperiment(b, "overlap") }
+
+func BenchmarkAblationQuasi(b *testing.B)       { benchExperiment(b, "ablation-quasi") }
+func BenchmarkAblationStride(b *testing.B)      { benchExperiment(b, "ablation-stride") }
+func BenchmarkAblationL2Victim(b *testing.B)    { benchExperiment(b, "ablation-l2victim") }
+func BenchmarkAblationMissCmp(b *testing.B)     { benchExperiment(b, "ablation-misscmp") }
+func BenchmarkAblationReplacement(b *testing.B) { benchExperiment(b, "ablation-replacement") }
+func BenchmarkAblationAssoc(b *testing.B)       { benchExperiment(b, "ablation-assoc") }
+func BenchmarkAblationPrefetchCmp(b *testing.B) { benchExperiment(b, "ablation-prefetchcmp") }
+func BenchmarkAblationDepth(b *testing.B)       { benchExperiment(b, "ablation-depth") }
+func BenchmarkAblationWritePolicy(b *testing.B) { benchExperiment(b, "ablation-writepolicy") }
+func BenchmarkAblationMultiprog(b *testing.B)   { benchExperiment(b, "ablation-multiprog") }
+func BenchmarkAblationInclusion(b *testing.B)   { benchExperiment(b, "ablation-inclusion") }
+func BenchmarkAblationLatency(b *testing.B)     { benchExperiment(b, "ablation-latency") }
+func BenchmarkAblationL2Stream(b *testing.B)    { benchExperiment(b, "ablation-l2stream") }
+func BenchmarkAblationBandwidth(b *testing.B)   { benchExperiment(b, "ablation-bandwidth") }
+func BenchmarkAblationWriteBuffer(b *testing.B) { benchExperiment(b, "ablation-writebuffer") }
+
+// --- micro-benchmarks of the simulation substrate ---
+
+// BenchmarkTraceGeneration measures raw workload generation speed.
+func BenchmarkTraceGeneration(b *testing.B) {
+	for _, name := range workload.Names() {
+		b.Run(name, func(b *testing.B) {
+			var accesses uint64
+			for i := 0; i < b.N; i++ {
+				tr := workload.GenerateTrace(workload.MustByName(name), benchScale)
+				accesses += uint64(tr.Len())
+			}
+			b.ReportMetric(float64(accesses)/1e6/b.Elapsed().Seconds(), "MAcc/s")
+		})
+	}
+}
+
+// BenchmarkBaselineReplay measures the plain direct-mapped simulation loop.
+func BenchmarkBaselineReplay(b *testing.B) {
+	tr := workload.GenerateTrace(workload.MustByName("ccom"), benchScale)
+	b.ResetTimer()
+	var total uint64
+	for i := 0; i < b.N; i++ {
+		l1 := cache.MustNew(cache.Config{Size: 4096, LineSize: 16, Assoc: 1})
+		tr.Each(func(a memtrace.Access) {
+			l1.Access(uint64(a.Addr), a.Kind == memtrace.Store)
+		})
+		total += uint64(tr.Len())
+	}
+	b.ReportMetric(float64(total)/1e6/b.Elapsed().Seconds(), "MAcc/s")
+}
+
+// BenchmarkVictimCacheReplay measures the victim-cache front-end.
+func BenchmarkVictimCacheReplay(b *testing.B) {
+	tr := workload.GenerateTrace(workload.MustByName("met"), benchScale)
+	b.ResetTimer()
+	var total uint64
+	for i := 0; i < b.N; i++ {
+		fe := core.NewVictimCache(cache.MustNew(cache.Config{Size: 4096, LineSize: 16, Assoc: 1}),
+			4, nil, core.DefaultTiming())
+		tr.Each(func(a memtrace.Access) {
+			if a.Kind.IsData() {
+				fe.Access(uint64(a.Addr), a.Kind == memtrace.Store)
+			}
+		})
+		total += tr.DataRefs()
+	}
+	b.ReportMetric(float64(total)/1e6/b.Elapsed().Seconds(), "MAcc/s")
+}
+
+// BenchmarkStreamBufferReplay measures the 4-way stream-buffer front-end.
+func BenchmarkStreamBufferReplay(b *testing.B) {
+	tr := workload.GenerateTrace(workload.MustByName("liver"), benchScale)
+	b.ResetTimer()
+	var total uint64
+	for i := 0; i < b.N; i++ {
+		fe := core.NewStreamBuffer(cache.MustNew(cache.Config{Size: 4096, LineSize: 16, Assoc: 1}),
+			core.StreamConfig{Ways: 4, Depth: 4}, nil, core.DefaultTiming())
+		tr.Each(func(a memtrace.Access) {
+			if a.Kind.IsData() {
+				fe.Access(uint64(a.Addr), a.Kind == memtrace.Store)
+			}
+		})
+		total += tr.DataRefs()
+	}
+	b.ReportMetric(float64(total)/1e6/b.Elapsed().Seconds(), "MAcc/s")
+}
+
+// BenchmarkFullSystemReplay measures the complete two-level improved
+// system end to end through the public API.
+func BenchmarkFullSystemReplay(b *testing.B) {
+	tr := workload.GenerateTrace(workload.MustByName("ccom"), benchScale)
+	b.ResetTimer()
+	var total uint64
+	for i := 0; i < b.N; i++ {
+		sys, err := sim.NewSystem(sim.ImprovedSystem())
+		if err != nil {
+			b.Fatal(err)
+		}
+		tr.Each(func(a memtrace.Access) {
+			switch a.Kind {
+			case memtrace.Ifetch:
+				sys.Ifetch(uint64(a.Addr))
+			case memtrace.Load:
+				sys.Load(uint64(a.Addr))
+			case memtrace.Store:
+				sys.Store(uint64(a.Addr))
+			}
+		})
+		total += uint64(tr.Len())
+	}
+	b.ReportMetric(float64(total)/1e6/b.Elapsed().Seconds(), "MAcc/s")
+}

@@ -1,0 +1,156 @@
+// Command cachesim replays a binary trace file (produced by tracegen)
+// through one configurable first-level cache system and reports hit/miss
+// statistics. It is the standalone single-configuration harness; for the
+// paper's full experiment suite use jouppisim.
+//
+// Usage:
+//
+//	cachesim -trace linpack.jtr -side data -size 4096 -line 16 -victim 4 -ways 4
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"jouppi/internal/cache"
+	"jouppi/internal/classify"
+	"jouppi/internal/core"
+	"jouppi/internal/memtrace"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("cachesim", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		tracePath = fs.String("trace", "", "trace file (required)")
+		format    = fs.String("format", "jtr", "trace format: jtr | din")
+		sideStr   = fs.String("side", "data", "which references to simulate: instr | data | all")
+		size      = fs.Int("size", 4096, "cache size in bytes")
+		line      = fs.Int("line", 16, "line size in bytes")
+		assoc     = fs.Int("assoc", 1, "associativity (1 = direct-mapped)")
+		missCache = fs.Int("misscache", 0, "miss cache entries")
+		victim    = fs.Int("victim", 0, "victim cache entries")
+		ways      = fs.Int("ways", 0, "stream buffer ways (0 = none)")
+		depth     = fs.Int("depth", 4, "stream buffer depth")
+		quasi     = fs.Bool("quasi", false, "quasi-sequential stream buffer lookup")
+		stride    = fs.Bool("stride", false, "stride-detecting stream buffers")
+		classify3 = fs.Bool("classify", false, "also report the 3C miss classification of the plain cache")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	if *tracePath == "" {
+		fmt.Fprintln(stderr, "cachesim: -trace is required")
+		return 2
+	}
+	if *missCache > 0 && (*victim > 0 || *ways > 0) {
+		fmt.Fprintln(stderr, "cachesim: -misscache cannot be combined with -victim or -ways")
+		return 2
+	}
+
+	f, err := os.Open(*tracePath)
+	if err != nil {
+		fmt.Fprintln(stderr, "cachesim:", err)
+		return 1
+	}
+	var tr *memtrace.Trace
+	switch *format {
+	case "jtr":
+		tr, err = memtrace.ReadTrace(f)
+	case "din":
+		tr, err = memtrace.ReadDinero(f)
+	default:
+		f.Close()
+		fmt.Fprintln(stderr, "cachesim: -format must be jtr or din")
+		return 2
+	}
+	f.Close()
+	if err != nil {
+		fmt.Fprintln(stderr, "cachesim:", err)
+		return 1
+	}
+
+	keep := func(a memtrace.Access) bool { return true }
+	switch *sideStr {
+	case "instr":
+		keep = func(a memtrace.Access) bool { return a.Kind == memtrace.Ifetch }
+	case "data":
+		keep = func(a memtrace.Access) bool { return a.Kind.IsData() }
+	case "all":
+	default:
+		fmt.Fprintln(stderr, "cachesim: -side must be instr, data, or all")
+		return 2
+	}
+
+	l1cfg := cache.Config{Name: "L1", Size: *size, LineSize: *line, Assoc: *assoc}
+	if err := l1cfg.Validate(); err != nil {
+		fmt.Fprintln(stderr, "cachesim:", err)
+		return 2
+	}
+	l1 := cache.MustNew(l1cfg)
+
+	var fe core.FrontEnd
+	timing := core.DefaultTiming()
+	streamCfg := core.StreamConfig{Ways: *ways, Depth: *depth, Quasi: *quasi, DetectStride: *stride}
+	switch {
+	case *missCache > 0:
+		fe = core.NewMissCache(l1, *missCache, nil, timing)
+	case *victim > 0 && *ways > 0:
+		fe = core.NewCombined(l1, *victim, streamCfg, nil, timing)
+	case *victim > 0:
+		fe = core.NewVictimCache(l1, *victim, nil, timing)
+	case *ways > 0:
+		fe = core.NewStreamBuffer(l1, streamCfg, nil, timing)
+	default:
+		fe = core.NewBaseline(l1, nil, timing)
+	}
+
+	var cl *classify.Classifier
+	if *classify3 {
+		cl = classify.MustNew(*size, *line)
+	}
+
+	tr.Each(func(a memtrace.Access) {
+		if !keep(a) {
+			return
+		}
+		r := fe.Access(uint64(a.Addr), a.Kind == memtrace.Store)
+		if cl != nil {
+			cl.ObserveMiss(uint64(a.Addr), !r.L1Hit)
+		}
+	})
+
+	st := fe.Stats()
+	fmt.Fprintf(stdout, "configuration:   %s over %dB/%dB/%d-way cache\n", fe.Name(), *size, *line, *assoc)
+	fmt.Fprintf(stdout, "accesses:        %d\n", st.Accesses)
+	fmt.Fprintf(stdout, "L1 hits:         %d\n", st.L1Hits)
+	fmt.Fprintf(stdout, "L1 misses:       %d (raw rate %.4f)\n", st.L1Misses, st.RawMissRate())
+	if st.AuxHits > 0 {
+		fmt.Fprintf(stdout, "aux hits:        %d (victim %d, miss-cache %d, stream %d)\n",
+			st.AuxHits, st.VictimHits, st.MissCacheHits, st.StreamHits)
+	}
+	fmt.Fprintf(stdout, "full misses:     %d (effective rate %.4f)\n", st.FullMisses(), st.MissRate())
+	if st.PrefetchIssued > 0 {
+		fmt.Fprintf(stdout, "prefetches:      %d issued, %d used (%.1f%% accuracy)\n",
+			st.PrefetchIssued, st.PrefetchUsed,
+			100*float64(st.PrefetchUsed)/float64(st.PrefetchIssued))
+	}
+	fmt.Fprintf(stdout, "stall cycles:    %d (%.2f per access)\n",
+		st.StallCycles, float64(st.StallCycles)/float64(max(1, st.Accesses)))
+	if cl != nil {
+		c := cl.Counts()
+		total := max(1, c.Total())
+		fmt.Fprintf(stdout, "3C (plain L1):   compulsory %d (%.1f%%), capacity %d (%.1f%%), conflict %d (%.1f%%)\n",
+			c.Compulsory, 100*float64(c.Compulsory)/float64(total),
+			c.Capacity, 100*float64(c.Capacity)/float64(total),
+			c.Conflict, 100*float64(c.Conflict)/float64(total))
+	}
+	return 0
+}

@@ -1,0 +1,107 @@
+// Command jouppisim regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	jouppisim -list                 # list available experiments
+//	jouppisim -run fig3-5           # run one experiment
+//	jouppisim -run all              # run everything, in paper order
+//	jouppisim -run fig5-1 -scale 1  # bigger workloads (slower, smoother)
+//
+// Output is plain text: tables and ASCII charts matching the paper's
+// exhibits. Results for the default scale are recorded in EXPERIMENTS.md.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"strings"
+	"time"
+
+	"jouppi/internal/experiments"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("jouppisim", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		list    = fs.Bool("list", false, "list available experiments and exit")
+		runID   = fs.String("run", "", "experiment id to run, or 'all'")
+		scale   = fs.Float64("scale", 0.25, "workload scale (1.0 ≈ 1–4M instructions per benchmark)")
+		timings = fs.Bool("time", false, "print per-experiment wall time")
+		asJSON  = fs.Bool("json", false, "emit structured JSON instead of rendered text")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	if *list || *runID == "" {
+		fmt.Fprintln(stdout, "available experiments:")
+		for _, e := range experiments.All() {
+			fmt.Fprintf(stdout, "  %-22s %s\n", e.ID, e.Title)
+		}
+		if *runID == "" && !*list {
+			fmt.Fprintln(stdout, "\nrun one with: jouppisim -run <id>   (or -run all)")
+		}
+		return 0
+	}
+
+	cfg := experiments.Config{Scale: *scale, Traces: experiments.NewTraceSet(*scale)}
+
+	var toRun []experiments.Experiment
+	if *runID == "all" {
+		toRun = experiments.All()
+	} else {
+		for _, id := range strings.Split(*runID, ",") {
+			e, ok := experiments.ByID(strings.TrimSpace(id))
+			if !ok {
+				fmt.Fprintf(stderr, "jouppisim: unknown experiment %q; try -list\n", id)
+				return 2
+			}
+			toRun = append(toRun, e)
+		}
+	}
+
+	if *asJSON {
+		type jsonResult struct {
+			ID      string     `json:"id"`
+			Title   string     `json:"title"`
+			Scale   float64    `json:"scale"`
+			Headers []string   `json:"headers,omitempty"`
+			Rows    [][]string `json:"rows,omitempty"`
+		}
+		var results []jsonResult
+		for _, e := range toRun {
+			res := e.Run(cfg)
+			results = append(results, jsonResult{
+				ID: res.ID, Title: res.Title, Scale: *scale,
+				Headers: res.Headers, Rows: res.Rows,
+			})
+		}
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(results); err != nil {
+			fmt.Fprintln(stderr, "jouppisim:", err)
+			return 1
+		}
+		return 0
+	}
+
+	fmt.Fprintf(stdout, "jouppisim: scale %.2f, %d CPUs\n\n", *scale, runtime.GOMAXPROCS(0))
+	for _, e := range toRun {
+		start := time.Now()
+		res := e.Run(cfg)
+		fmt.Fprintf(stdout, "===== %s =====\n%s\n", res.Title, res.Text)
+		if *timings {
+			fmt.Fprintf(stdout, "[%s took %v]\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+		}
+	}
+	return 0
+}

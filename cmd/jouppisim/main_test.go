@@ -1,0 +1,97 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func runCmd(t *testing.T, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errOut bytes.Buffer
+	code = run(args, &out, &errOut)
+	return code, out.String(), errOut.String()
+}
+
+func TestListDefault(t *testing.T) {
+	code, out, _ := runCmd(t)
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	for _, want := range []string{"table2-2", "fig3-5", "fig5-1", "ablation-stride", "run one with"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("list output missing %q", want)
+		}
+	}
+}
+
+func TestExplicitList(t *testing.T) {
+	code, out, _ := runCmd(t, "-list")
+	if code != 0 || !strings.Contains(out, "available experiments") {
+		t.Errorf("exit %d, out %q", code, out[:min(80, len(out))])
+	}
+}
+
+func TestUnknownExperiment(t *testing.T) {
+	code, _, errOut := runCmd(t, "-run", "fig9-9")
+	if code != 2 || !strings.Contains(errOut, "unknown experiment") {
+		t.Errorf("code %d, stderr %q", code, errOut)
+	}
+}
+
+func TestRunSingleExperiment(t *testing.T) {
+	code, out, errOut := runCmd(t, "-run", "table1-1", "-scale", "0.02")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr %q", code, errOut)
+	}
+	if !strings.Contains(out, "WRL Titan") {
+		t.Errorf("missing table content:\n%s", out)
+	}
+}
+
+func TestRunMultipleWithTimings(t *testing.T) {
+	code, out, _ := runCmd(t, "-run", "table1-1,table2-2", "-scale", "0.02", "-time")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if !strings.Contains(out, "took") {
+		t.Error("missing timing output")
+	}
+	if !strings.Contains(out, "Baseline system first-level cache miss rates") {
+		t.Error("second experiment missing")
+	}
+}
+
+func TestBadFlag(t *testing.T) {
+	if code, _, _ := runCmd(t, "-bogus"); code != 2 {
+		t.Error("bad flag accepted")
+	}
+}
+
+func TestJSONOutput(t *testing.T) {
+	code, out, errOut := runCmd(t, "-run", "table1-1", "-json")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr %q", code, errOut)
+	}
+	var results []struct {
+		ID      string     `json:"id"`
+		Title   string     `json:"title"`
+		Headers []string   `json:"headers"`
+		Rows    [][]string `json:"rows"`
+	}
+	if err := json.Unmarshal([]byte(out), &results); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, out)
+	}
+	if len(results) != 1 || results[0].ID != "table1-1" || len(results[0].Rows) != 3 {
+		t.Errorf("unexpected JSON structure: %+v", results)
+	}
+}
+
+func TestOutputIsDeterministic(t *testing.T) {
+	_, a, _ := runCmd(t, "-run", "table2-2", "-scale", "0.05")
+	_, b, _ := runCmd(t, "-run", "table2-2", "-scale", "0.05")
+	if a != b {
+		t.Error("identical invocations produced different output")
+	}
+}

@@ -1,0 +1,103 @@
+// Command tracegen generates a benchmark's memory-reference trace into a
+// trace file — the compact binary format ("JTR1", see internal/memtrace)
+// or classic dinero "din" text — for use with cachesim, tracestat, or
+// external tools.
+//
+// Usage:
+//
+//	tracegen -bench linpack -scale 0.5 -o linpack.jtr
+//	tracegen -bench liver -format din -o liver.din
+//	tracegen -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"jouppi/internal/memtrace"
+	"jouppi/internal/workload"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("tracegen", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		list   = fs.Bool("list", false, "list available benchmarks and exit")
+		bench  = fs.String("bench", "", "benchmark name")
+		scale  = fs.Float64("scale", 0.25, "workload scale")
+		out    = fs.String("o", "", "output file (required)")
+		format = fs.String("format", "jtr", "output format: jtr (binary) | din (dinero text)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	if *list {
+		for _, b := range append(workload.All(), workload.Strided(), workload.PointerChase()) {
+			fmt.Fprintf(stdout, "  %-10s %s\n", b.Name(), b.Description())
+		}
+		return 0
+	}
+	if *bench == "" || *out == "" {
+		fmt.Fprintln(stderr, "tracegen: -bench and -o are required; see -list")
+		return 2
+	}
+
+	var b workload.Benchmark
+	switch *bench {
+	case "strided":
+		b = workload.Strided()
+	case "ptrchase":
+		b = workload.PointerChase()
+	default:
+		var ok bool
+		if b, ok = workload.ByName(*bench); !ok {
+			fmt.Fprintf(stderr, "tracegen: unknown benchmark %q; see -list\n", *bench)
+			return 2
+		}
+	}
+
+	f, err := os.Create(*out)
+	if err != nil {
+		fmt.Fprintln(stderr, "tracegen:", err)
+		return 1
+	}
+	var count uint64
+	switch *format {
+	case "jtr":
+		sw, err := memtrace.NewStreamWriter(f)
+		if err != nil {
+			fmt.Fprintln(stderr, "tracegen:", err)
+			return 1
+		}
+		b.Generate(*scale, sw)
+		if err := sw.Close(); err != nil {
+			fmt.Fprintln(stderr, "tracegen:", err)
+			return 1
+		}
+		count = sw.Count()
+	case "din":
+		dw := memtrace.NewDineroWriter(f)
+		b.Generate(*scale, dw)
+		if err := dw.Close(); err != nil {
+			fmt.Fprintln(stderr, "tracegen:", err)
+			return 1
+		}
+		count = dw.Count()
+	default:
+		fmt.Fprintln(stderr, "tracegen: -format must be jtr or din")
+		return 2
+	}
+	if err := f.Close(); err != nil {
+		fmt.Fprintln(stderr, "tracegen:", err)
+		return 1
+	}
+	fmt.Fprintf(stdout, "tracegen: wrote %d accesses to %s (%s)\n", count, *out, *format)
+	return 0
+}

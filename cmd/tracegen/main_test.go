@@ -1,0 +1,100 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"jouppi/internal/memtrace"
+)
+
+func runCmd(t *testing.T, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errOut bytes.Buffer
+	code = run(args, &out, &errOut)
+	return code, out.String(), errOut.String()
+}
+
+func TestList(t *testing.T) {
+	code, out, _ := runCmd(t, "-list")
+	if code != 0 {
+		t.Fatalf("exit code %d", code)
+	}
+	for _, want := range []string{"ccom", "grr", "yacc", "met", "linpack", "liver", "strided"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("list output missing %q", want)
+		}
+	}
+}
+
+func TestMissingArgs(t *testing.T) {
+	if code, _, errOut := runCmd(t); code != 2 || !strings.Contains(errOut, "required") {
+		t.Errorf("missing args: code %d, stderr %q", code, errOut)
+	}
+}
+
+func TestUnknownBenchmark(t *testing.T) {
+	code, _, errOut := runCmd(t, "-bench", "nope", "-o", "/tmp/x.jtr")
+	if code != 2 || !strings.Contains(errOut, "unknown benchmark") {
+		t.Errorf("code %d, stderr %q", code, errOut)
+	}
+}
+
+func TestUnknownFormat(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "x.out")
+	code, _, errOut := runCmd(t, "-bench", "met", "-o", path, "-format", "xml")
+	if code != 2 || !strings.Contains(errOut, "format") {
+		t.Errorf("code %d, stderr %q", code, errOut)
+	}
+}
+
+func TestGenerateJTR(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "met.jtr")
+	code, out, errOut := runCmd(t, "-bench", "met", "-scale", "0.02", "-o", path)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr %q", code, errOut)
+	}
+	if !strings.Contains(out, "wrote") {
+		t.Errorf("stdout = %q", out)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	tr, err := memtrace.ReadTrace(f)
+	if err != nil {
+		t.Fatalf("generated file unreadable: %v", err)
+	}
+	if tr.Len() == 0 {
+		t.Error("empty trace generated")
+	}
+}
+
+func TestGenerateDin(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "met.din")
+	code, _, errOut := runCmd(t, "-bench", "strided", "-scale", "0.02", "-o", path, "-format", "din")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr %q", code, errOut)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	tr, err := memtrace.ReadDinero(f)
+	if err != nil {
+		t.Fatalf("generated din unreadable: %v", err)
+	}
+	if tr.Len() == 0 {
+		t.Error("empty din trace")
+	}
+}
+
+func TestBadFlag(t *testing.T) {
+	if code, _, _ := runCmd(t, "-definitely-not-a-flag"); code != 2 {
+		t.Errorf("bad flag exit = %d, want 2", code)
+	}
+}

@@ -1,0 +1,128 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"jouppi/internal/workload"
+)
+
+func runCmd(t *testing.T, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errOut bytes.Buffer
+	code = run(args, &out, &errOut)
+	return code, out.String(), errOut.String()
+}
+
+func writeTrace(t *testing.T, din bool) string {
+	t.Helper()
+	name := "t.jtr"
+	if din {
+		name = "t.din"
+	}
+	path := filepath.Join(t.TempDir(), name)
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	tr := workload.GenerateTrace(workload.Linpack(), 0.02)
+	if din {
+		if _, err := tr.WriteDinero(f); err != nil {
+			t.Fatal(err)
+		}
+	} else {
+		if _, err := tr.WriteTo(f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return path
+}
+
+func TestMissingTrace(t *testing.T) {
+	if code, _, _ := runCmd(t); code != 2 {
+		t.Error("missing -trace accepted")
+	}
+}
+
+func TestStatsOnJTR(t *testing.T) {
+	path := writeTrace(t, false)
+	code, out, errOut := runCmd(t, "-trace", path)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr %q", code, errOut)
+	}
+	for _, want := range []string{"accesses:", "footprint", "sequential runs", "mean length"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+	// linpack streams: mean data run length should be reported > 1.
+	if !strings.Contains(out, "data miss-stream") {
+		t.Error("missing data run section")
+	}
+}
+
+func TestStatsOnDin(t *testing.T) {
+	path := writeTrace(t, true)
+	code, out, _ := runCmd(t, "-trace", path, "-format", "din", "-window", "5000")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if !strings.Contains(out, "working set") {
+		t.Errorf("missing working-set section:\n%s", out)
+	}
+}
+
+func TestBadFormatAndFile(t *testing.T) {
+	path := writeTrace(t, false)
+	if code, _, _ := runCmd(t, "-trace", path, "-format", "xml"); code != 2 {
+		t.Error("bad format accepted")
+	}
+	if code, _, _ := runCmd(t, "-trace", "/nope.jtr"); code != 1 {
+		t.Error("missing file accepted")
+	}
+	// jtr file parsed as din must fail cleanly.
+	if code, _, _ := runCmd(t, "-trace", path, "-format", "din"); code != 1 {
+		t.Error("jtr-as-din accepted")
+	}
+}
+
+func TestBadAnalysisParams(t *testing.T) {
+	path := writeTrace(t, false)
+	if code, _, _ := runCmd(t, "-trace", path, "-line", "24"); code != 1 {
+		t.Error("bad line size accepted")
+	}
+	if code, _, _ := runCmd(t, "-trace", path, "-size", "100"); code != 1 {
+		t.Error("bad probe size accepted")
+	}
+}
+
+func TestMissRatioCurve(t *testing.T) {
+	path := writeTrace(t, false)
+	code, out, errOut := runCmd(t, "-trace", path, "-curve")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr %q", code, errOut)
+	}
+	if !strings.Contains(out, "miss-ratio curve") {
+		t.Errorf("missing curve section:\n%s", out)
+	}
+	// linpack's 80KB matrix: the data curve must show a sharp knee —
+	// high miss ratio at small capacities, near zero at 128KB+.
+	if !strings.Contains(out, "data fully-associative") {
+		t.Error("missing data curve")
+	}
+}
+
+func TestHotspots(t *testing.T) {
+	path := writeTrace(t, false)
+	code, out, errOut := runCmd(t, "-trace", path, "-hotspots", "3")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr %q", code, errOut)
+	}
+	if !strings.Contains(out, "conflict hotspots") || !strings.Contains(out, "contending lines") {
+		t.Errorf("missing hotspot section:\n%s", out)
+	}
+}

@@ -1,0 +1,38 @@
+// Quickstart: simulate the paper's baseline system and its improved
+// system (victim cache + stream buffers) on one benchmark and compare.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"jouppi/sim"
+)
+
+func main() {
+	const bench = "ccom"
+	const scale = 0.25
+
+	base, err := sim.RunBenchmark(bench, scale, sim.BaselineSystem())
+	if err != nil {
+		log.Fatal(err)
+	}
+	improved, err := sim.RunBenchmark(bench, scale, sim.ImprovedSystem())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("benchmark %s (%d instructions)\n\n", bench, base.Instructions)
+	fmt.Printf("%-22s %12s %12s\n", "", "baseline", "improved")
+	fmt.Printf("%-22s %12.4f %12.4f\n", "I-cache miss rate", base.I.MissRate, improved.I.MissRate)
+	fmt.Printf("%-22s %12.4f %12.4f\n", "D-cache miss rate", base.D.MissRate, improved.D.MissRate)
+	fmt.Printf("%-22s %12d %12d\n", "victim-cache hits", base.D.VictimHits, improved.D.VictimHits)
+	fmt.Printf("%-22s %12d %12d\n", "stream-buffer hits",
+		base.I.StreamHits+base.D.StreamHits, improved.I.StreamHits+improved.D.StreamHits)
+	fmt.Printf("%-22s %11.1f%% %11.1f%%\n", "of potential perf",
+		base.PercentOfPotential, improved.PercentOfPotential)
+	fmt.Printf("\nspeedup from a 4-entry victim cache + stream buffers: %.2fx\n",
+		sim.Speedup(base, improved))
+}

@@ -1,0 +1,55 @@
+// Stream-buffer study: compare single, multi-way, quasi-sequential, and
+// stride-detecting stream buffers on the two numeric workloads whose
+// behaviour motivates them — linpack (one dominant sequential stream per
+// loop) and liver (several interleaved streams), plus the strided
+// column-walk that defeats sequential prefetching entirely.
+//
+//	go run ./examples/streambuffer
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"jouppi/sim"
+)
+
+func main() {
+	const scale = 0.25
+	configs := []struct {
+		name string
+		cfg  sim.Config
+	}{
+		{"no buffers", sim.Config{}},
+		{"single buffer", sim.Config{D: sim.Augmentation{Stream: &sim.StreamOptions{Ways: 1}}}},
+		{"4-way buffers", sim.Config{D: sim.Augmentation{Stream: &sim.StreamOptions{Ways: 4}}}},
+		{"4-way quasi", sim.Config{D: sim.Augmentation{Stream: &sim.StreamOptions{Ways: 4, Quasi: true}}}},
+		{"4-way stride", sim.Config{D: sim.Augmentation{Stream: &sim.StreamOptions{Ways: 4, DetectStride: true}}}},
+	}
+
+	for _, bench := range []string{"linpack", "liver", "strided"} {
+		fmt.Printf("== %s ==\n", bench)
+		var base sim.Results
+		for i, c := range configs {
+			res, err := sim.RunBenchmark(bench, scale, c.cfg)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if i == 0 {
+				base = res
+			}
+			removed := 0.0
+			if base.D.FullMisses > 0 {
+				removed = 100 * float64(int64(base.D.FullMisses)-int64(res.D.FullMisses)) /
+					float64(base.D.FullMisses)
+			}
+			fmt.Printf("  %-14s D miss rate %.4f   misses removed %6.1f%%   stream hits %8d\n",
+				c.name, res.D.MissRate, removed, res.D.StreamHits)
+		}
+		fmt.Println()
+	}
+	fmt.Println("expected shapes (paper §4 and §5 future work):")
+	fmt.Println("  linpack: even a single buffer removes most misses (one stream at a time)")
+	fmt.Println("  liver:   a single buffer thrashes; 4-way captures the interleaved streams")
+	fmt.Println("  strided: sequential buffers are useless; only stride detection helps")
+}

@@ -1,0 +1,72 @@
+// Victim-cache study: drive a custom access pattern — the paper's §3.1
+// string-comparison scenario, where two buffers map to the same
+// direct-mapped cache lines — through systems with a miss cache, a victim
+// cache, and nothing, using the manual access API.
+//
+// The output shows the paper's core §3 result: the alternating conflict
+// pattern defeats the plain cache completely, a one-entry miss cache
+// doesn't help (it duplicates a line the cache already has), and a
+// one-entry victim cache removes nearly every conflict miss.
+//
+//	go run ./examples/victimcache
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"jouppi/sim"
+)
+
+// compareStrings emits the address pattern of comparing two long strings
+// whose storage collides in a 4KB direct-mapped cache, preceded by a tiny
+// code loop.
+func compareStrings(sys *sim.System, iterations int) {
+	const (
+		textBase = 0x0010_0000
+		strA     = 0x1000_0040 // same offset modulo 4KB …
+		strB     = 0x1000_1040 // … so every line of A collides with B
+	)
+	for i := 0; i < iterations; i++ {
+		for pc := 0; pc < 6; pc++ { // the comparison loop body
+			sys.Ifetch(textBase + uint64(pc*4))
+		}
+		off := uint64(i % 256 * 4) // walk the strings word by word
+		sys.Load(strA + off)
+		sys.Load(strB + off)
+	}
+}
+
+func run(name string, cfg sim.Config) sim.Results {
+	sys, err := sim.NewSystem(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	compareStrings(sys, 20000)
+	res := sys.Results()
+	fmt.Printf("%-22s D misses %6d  (miss rate %.4f, victim hits %d, miss-cache hits %d)\n",
+		name, res.D.FullMisses, res.D.MissRate, res.D.VictimHits, res.D.MissCacheHits)
+	return res
+}
+
+func main() {
+	fmt.Println("alternating string comparison over cache-colliding buffers")
+	fmt.Println("(the paper's motivating example for miss and victim caches)")
+	fmt.Println()
+	plain := run("plain direct-mapped", sim.Config{})
+	mc1 := run("1-entry miss cache", sim.Config{D: sim.Augmentation{MissCacheEntries: 1}})
+	mc2 := run("2-entry miss cache", sim.Config{D: sim.Augmentation{MissCacheEntries: 2}})
+	vc1 := run("1-entry victim cache", sim.Config{D: sim.Augmentation{VictimCacheEntries: 1}})
+
+	fmt.Println()
+	fmt.Printf("misses removed: miss-cache-1 %.0f%%, miss-cache-2 %.0f%%, victim-cache-1 %.0f%%\n",
+		removed(plain, mc1), removed(plain, mc2), removed(plain, vc1))
+	fmt.Println("(paper §3.2: victim caches of one entry are useful; one-entry miss caches are not)")
+}
+
+func removed(base, improved sim.Results) float64 {
+	if base.D.FullMisses == 0 {
+		return 0
+	}
+	return 100 * float64(base.D.FullMisses-improved.D.FullMisses) / float64(base.D.FullMisses)
+}

@@ -1,0 +1,39 @@
+package jouppi
+
+import (
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+// TestExamplesRun builds and runs every example program, asserting it
+// exits cleanly and prints the banner its study promises. This keeps the
+// examples from rotting as the library evolves.
+func TestExamplesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("example compilation skipped in -short mode")
+	}
+	cases := []struct {
+		dir  string
+		want string
+	}{
+		{"./examples/quickstart", "speedup from a 4-entry victim cache"},
+		{"./examples/victimcache", "victim caches of one entry are useful"},
+		{"./examples/streambuffer", "only stride detection helps"},
+		{"./examples/hierarchy", "mean speedup over baseline"},
+		{"./examples/tracepipeline", "replay through combined-vc4-sb4x4"},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(strings.TrimPrefix(c.dir, "./examples/"), func(t *testing.T) {
+			t.Parallel()
+			out, err := exec.Command("go", "run", c.dir).CombinedOutput()
+			if err != nil {
+				t.Fatalf("go run %s: %v\n%s", c.dir, err, out)
+			}
+			if !strings.Contains(string(out), c.want) {
+				t.Errorf("%s output missing %q:\n%s", c.dir, c.want, out)
+			}
+		})
+	}
+}

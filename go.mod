@@ -1,0 +1,3 @@
+module jouppi
+
+go 1.22

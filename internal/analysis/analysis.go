@@ -1,0 +1,194 @@
+// Package analysis characterizes memory-reference traces: footprints,
+// sequential run lengths in the miss stream (the property that makes
+// stream buffers work — the paper plots "how far streams continue on
+// average" in Figure 4-3), and working-set curves. The tracestat command
+// exposes it on trace files.
+package analysis
+
+import (
+	"fmt"
+	"math/bits"
+
+	"jouppi/internal/cache"
+	"jouppi/internal/memtrace"
+)
+
+// Summary captures a trace's aggregate shape.
+type Summary struct {
+	Accesses     uint64
+	Instructions uint64
+	Loads        uint64
+	Stores       uint64
+	// UniqueILines / UniqueDLines are distinct cache lines touched, at
+	// the given line size; the corresponding footprints are in bytes.
+	LineSize     int
+	UniqueILines int
+	UniqueDLines int
+	IFootprint   int
+	DFootprint   int
+}
+
+// Summarize scans the trace once and fills a Summary. lineSize must be a
+// positive power of two.
+func Summarize(tr *memtrace.Trace, lineSize int) (Summary, error) {
+	if lineSize <= 0 || bits.OnesCount(uint(lineSize)) != 1 {
+		return Summary{}, fmt.Errorf("analysis: line size %d is not a positive power of two", lineSize)
+	}
+	shift := uint(bits.TrailingZeros(uint(lineSize)))
+	iLines := make(map[uint64]struct{})
+	dLines := make(map[uint64]struct{})
+	s := Summary{LineSize: lineSize}
+	tr.Each(func(a memtrace.Access) {
+		s.Accesses++
+		la := uint64(a.Addr) >> shift
+		switch a.Kind {
+		case memtrace.Ifetch:
+			s.Instructions++
+			iLines[la] = struct{}{}
+		case memtrace.Load:
+			s.Loads++
+			dLines[la] = struct{}{}
+		case memtrace.Store:
+			s.Stores++
+			dLines[la] = struct{}{}
+		}
+	})
+	s.UniqueILines = len(iLines)
+	s.UniqueDLines = len(dLines)
+	s.IFootprint = s.UniqueILines * lineSize
+	s.DFootprint = s.UniqueDLines * lineSize
+	return s, nil
+}
+
+// Histogram is a bounded histogram with an overflow bucket.
+type Histogram struct {
+	Buckets  []uint64 // Buckets[i] counts value i
+	Overflow uint64
+}
+
+// NewHistogram builds a histogram covering values 0..n-1.
+func NewHistogram(n int) *Histogram { return &Histogram{Buckets: make([]uint64, n)} }
+
+// Add records one value.
+func (h *Histogram) Add(v int) {
+	if v >= 0 && v < len(h.Buckets) {
+		h.Buckets[v]++
+	} else {
+		h.Overflow++
+	}
+}
+
+// Total returns the number of recorded values.
+func (h *Histogram) Total() uint64 {
+	t := h.Overflow
+	for _, b := range h.Buckets {
+		t += b
+	}
+	return t
+}
+
+// Mean returns the mean recorded value, counting overflow entries at the
+// histogram's upper bound.
+func (h *Histogram) Mean() float64 {
+	total := h.Total()
+	if total == 0 {
+		return 0
+	}
+	sum := float64(h.Overflow) * float64(len(h.Buckets))
+	for v, c := range h.Buckets {
+		sum += float64(v) * float64(c)
+	}
+	return sum / float64(total)
+}
+
+// CumulativeFraction returns, per bucket, the fraction of values ≤ i.
+func (h *Histogram) CumulativeFraction() []float64 {
+	out := make([]float64, len(h.Buckets))
+	total := float64(h.Total())
+	if total == 0 {
+		return out
+	}
+	run := uint64(0)
+	for i, b := range h.Buckets {
+		run += b
+		out[i] = float64(run) / total
+	}
+	return out
+}
+
+// MissRunLengths replays one side of the trace through a direct-mapped
+// cache of the given geometry and histograms the lengths of sequential
+// line runs in its miss stream: a run of length k means k consecutive
+// misses each one line after its predecessor. This is exactly the
+// property a sequential stream buffer exploits; the histogram's mass
+// tells how deep buffers need to be (paper §4.1).
+func MissRunLengths(tr *memtrace.Trace, instrSide bool, cacheSize, lineSize, maxRun int) (*Histogram, error) {
+	cfg := cache.Config{Name: "probe", Size: cacheSize, LineSize: lineSize, Assoc: 1}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	c := cache.MustNew(cfg)
+	h := NewHistogram(maxRun)
+
+	var (
+		inRun    bool
+		runLen   int
+		lastMiss uint64
+	)
+	flush := func() {
+		if inRun {
+			h.Add(runLen)
+			inRun = false
+			runLen = 0
+		}
+	}
+	tr.Each(func(a memtrace.Access) {
+		if (a.Kind == memtrace.Ifetch) != instrSide {
+			return
+		}
+		hit, _ := c.Access(uint64(a.Addr), a.Kind == memtrace.Store)
+		if hit {
+			return
+		}
+		la := c.LineAddr(uint64(a.Addr))
+		if inRun && la == lastMiss+1 {
+			runLen++
+		} else {
+			flush()
+			inRun = true
+			runLen = 1
+		}
+		lastMiss = la
+	})
+	flush()
+	return h, nil
+}
+
+// WorkingSetCurve returns, for each consecutive window of windowSize
+// accesses (of either side), the number of distinct lines referenced in
+// that window — the classic working-set measurement.
+func WorkingSetCurve(tr *memtrace.Trace, lineSize, windowSize int) ([]int, error) {
+	if lineSize <= 0 || bits.OnesCount(uint(lineSize)) != 1 {
+		return nil, fmt.Errorf("analysis: line size %d is not a positive power of two", lineSize)
+	}
+	if windowSize <= 0 {
+		return nil, fmt.Errorf("analysis: window size %d must be positive", windowSize)
+	}
+	shift := uint(bits.TrailingZeros(uint(lineSize)))
+	var curve []int
+	seen := make(map[uint64]struct{}, windowSize)
+	n := 0
+	tr.Each(func(a memtrace.Access) {
+		seen[uint64(a.Addr)>>shift] = struct{}{}
+		n++
+		if n == windowSize {
+			curve = append(curve, len(seen))
+			seen = make(map[uint64]struct{}, windowSize)
+			n = 0
+		}
+	})
+	if n > 0 {
+		curve = append(curve, len(seen))
+	}
+	return curve, nil
+}

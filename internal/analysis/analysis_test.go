@@ -1,0 +1,198 @@
+package analysis
+
+import (
+	"testing"
+
+	"jouppi/internal/memtrace"
+	"jouppi/internal/workload"
+)
+
+func mkTrace(accs ...memtrace.Access) *memtrace.Trace {
+	tr := memtrace.NewTrace(len(accs))
+	for _, a := range accs {
+		tr.Append(a)
+	}
+	return tr
+}
+
+func TestSummarize(t *testing.T) {
+	tr := mkTrace(
+		memtrace.Access{Addr: 0x1000, Kind: memtrace.Ifetch},
+		memtrace.Access{Addr: 0x1004, Kind: memtrace.Ifetch}, // same line
+		memtrace.Access{Addr: 0x2000, Kind: memtrace.Load},
+		memtrace.Access{Addr: 0x2010, Kind: memtrace.Store}, // new line
+	)
+	s, err := Summarize(tr, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Accesses != 4 || s.Instructions != 2 || s.Loads != 1 || s.Stores != 1 {
+		t.Errorf("counts: %+v", s)
+	}
+	if s.UniqueILines != 1 || s.UniqueDLines != 2 {
+		t.Errorf("unique lines: %+v", s)
+	}
+	if s.IFootprint != 16 || s.DFootprint != 32 {
+		t.Errorf("footprints: %+v", s)
+	}
+}
+
+func TestSummarizeBadLineSize(t *testing.T) {
+	if _, err := Summarize(memtrace.NewTrace(0), 0); err == nil {
+		t.Error("accepted zero line size")
+	}
+	if _, err := Summarize(memtrace.NewTrace(0), 24); err == nil {
+		t.Error("accepted non-power-of-two line size")
+	}
+}
+
+func TestHistogramBasics(t *testing.T) {
+	h := NewHistogram(4)
+	for _, v := range []int{0, 1, 1, 3, 9, -1} {
+		h.Add(v)
+	}
+	if h.Buckets[1] != 2 || h.Buckets[3] != 1 {
+		t.Errorf("buckets = %v", h.Buckets)
+	}
+	if h.Overflow != 2 { // 9 and -1
+		t.Errorf("overflow = %d", h.Overflow)
+	}
+	if h.Total() != 6 {
+		t.Errorf("total = %d", h.Total())
+	}
+	cum := h.CumulativeFraction()
+	if cum[3] <= cum[0] {
+		t.Errorf("cumulative not increasing: %v", cum)
+	}
+	if NewHistogram(2).Mean() != 0 {
+		t.Error("empty mean nonzero")
+	}
+}
+
+func TestHistogramMean(t *testing.T) {
+	h := NewHistogram(10)
+	h.Add(2)
+	h.Add(4)
+	if got := h.Mean(); got != 3 {
+		t.Errorf("mean = %v, want 3", got)
+	}
+}
+
+func TestMissRunLengthsPureSequential(t *testing.T) {
+	// A pure sequential sweep far beyond cache size: one long run.
+	tr := memtrace.NewTrace(0)
+	for i := 0; i < 100; i++ {
+		tr.Append(memtrace.Access{Addr: memtrace.Addr(0x10000 + i*16), Kind: memtrace.Load})
+	}
+	h, err := MissRunLengths(tr, false, 256, 16, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Total() != 1 {
+		t.Fatalf("runs = %d, want 1", h.Total())
+	}
+	if h.Overflow != 1 { // 100-line run > 64-bucket cap
+		t.Errorf("long run not in overflow: %+v", h)
+	}
+}
+
+func TestMissRunLengthsAlternating(t *testing.T) {
+	// Alternating conflicting lines: every miss breaks the sequence, so
+	// all runs have length 1.
+	tr := memtrace.NewTrace(0)
+	for i := 0; i < 50; i++ {
+		tr.Append(memtrace.Access{Addr: 0x0000, Kind: memtrace.Load})
+		tr.Append(memtrace.Access{Addr: 0x1000, Kind: memtrace.Load})
+	}
+	h, err := MissRunLengths(tr, false, 256, 16, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Buckets[1] != h.Total() {
+		t.Errorf("expected all runs length 1: %+v", h)
+	}
+	if h.Total() < 90 {
+		t.Errorf("expected ≈100 runs, got %d", h.Total())
+	}
+}
+
+func TestMissRunLengthsSideFilter(t *testing.T) {
+	tr := mkTrace(
+		memtrace.Access{Addr: 0x1000, Kind: memtrace.Ifetch},
+		memtrace.Access{Addr: 0x9000, Kind: memtrace.Load},
+	)
+	hi, err := MissRunLengths(tr, true, 256, 16, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hd, err := MissRunLengths(tr, false, 256, 16, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hi.Total() != 1 || hd.Total() != 1 {
+		t.Errorf("side filter wrong: I=%d D=%d", hi.Total(), hd.Total())
+	}
+}
+
+func TestMissRunLengthsBadGeometry(t *testing.T) {
+	if _, err := MissRunLengths(memtrace.NewTrace(0), false, 100, 16, 8); err == nil {
+		t.Error("accepted invalid cache size")
+	}
+}
+
+func TestWorkingSetCurve(t *testing.T) {
+	tr := memtrace.NewTrace(0)
+	// Window 1: 4 accesses to 2 lines; window 2: 4 accesses to 4 lines.
+	for i := 0; i < 4; i++ {
+		tr.Append(memtrace.Access{Addr: memtrace.Addr(i % 2 * 16), Kind: memtrace.Load})
+	}
+	for i := 0; i < 4; i++ {
+		tr.Append(memtrace.Access{Addr: memtrace.Addr(0x1000 + i*16), Kind: memtrace.Load})
+	}
+	curve, err := WorkingSetCurve(tr, 16, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(curve) != 2 || curve[0] != 2 || curve[1] != 4 {
+		t.Errorf("curve = %v, want [2 4]", curve)
+	}
+	// Partial final window.
+	tr.Append(memtrace.Access{Addr: 0x9000, Kind: memtrace.Load})
+	curve, err = WorkingSetCurve(tr, 16, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(curve) != 3 || curve[2] != 1 {
+		t.Errorf("partial window curve = %v", curve)
+	}
+}
+
+func TestWorkingSetCurveValidation(t *testing.T) {
+	if _, err := WorkingSetCurve(memtrace.NewTrace(0), 13, 4); err == nil {
+		t.Error("accepted bad line size")
+	}
+	if _, err := WorkingSetCurve(memtrace.NewTrace(0), 16, 0); err == nil {
+		t.Error("accepted zero window")
+	}
+}
+
+// The paper's workloads should show the expected run-length character:
+// linpack's data miss stream is long sequential runs; met's is short.
+func TestWorkloadRunLengthCharacter(t *testing.T) {
+	lin := workload.GenerateTrace(workload.MustByName("linpack"), 0.05)
+	met := workload.GenerateTrace(workload.MustByName("met"), 0.05)
+	hLin, err := MissRunLengths(lin, false, 4096, 16, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hMet, err := MissRunLengths(met, false, 4096, 16, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hLin.Mean() <= hMet.Mean() {
+		t.Errorf("linpack mean run %.2f should exceed met %.2f", hLin.Mean(), hMet.Mean())
+	}
+	if hLin.Mean() < 2 {
+		t.Errorf("linpack mean run %.2f unexpectedly short", hLin.Mean())
+	}
+}

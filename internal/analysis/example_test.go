@@ -1,0 +1,26 @@
+package analysis_test
+
+import (
+	"fmt"
+
+	"jouppi/internal/analysis"
+)
+
+// One Mattson stack-distance pass yields the fully-associative LRU miss
+// ratio at every cache size simultaneously.
+func ExampleStackDist() {
+	sd := analysis.MustNewStackDist(16, 64)
+	// Sweep 8 lines cyclically, four passes.
+	for pass := 0; pass < 4; pass++ {
+		for i := 0; i < 8; i++ {
+			sd.Access(uint64(i * 16))
+		}
+	}
+	small, _ := sd.MissRatio(4) // too small: every access misses
+	big, _ := sd.MissRatio(8)   // fits: only the first pass misses
+	fmt.Printf("4-line LRU miss ratio: %.2f\n", small)
+	fmt.Printf("8-line LRU miss ratio: %.2f\n", big)
+	// Output:
+	// 4-line LRU miss ratio: 1.00
+	// 8-line LRU miss ratio: 0.25
+}

@@ -1,0 +1,98 @@
+package analysis
+
+import (
+	"sort"
+
+	"jouppi/internal/cache"
+	"jouppi/internal/memtrace"
+)
+
+// Hotspot describes one heavily conflicting direct-mapped cache set: how
+// many misses it took and which lines contend for it. This is the
+// diagnostic view behind the paper's §3 discussion — a workload whose
+// misses concentrate in a few sets with few contending lines each is
+// exactly what small miss/victim caches fix.
+type Hotspot struct {
+	// Set is the cache set index.
+	Set int
+	// Misses is the number of misses that mapped to this set.
+	Misses uint64
+	// Lines is the number of distinct lines that missed in this set.
+	Lines int
+	// TopLines are the most frequently missing line addresses, most
+	// frequent first (up to four).
+	TopLines []uint64
+}
+
+// ConflictHotspots replays one side of the trace through a direct-mapped
+// cache and returns the topK sets ranked by miss count, with the lines
+// contending for each.
+func ConflictHotspots(tr *memtrace.Trace, instrSide bool, cacheSize, lineSize, topK int) ([]Hotspot, error) {
+	cfg := cache.Config{Name: "probe", Size: cacheSize, LineSize: lineSize, Assoc: 1}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	c := cache.MustNew(cfg)
+	numSets := cfg.Sets()
+
+	setMisses := make([]uint64, numSets)
+	lineMisses := make([]map[uint64]uint64, numSets)
+
+	tr.Each(func(a memtrace.Access) {
+		if (a.Kind == memtrace.Ifetch) != instrSide {
+			return
+		}
+		hit, _ := c.Access(uint64(a.Addr), a.Kind == memtrace.Store)
+		if hit {
+			return
+		}
+		la := c.LineAddr(uint64(a.Addr))
+		set := int(la) & (numSets - 1)
+		setMisses[set]++
+		if lineMisses[set] == nil {
+			lineMisses[set] = make(map[uint64]uint64, 4)
+		}
+		lineMisses[set][la]++
+	})
+
+	order := make([]int, numSets)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(i, j int) bool {
+		if setMisses[order[i]] != setMisses[order[j]] {
+			return setMisses[order[i]] > setMisses[order[j]]
+		}
+		return order[i] < order[j]
+	})
+
+	if topK > numSets {
+		topK = numSets
+	}
+	var out []Hotspot
+	for _, set := range order[:topK] {
+		if setMisses[set] == 0 {
+			break
+		}
+		h := Hotspot{Set: set, Misses: setMisses[set], Lines: len(lineMisses[set])}
+		type lc struct {
+			la uint64
+			n  uint64
+		}
+		var lines []lc
+		for la, n := range lineMisses[set] {
+			lines = append(lines, lc{la, n})
+		}
+		sort.Slice(lines, func(i, j int) bool {
+			if lines[i].n != lines[j].n {
+				return lines[i].n > lines[j].n
+			}
+			return lines[i].la < lines[j].la
+		})
+		for i := 0; i < len(lines) && i < 4; i++ {
+			h.TopLines = append(h.TopLines, lines[i].la)
+		}
+		out = append(out, h)
+	}
+	return out, nil
+}

@@ -1,0 +1,94 @@
+package analysis
+
+import (
+	"testing"
+
+	"jouppi/internal/memtrace"
+	"jouppi/internal/workload"
+)
+
+func TestConflictHotspotsAlternatingPair(t *testing.T) {
+	// Two lines 4KB apart alternate: all misses land in one set, caused
+	// by exactly two contending lines.
+	tr := memtrace.NewTrace(0)
+	for i := 0; i < 100; i++ {
+		tr.Append(memtrace.Access{Addr: 0x0200, Kind: memtrace.Load})
+		tr.Append(memtrace.Access{Addr: 0x1200, Kind: memtrace.Load})
+	}
+	hs, err := ConflictHotspots(tr, false, 4096, 16, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hs) != 1 {
+		t.Fatalf("hotspots = %d, want exactly 1", len(hs))
+	}
+	h := hs[0]
+	if h.Set != 0x200/16 {
+		t.Errorf("hotspot set = %d, want %d", h.Set, 0x200/16)
+	}
+	if h.Misses != 200 {
+		t.Errorf("hotspot misses = %d, want 200", h.Misses)
+	}
+	if h.Lines != 2 || len(h.TopLines) != 2 {
+		t.Errorf("hotspot lines = %d (%v), want 2", h.Lines, h.TopLines)
+	}
+	want := map[uint64]bool{0x0200 / 16: true, 0x1200 / 16: true}
+	for _, la := range h.TopLines {
+		if !want[la] {
+			t.Errorf("unexpected top line %#x", la)
+		}
+	}
+}
+
+func TestConflictHotspotsEmptyAndValidation(t *testing.T) {
+	if _, err := ConflictHotspots(memtrace.NewTrace(0), false, 100, 16, 3); err == nil {
+		t.Error("accepted bad geometry")
+	}
+	hs, err := ConflictHotspots(memtrace.NewTrace(0), false, 4096, 16, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hs) != 0 {
+		t.Errorf("empty trace has hotspots: %v", hs)
+	}
+}
+
+func TestConflictHotspotsSideSeparation(t *testing.T) {
+	tr := memtrace.NewTrace(0)
+	tr.Append(memtrace.Access{Addr: 0x0100, Kind: memtrace.Ifetch})
+	tr.Append(memtrace.Access{Addr: 0x9100, Kind: memtrace.Load})
+	hi, err := ConflictHotspots(tr, true, 4096, 16, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hd, err := ConflictHotspots(tr, false, 4096, 16, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hi) != 1 || len(hd) != 1 {
+		t.Fatalf("sides not separated: I=%d D=%d", len(hi), len(hd))
+	}
+}
+
+func TestMetHotspotsMatchItsDesign(t *testing.T) {
+	// met's conflicts come from the layerA/layerB pair at offset 0x200
+	// mod 4096: its hottest data sets should have exactly 2 dominant
+	// contending lines each.
+	tr := workload.GenerateTrace(workload.Met(), 0.05)
+	hs, err := ConflictHotspots(tr, false, 4096, 16, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hs) == 0 {
+		t.Fatal("no hotspots found")
+	}
+	top := hs[0]
+	if top.Lines < 2 {
+		t.Errorf("top hotspot has %d contending lines, want ≥ 2", top.Lines)
+	}
+	// The top hotspot's set must fall inside the colliding window
+	// (offset 0x200.. in each 4KB frame → sets 32..96 with 16B lines).
+	if top.Set < 32 || top.Set > 96 {
+		t.Errorf("top hotspot set %d outside met's colliding window", top.Set)
+	}
+}

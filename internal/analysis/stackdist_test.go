@@ -1,0 +1,174 @@
+package analysis
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"jouppi/internal/cache"
+	"jouppi/internal/memtrace"
+	"jouppi/internal/workload"
+)
+
+func TestStackDistValidation(t *testing.T) {
+	if _, err := NewStackDist(24, 100); err == nil {
+		t.Error("accepted bad line size")
+	}
+	if _, err := NewStackDist(16, 0); err == nil {
+		t.Error("accepted zero maxDist")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustNewStackDist did not panic")
+		}
+	}()
+	MustNewStackDist(0, 10)
+}
+
+func TestStackDistBasics(t *testing.T) {
+	sd := MustNewStackDist(16, 64)
+	// First references are compulsory.
+	if d := sd.Access(0x000); d != -1 {
+		t.Errorf("first ref distance = %d, want -1", d)
+	}
+	if d := sd.Access(0x100); d != -1 {
+		t.Errorf("first ref distance = %d, want -1", d)
+	}
+	// Re-reference of 0x100: most recently used → distance 0.
+	if d := sd.Access(0x104); d != 0 {
+		t.Errorf("MRU re-ref distance = %d, want 0", d)
+	}
+	// 0x000 is now one distinct line away.
+	if d := sd.Access(0x008); d != 1 {
+		t.Errorf("re-ref distance = %d, want 1", d)
+	}
+	if sd.Compulsory() != 2 || sd.Accesses() != 4 {
+		t.Errorf("compulsory %d, accesses %d", sd.Compulsory(), sd.Accesses())
+	}
+}
+
+func TestStackDistCyclicSweep(t *testing.T) {
+	// Sweeping N distinct lines cyclically: after the first pass, every
+	// access has distance N-1.
+	const n = 10
+	sd := MustNewStackDist(16, 64)
+	for pass := 0; pass < 4; pass++ {
+		for i := 0; i < n; i++ {
+			d := sd.Access(uint64(i * 16))
+			if pass == 0 {
+				if d != -1 {
+					t.Fatalf("pass 0 line %d: distance %d, want -1", i, d)
+				}
+			} else if d != n-1 {
+				t.Fatalf("pass %d line %d: distance %d, want %d", pass, i, d, n-1)
+			}
+		}
+	}
+	// Miss ratio: capacity ≥ n hits everything after the compulsory
+	// pass; capacity < n misses everything.
+	mrSmall, err := sd.MissRatio(n - 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mrSmall != 1.0 {
+		t.Errorf("capacity %d miss ratio = %v, want 1.0", n-1, mrSmall)
+	}
+	mrBig, err := sd.MissRatio(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := float64(n) / float64(4*n)
+	if math.Abs(mrBig-want) > 1e-12 {
+		t.Errorf("capacity %d miss ratio = %v, want %v", n, mrBig, want)
+	}
+}
+
+func TestStackDistMissRatioErrors(t *testing.T) {
+	sd := MustNewStackDist(16, 8)
+	if _, err := sd.MissRatio(0); err == nil {
+		t.Error("accepted zero capacity")
+	}
+	if _, err := sd.MissRatio(9); err == nil {
+		t.Error("accepted capacity beyond maxDist")
+	}
+	if r, err := sd.MissRatio(4); err != nil || r != 0 {
+		t.Errorf("empty analyzer ratio = %v, %v", r, err)
+	}
+}
+
+// The defining cross-check: the Mattson curve must agree exactly with
+// direct simulation of fully-associative LRU caches at every capacity.
+func TestStackDistMatchesFullyAssociativeSimulation(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	sd := MustNewStackDist(16, 1024)
+	capacities := []int{2, 4, 8, 16, 64, 256}
+	caches := make([]*cache.Cache, len(capacities))
+	misses := make([]uint64, len(capacities))
+	for i, c := range capacities {
+		caches[i] = cache.MustNew(cache.Config{
+			Size: c * 16, LineSize: 16, Assoc: cache.FullyAssociative})
+	}
+	const n = 40000
+	addr := uint64(0)
+	for i := 0; i < n; i++ {
+		switch rng.Intn(4) {
+		case 0:
+			addr = uint64(rng.Intn(1 << 14))
+		default:
+			addr += 16
+		}
+		sd.Access(addr)
+		for ci := range caches {
+			if hit, _ := caches[ci].Access(addr, false); !hit {
+				misses[ci]++
+			}
+		}
+	}
+	for ci, c := range capacities {
+		want := float64(misses[ci]) / float64(n)
+		got, err := sd.MissRatio(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-want) > 1e-12 {
+			t.Errorf("capacity %d: stack-distance ratio %v != simulated %v", c, got, want)
+		}
+	}
+}
+
+// Miss ratio is non-increasing in capacity (the stack property itself).
+func TestStackDistCurveMonotone(t *testing.T) {
+	sd := MustNewStackDist(16, 2048)
+	tr := workload.GenerateTrace(workload.Met(), 0.05)
+	tr.Each(func(a memtrace.Access) {
+		if a.Kind.IsData() {
+			sd.Access(uint64(a.Addr))
+		}
+	})
+	caps := []int{1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048}
+	curve, err := sd.MissRatioCurve(caps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(curve); i++ {
+		if curve[i] > curve[i-1]+1e-12 {
+			t.Fatalf("curve not monotone at capacity %d: %v > %v", caps[i], curve[i], curve[i-1])
+		}
+	}
+	if curve[0] <= curve[len(curve)-1] {
+		t.Error("curve is flat; expected decay with capacity")
+	}
+}
+
+func BenchmarkStackDistAccess(b *testing.B) {
+	sd := MustNewStackDist(16, 4096)
+	rng := rand.New(rand.NewSource(1))
+	addrs := make([]uint64, 1<<16)
+	for i := range addrs {
+		addrs[i] = uint64(rng.Intn(1 << 20))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sd.Access(addrs[i&(len(addrs)-1)])
+	}
+}

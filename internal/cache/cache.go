@@ -1,0 +1,442 @@
+// Package cache implements the cache models underlying the simulator:
+// direct-mapped, set-associative, and fully-associative caches with
+// configurable line size, replacement policy, and write policy.
+//
+// The package operates on plain byte addresses (uint64) and exposes both a
+// high-level Access path (probe, fill on miss) for standalone simulation
+// and low-level Probe/Fill/Invalidate primitives that the paper's
+// miss-cache, victim-cache, and stream-buffer front-ends compose.
+package cache
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Replacement selects the victim-choice policy within a set.
+type Replacement uint8
+
+// Supported replacement policies. The paper's structures all use LRU; FIFO
+// and Random are provided for comparison studies.
+const (
+	LRU Replacement = iota
+	FIFO
+	Random
+)
+
+// String returns the policy name.
+func (r Replacement) String() string {
+	switch r {
+	case LRU:
+		return "LRU"
+	case FIFO:
+		return "FIFO"
+	case Random:
+		return "Random"
+	default:
+		return fmt.Sprintf("Replacement(%d)", uint8(r))
+	}
+}
+
+// WritePolicy selects how stores interact with lower levels.
+type WritePolicy uint8
+
+// Supported write policies. Both are write-allocate: a store miss fills the
+// line like a load miss, which matches the paper's miss accounting (stores
+// and loads are not distinguished in its miss rates).
+const (
+	WriteThrough WritePolicy = iota
+	WriteBack
+)
+
+// String returns the policy name.
+func (w WritePolicy) String() string {
+	switch w {
+	case WriteThrough:
+		return "write-through"
+	case WriteBack:
+		return "write-back"
+	default:
+		return fmt.Sprintf("WritePolicy(%d)", uint8(w))
+	}
+}
+
+// Config describes a cache's geometry and policies.
+type Config struct {
+	// Name labels the cache in diagnostics ("L1I", "L1D", "L2").
+	Name string
+	// Size is the total data capacity in bytes. Must be a power of two.
+	Size int
+	// LineSize is the line (block) size in bytes. Must be a power of two
+	// and no larger than Size.
+	LineSize int
+	// Assoc is the number of ways per set. 1 means direct-mapped;
+	// FullyAssociative (0) means a single set containing every line.
+	Assoc int
+	// Replacement is the within-set victim policy. Ignored for
+	// direct-mapped caches. Defaults to LRU.
+	Replacement Replacement
+	// WritePolicy controls store handling. Defaults to WriteThrough.
+	WritePolicy WritePolicy
+	// RandomSeed seeds victim selection when Replacement is Random.
+	RandomSeed uint64
+}
+
+// FullyAssociative is the Assoc value selecting a fully-associative cache.
+const FullyAssociative = 0
+
+// Validate checks the configuration and returns a descriptive error if it
+// is unusable.
+func (c Config) Validate() error {
+	if c.Size <= 0 || bits.OnesCount(uint(c.Size)) != 1 {
+		return fmt.Errorf("cache %q: size %d is not a positive power of two", c.Name, c.Size)
+	}
+	if c.LineSize <= 0 || bits.OnesCount(uint(c.LineSize)) != 1 {
+		return fmt.Errorf("cache %q: line size %d is not a positive power of two", c.Name, c.LineSize)
+	}
+	if c.LineSize > c.Size {
+		return fmt.Errorf("cache %q: line size %d exceeds cache size %d", c.Name, c.LineSize, c.Size)
+	}
+	lines := c.Size / c.LineSize
+	assoc := c.Assoc
+	if assoc == FullyAssociative {
+		assoc = lines
+	}
+	if assoc < 0 || assoc > lines {
+		return fmt.Errorf("cache %q: associativity %d out of range [1, %d]", c.Name, c.Assoc, lines)
+	}
+	if lines%assoc != 0 {
+		return fmt.Errorf("cache %q: %d lines not divisible by associativity %d", c.Name, lines, assoc)
+	}
+	if c.Replacement > Random {
+		return fmt.Errorf("cache %q: unknown replacement policy %d", c.Name, c.Replacement)
+	}
+	if c.WritePolicy > WriteBack {
+		return fmt.Errorf("cache %q: unknown write policy %d", c.Name, c.WritePolicy)
+	}
+	return nil
+}
+
+// Lines returns the total number of lines the configuration holds.
+func (c Config) Lines() int { return c.Size / c.LineSize }
+
+// Sets returns the number of sets the configuration resolves to.
+func (c Config) Sets() int {
+	assoc := c.Assoc
+	if assoc == FullyAssociative {
+		assoc = c.Lines()
+	}
+	return c.Lines() / assoc
+}
+
+// Victim describes a line evicted by Fill.
+type Victim struct {
+	// LineAddr is the line address (byte address >> line-offset bits) of
+	// the evicted line. Valid only when Valid is true.
+	LineAddr uint64
+	// Valid reports whether an actual line was displaced (false when the
+	// fill landed in an empty way).
+	Valid bool
+	// Dirty reports whether the evicted line held unwritten store data
+	// (write-back caches only).
+	Dirty bool
+}
+
+// Stats accumulates cache activity counters.
+type Stats struct {
+	Accesses   uint64 // total Probe/Access calls
+	Hits       uint64
+	Misses     uint64
+	Fills      uint64 // lines installed
+	Evictions  uint64 // valid lines displaced by fills
+	Writebacks uint64 // dirty evictions (write-back policy)
+	Writes     uint64 // store accesses observed
+}
+
+// MissRate returns Misses/Accesses, or 0 for an idle cache.
+func (s Stats) MissRate() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Misses) / float64(s.Accesses)
+}
+
+// Add accumulates other into s.
+func (s *Stats) Add(other Stats) {
+	s.Accesses += other.Accesses
+	s.Hits += other.Hits
+	s.Misses += other.Misses
+	s.Fills += other.Fills
+	s.Evictions += other.Evictions
+	s.Writebacks += other.Writebacks
+	s.Writes += other.Writes
+}
+
+type way struct {
+	tag   uint64 // line address (full address >> lineShift)
+	used  uint64 // last-touch tick (LRU) — untouched after fill under FIFO
+	valid bool
+	dirty bool
+}
+
+// Cache is a single cache array. It is not safe for concurrent use.
+type Cache struct {
+	cfg       Config
+	sets      [][]way
+	lineShift uint
+	setMask   uint64
+	tick      uint64
+	rng       uint64
+	stats     Stats
+}
+
+// New builds a cache from cfg. It returns an error if cfg is invalid.
+func New(cfg Config) (*Cache, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	assoc := cfg.Assoc
+	if assoc == FullyAssociative {
+		assoc = cfg.Lines()
+	}
+	numSets := cfg.Lines() / assoc
+	c := &Cache{
+		cfg:       cfg,
+		lineShift: uint(bits.TrailingZeros(uint(cfg.LineSize))),
+		setMask:   uint64(numSets - 1),
+		rng:       cfg.RandomSeed | 1,
+	}
+	c.sets = make([][]way, numSets)
+	backing := make([]way, numSets*assoc)
+	for i := range c.sets {
+		c.sets[i], backing = backing[:assoc:assoc], backing[assoc:]
+	}
+	return c, nil
+}
+
+// MustNew is New but panics on invalid configuration. Intended for tests
+// and statically-known configurations.
+func MustNew(cfg Config) *Cache {
+	c, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Config returns the configuration the cache was built with.
+func (c *Cache) Config() Config { return c.cfg }
+
+// Stats returns a copy of the activity counters.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// ResetStats zeroes the activity counters without disturbing contents.
+func (c *Cache) ResetStats() { c.stats = Stats{} }
+
+// LineAddr converts a byte address to this cache's line address.
+func (c *Cache) LineAddr(addr uint64) uint64 { return addr >> c.lineShift }
+
+// LineSize returns the configured line size in bytes.
+func (c *Cache) LineSize() int { return c.cfg.LineSize }
+
+func (c *Cache) setFor(lineAddr uint64) []way { return c.sets[lineAddr&c.setMask] }
+
+// Probe looks up addr, updating recency and dirty state on a hit. It
+// reports whether the line is present. On a miss the cache is unchanged;
+// the caller decides whether and what to Fill.
+func (c *Cache) Probe(addr uint64, write bool) bool {
+	c.stats.Accesses++
+	if write {
+		c.stats.Writes++
+	}
+	la := c.LineAddr(addr)
+	set := c.setFor(la)
+	for i := range set {
+		w := &set[i]
+		if w.valid && w.tag == la {
+			if c.cfg.Replacement != FIFO {
+				c.tick++
+				w.used = c.tick
+			}
+			if write && c.cfg.WritePolicy == WriteBack {
+				w.dirty = true
+			}
+			c.stats.Hits++
+			return true
+		}
+	}
+	c.stats.Misses++
+	return false
+}
+
+// Contains reports whether addr's line is present without updating any
+// replacement or statistics state.
+func (c *Cache) Contains(addr uint64) bool {
+	la := c.LineAddr(addr)
+	set := c.setFor(la)
+	for i := range set {
+		if set[i].valid && set[i].tag == la {
+			return true
+		}
+	}
+	return false
+}
+
+// Fill installs addr's line, selecting a victim per the replacement policy
+// if the set is full, and returns the displaced line. dirty marks the new
+// line as holding unwritten store data (write-allocate store miss under
+// write-back). Filling a line that is already present refreshes its
+// recency instead of duplicating it.
+func (c *Cache) Fill(addr uint64, dirty bool) Victim {
+	la := c.LineAddr(addr)
+	set := c.setFor(la)
+	c.tick++
+
+	victim := -1
+	for i := range set {
+		w := &set[i]
+		if w.valid && w.tag == la {
+			// Already present (e.g. racing prefetch): refresh.
+			w.used = c.tick
+			w.dirty = w.dirty || dirty
+			return Victim{}
+		}
+		if !w.valid && victim == -1 {
+			victim = i
+		}
+	}
+	if victim == -1 {
+		victim = c.pickVictim(set)
+	}
+
+	w := &set[victim]
+	out := Victim{LineAddr: w.tag, Valid: w.valid, Dirty: w.dirty}
+	if out.Valid {
+		c.stats.Evictions++
+		if out.Dirty {
+			c.stats.Writebacks++
+		}
+	}
+	*w = way{tag: la, used: c.tick, valid: true, dirty: dirty}
+	c.stats.Fills++
+	return out
+}
+
+func (c *Cache) pickVictim(set []way) int {
+	switch c.cfg.Replacement {
+	case Random:
+		// xorshift64*; cheap deterministic pseudo-randomness.
+		c.rng ^= c.rng << 13
+		c.rng ^= c.rng >> 7
+		c.rng ^= c.rng << 17
+		return int(c.rng % uint64(len(set)))
+	default: // LRU and FIFO both evict the minimum 'used' tick; FIFO
+		// simply never refreshes it on hits (see Probe).
+		best := 0
+		for i := 1; i < len(set); i++ {
+			if set[i].used < set[best].used {
+				best = i
+			}
+		}
+		return best
+	}
+}
+
+// Invalidate removes addr's line if present and reports whether it was
+// present and whether it was dirty.
+func (c *Cache) Invalidate(addr uint64) (present, dirty bool) {
+	la := c.LineAddr(addr)
+	set := c.setFor(la)
+	for i := range set {
+		w := &set[i]
+		if w.valid && w.tag == la {
+			present, dirty = true, w.dirty
+			*w = way{}
+			return present, dirty
+		}
+	}
+	return false, false
+}
+
+// Access is the standalone simulation path: probe addr and fill on miss.
+// It reports whether the access hit and, when it missed, the victim the
+// fill displaced.
+func (c *Cache) Access(addr uint64, write bool) (hit bool, victim Victim) {
+	if c.Probe(addr, write) {
+		return true, Victim{}
+	}
+	dirty := write && c.cfg.WritePolicy == WriteBack
+	return false, c.Fill(addr, dirty)
+}
+
+// Reset invalidates every line and zeroes the statistics.
+func (c *Cache) Reset() {
+	for _, set := range c.sets {
+		for i := range set {
+			set[i] = way{}
+		}
+	}
+	c.tick = 0
+	c.stats = Stats{}
+	c.rng = c.cfg.RandomSeed | 1
+}
+
+// Touch updates the recency of addr's line if present, without counting an
+// access. The victim-cache swap path uses it to model the swapped-in line
+// becoming most recently used.
+func (c *Cache) Touch(addr uint64) bool {
+	la := c.LineAddr(addr)
+	set := c.setFor(la)
+	for i := range set {
+		w := &set[i]
+		if w.valid && w.tag == la {
+			c.tick++
+			w.used = c.tick
+			return true
+		}
+	}
+	return false
+}
+
+// MarkDirty sets the dirty bit on addr's line if present. Used when a line
+// arrives from a victim cache carrying modified data.
+func (c *Cache) MarkDirty(addr uint64) bool {
+	la := c.LineAddr(addr)
+	set := c.setFor(la)
+	for i := range set {
+		w := &set[i]
+		if w.valid && w.tag == la {
+			w.dirty = true
+			return true
+		}
+	}
+	return false
+}
+
+// Utilization returns the fraction of lines currently valid.
+func (c *Cache) Utilization() float64 {
+	valid := 0
+	for _, set := range c.sets {
+		for i := range set {
+			if set[i].valid {
+				valid++
+			}
+		}
+	}
+	return float64(valid) / float64(c.cfg.Lines())
+}
+
+// ResidentLines returns the line addresses of every valid line, in no
+// particular order. Intended for content inspection (e.g. inclusion
+// analysis between hierarchy levels), not for the simulation fast path.
+func (c *Cache) ResidentLines() []uint64 {
+	out := make([]uint64, 0, c.cfg.Lines())
+	for _, set := range c.sets {
+		for i := range set {
+			if set[i].valid {
+				out = append(out, set[i].tag)
+			}
+		}
+	}
+	return out
+}

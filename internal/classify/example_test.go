@@ -1,0 +1,30 @@
+package classify_test
+
+import (
+	"fmt"
+
+	"jouppi/internal/cache"
+	"jouppi/internal/classify"
+)
+
+// Classify the misses of a direct-mapped cache into compulsory, capacity,
+// and conflict (the 3C model the paper's Figure 3-1 is built on).
+func Example() {
+	l1 := cache.MustNew(cache.Config{Size: 64, LineSize: 16, Assoc: 1})
+	cl := classify.MustNew(64, 16)
+
+	// Alternate between two conflicting lines: after the compulsory
+	// pair, every miss is a conflict (a 4-line fully-associative cache
+	// would hold both).
+	for i := 0; i < 10; i++ {
+		for _, addr := range []uint64{0x000, 0x040} {
+			hit, _ := l1.Access(addr, false)
+			cl.ObserveMiss(addr, !hit)
+		}
+	}
+	c := cl.Counts()
+	fmt.Printf("compulsory %d, capacity %d, conflict %d\n",
+		c.Compulsory, c.Capacity, c.Conflict)
+	// Output:
+	// compulsory 2, capacity 0, conflict 18
+}

@@ -1,0 +1,145 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestAssocBufZeroEntries(t *testing.T) {
+	b := newAssocBuf(0)
+	if hit, _ := b.probe(5); hit {
+		t.Fatal("zero-entry buffer hit")
+	}
+	if _, evicted := b.insert(5, false); evicted {
+		t.Fatal("zero-entry buffer evicted")
+	}
+	if b.contains(5) {
+		t.Fatal("zero-entry buffer contains a line")
+	}
+	if b.len() != 0 || b.validCount() != 0 {
+		t.Fatal("zero-entry buffer non-empty")
+	}
+}
+
+func TestAssocBufInsertProbeRemove(t *testing.T) {
+	b := newAssocBuf(2)
+	b.insert(10, false)
+	b.insert(20, true)
+	if hit, dirty := b.probe(10); !hit || dirty {
+		t.Fatalf("probe(10) = (%v,%v), want (true,false)", hit, dirty)
+	}
+	if hit, dirty := b.probe(20); !hit || !dirty {
+		t.Fatalf("probe(20) = (%v,%v), want (true,true)", hit, dirty)
+	}
+	if present, dirty := b.remove(20); !present || !dirty {
+		t.Fatalf("remove(20) = (%v,%v), want (true,true)", present, dirty)
+	}
+	if b.contains(20) {
+		t.Fatal("removed line still present")
+	}
+	if present, _ := b.remove(20); present {
+		t.Fatal("double remove reported present")
+	}
+	if b.validCount() != 1 {
+		t.Fatalf("validCount = %d, want 1", b.validCount())
+	}
+}
+
+func TestAssocBufLRUEviction(t *testing.T) {
+	b := newAssocBuf(2)
+	b.insert(1, false)
+	b.insert(2, false)
+	b.probe(1) // 2 is now LRU
+	victim, evicted := b.insert(3, false)
+	if !evicted || victim.lineAddr != 2 {
+		t.Fatalf("evicted %+v (%v), want line 2", victim, evicted)
+	}
+	if !b.contains(1) || !b.contains(3) {
+		t.Fatal("wrong survivors")
+	}
+}
+
+func TestAssocBufInsertExistingRefreshes(t *testing.T) {
+	b := newAssocBuf(2)
+	b.insert(1, false)
+	b.insert(2, false)
+	// Re-insert 1 dirty: refresh + dirty, no eviction; 2 becomes LRU.
+	if _, evicted := b.insert(1, true); evicted {
+		t.Fatal("re-insert evicted")
+	}
+	if hit, dirty := b.probe(1); !hit || !dirty {
+		t.Fatal("re-insert did not OR dirty")
+	}
+	victim, _ := b.insert(3, false)
+	if victim.lineAddr != 2 {
+		t.Fatalf("evicted line %d, want 2", victim.lineAddr)
+	}
+}
+
+func TestAssocBufFillsInvalidSlotsFirst(t *testing.T) {
+	b := newAssocBuf(3)
+	b.insert(1, false)
+	b.insert(2, false)
+	b.insert(3, false)
+	b.remove(2)
+	if _, evicted := b.insert(4, false); evicted {
+		t.Fatal("insert evicted despite free slot")
+	}
+	for _, la := range []uint64{1, 3, 4} {
+		if !b.contains(la) {
+			t.Fatalf("line %d missing", la)
+		}
+	}
+}
+
+// Reference LRU model cross-check under random operations.
+func TestAssocBufMatchesReferenceLRU(t *testing.T) {
+	const entries = 4
+	b := newAssocBuf(entries)
+	var ref []uint64 // MRU first
+	refIndex := func(la uint64) int {
+		for i, x := range ref {
+			if x == la {
+				return i
+			}
+		}
+		return -1
+	}
+	rng := rand.New(rand.NewSource(31))
+	for op := 0; op < 50000; op++ {
+		la := uint64(rng.Intn(12))
+		switch rng.Intn(3) {
+		case 0: // probe
+			hit, _ := b.probe(la)
+			i := refIndex(la)
+			if hit != (i >= 0) {
+				t.Fatalf("op %d probe(%d): got %v, ref %v", op, la, hit, i >= 0)
+			}
+			if i >= 0 {
+				ref = append(ref[:i], ref[i+1:]...)
+				ref = append([]uint64{la}, ref...)
+			}
+		case 1: // insert
+			b.insert(la, false)
+			if i := refIndex(la); i >= 0 {
+				ref = append(ref[:i], ref[i+1:]...)
+			}
+			ref = append([]uint64{la}, ref...)
+			if len(ref) > entries {
+				ref = ref[:entries]
+			}
+		case 2: // remove
+			present, _ := b.remove(la)
+			i := refIndex(la)
+			if present != (i >= 0) {
+				t.Fatalf("op %d remove(%d): got %v, ref %v", op, la, present, i >= 0)
+			}
+			if i >= 0 {
+				ref = append(ref[:i], ref[i+1:]...)
+			}
+		}
+		if b.validCount() != len(ref) {
+			t.Fatalf("op %d: validCount %d != ref %d", op, b.validCount(), len(ref))
+		}
+	}
+}

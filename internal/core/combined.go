@@ -1,0 +1,158 @@
+package core
+
+import (
+	"fmt"
+
+	"jouppi/internal/cache"
+)
+
+// Combined is the paper's §5 improved system front-end: a first-level
+// cache augmented with both a victim cache and a set of stream buffers.
+// On a first-level miss the victim cache is checked first (a swap is the
+// cheapest recovery); then the stream buffers; only then does a demand
+// fetch go to the next level. Every line displaced from the first-level
+// cache — whether by a swap, a stream-buffer fill, or a demand fill —
+// drops into the victim cache.
+//
+// The paper applies a 4-entry victim cache plus a 4-way stream buffer to
+// the data cache and a single stream buffer (no victim cache) to the
+// instruction cache; both shapes are expressible here by setting
+// VictimEntries or Stream.Ways to zero.
+type Combined struct {
+	l1            *cache.Cache
+	vc            *assocBuf
+	set           *streamSet
+	fetch         Fetcher
+	timing        Timing
+	stats         Stats
+	now           uint64
+	victimEntries int
+	streamCfg     StreamConfig
+}
+
+// NewCombined builds a combined front-end. victimEntries may be zero (no
+// victim cache); streamCfg.Ways may be zero (no stream buffers).
+func NewCombined(l1 *cache.Cache, victimEntries int, streamCfg StreamConfig, fetch Fetcher, timing Timing) *Combined {
+	if victimEntries < 0 {
+		panic(fmt.Sprintf("core: negative victim cache size %d", victimEntries))
+	}
+	timing = timing.withDefaults()
+	cfg := streamCfg
+	if cfg.Ways > 0 {
+		cfg = cfg.withDefaults()
+	}
+	c := &Combined{
+		l1:            l1,
+		vc:            newAssocBuf(victimEntries),
+		fetch:         fetch,
+		timing:        timing,
+		victimEntries: victimEntries,
+		streamCfg:     cfg,
+	}
+	if cfg.Ways > 0 {
+		c.set = newStreamSet(cfg, fetch, timing)
+	}
+	return c
+}
+
+// Access implements FrontEnd.
+func (c *Combined) Access(addr uint64, write bool) Result {
+	c.stats.Accesses++
+	c.now++
+	if c.l1.Probe(addr, write) {
+		c.stats.L1Hits++
+		return Result{L1Hit: true}
+	}
+	c.stats.L1Misses++
+	la := c.l1.LineAddr(addr)
+
+	// 1. Victim cache (swap).
+	if present, dirty := c.vc.remove(la); present {
+		c.stats.AuxHits++
+		c.stats.VictimHits++
+		if c.set != nil && c.set.contains(la) {
+			c.stats.OverlapHits++
+		}
+		c.installAndSpill(addr, write, dirty)
+		stall := c.timing.AuxPenalty
+		c.stats.StallCycles += uint64(stall)
+		c.now += uint64(stall)
+		return Result{AuxHit: true, Stall: stall}
+	}
+
+	// 2. Stream buffers.
+	if c.set != nil {
+		if hit, inFlight, stall := c.set.probe(la, c.now); hit {
+			c.stats.AuxHits++
+			c.stats.StreamHits++
+			c.stats.PrefetchUsed++
+			if inFlight {
+				c.stats.StreamInFlightHits++
+			}
+			c.installAndSpill(addr, write, false)
+			c.stats.StallCycles += uint64(stall)
+			c.now += uint64(stall)
+			c.stats.PrefetchIssued = c.set.issued
+			return Result{AuxHit: true, Stall: stall}
+		}
+	}
+
+	// 3. Full miss.
+	c.stats.Fetches++
+	if c.fetch != nil {
+		c.fetch(la, false)
+	}
+	c.installAndSpill(addr, write, false)
+	stall := c.timing.MissPenalty
+	c.stats.StallCycles += uint64(stall)
+	c.now += uint64(stall)
+	if c.set != nil {
+		c.set.allocate(la, c.now)
+		c.stats.PrefetchIssued = c.set.issued
+	}
+	return Result{Stall: stall}
+}
+
+// installAndSpill fills addr's line into L1 and pushes the displaced
+// victim into the victim cache (or writes it back if there is none).
+func (c *Combined) installAndSpill(addr uint64, write, wasDirty bool) {
+	writeBack := c.l1.Config().WritePolicy == cache.WriteBack
+	dirty := wasDirty || (write && writeBack)
+	victim := c.l1.Fill(addr, dirty && writeBack)
+	if !victim.Valid {
+		return
+	}
+	if c.vc.len() == 0 {
+		if victim.Dirty {
+			c.stats.Writebacks++
+		}
+		return
+	}
+	if ev, evicted := c.vc.insert(victim.LineAddr, victim.Dirty); evicted && ev.dirty {
+		c.stats.Writebacks++
+	}
+}
+
+// Stats implements FrontEnd.
+func (c *Combined) Stats() Stats { return c.stats }
+
+// Cache implements FrontEnd.
+func (c *Combined) Cache() *cache.Cache { return c.l1 }
+
+// Name implements FrontEnd.
+func (c *Combined) Name() string {
+	return fmt.Sprintf("combined-vc%d-sb%dx%d", c.victimEntries, c.streamCfg.Ways, c.streamCfg.Depth)
+}
+
+// ContainsVictim reports whether the victim cache holds addr's line.
+func (c *Combined) ContainsVictim(addr uint64) bool {
+	return c.vc.contains(c.l1.LineAddr(addr))
+}
+
+var _ FrontEnd = (*Combined)(nil)
+
+// AuxResidentLines implements AuxResidents (the victim-cache contents;
+// stream-buffer entries are prefetched lines, not displaced cache lines).
+func (c *Combined) AuxResidentLines() []uint64 { return c.vc.residents() }
+
+var _ AuxResidents = (*Combined)(nil)

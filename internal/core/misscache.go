@@ -1,0 +1,102 @@
+package core
+
+import (
+	"fmt"
+
+	"jouppi/internal/cache"
+)
+
+// MissCache is the paper's §3.1 front-end: a small fully-associative cache
+// between the first-level cache and its refill path. On a first-level
+// miss the miss cache is probed; a hit reloads the first-level cache in
+// one cycle. On a full miss the fetched line is placed in both the
+// first-level cache and the miss cache (displacing the miss cache's LRU
+// entry), so the miss cache always holds the most recently missed lines —
+// including a copy of lines that are also in the first-level cache, which
+// is exactly the duplication victim caching later removes.
+type MissCache struct {
+	l1      *cache.Cache
+	mc      *assocBuf
+	fetch   Fetcher
+	timing  Timing
+	stats   Stats
+	entries int
+}
+
+// NewMissCache builds a miss-cache front-end with the given number of
+// fully-associative entries. entries may be 0, degenerating to a baseline.
+func NewMissCache(l1 *cache.Cache, entries int, fetch Fetcher, timing Timing) *MissCache {
+	if entries < 0 {
+		panic(fmt.Sprintf("core: negative miss cache size %d", entries))
+	}
+	return &MissCache{
+		l1:      l1,
+		mc:      newAssocBuf(entries),
+		fetch:   fetch,
+		timing:  timing.withDefaults(),
+		entries: entries,
+	}
+}
+
+// Access implements FrontEnd.
+func (m *MissCache) Access(addr uint64, write bool) Result {
+	m.stats.Accesses++
+	if m.l1.Probe(addr, write) {
+		m.stats.L1Hits++
+		return Result{L1Hit: true}
+	}
+	m.stats.L1Misses++
+	la := m.l1.LineAddr(addr)
+
+	if hit, _ := m.mc.probe(la); hit {
+		// One-cycle reload of L1 from the miss cache. The line remains
+		// in the miss cache as well (it is a cache, not a queue).
+		m.stats.AuxHits++
+		m.stats.MissCacheHits++
+		m.fillL1(addr, write)
+		stall := m.timing.AuxPenalty
+		m.stats.StallCycles += uint64(stall)
+		return Result{AuxHit: true, Stall: stall}
+	}
+
+	// Full miss: fetch, then fill both L1 and the miss cache.
+	m.stats.Fetches++
+	if m.fetch != nil {
+		m.fetch(la, false)
+	}
+	m.fillL1(addr, write)
+	m.mc.insert(la, false)
+	stall := m.timing.MissPenalty
+	m.stats.StallCycles += uint64(stall)
+	return Result{Stall: stall}
+}
+
+func (m *MissCache) fillL1(addr uint64, write bool) {
+	dirty := write && m.l1.Config().WritePolicy == cache.WriteBack
+	victim := m.l1.Fill(addr, dirty)
+	if victim.Dirty {
+		m.stats.Writebacks++
+	}
+}
+
+// Stats implements FrontEnd.
+func (m *MissCache) Stats() Stats { return m.stats }
+
+// Cache implements FrontEnd.
+func (m *MissCache) Cache() *cache.Cache { return m.l1 }
+
+// Name implements FrontEnd.
+func (m *MissCache) Name() string { return fmt.Sprintf("miss-cache-%d", m.entries) }
+
+// ContainsAux reports whether the miss cache currently holds addr's line.
+// Intended for tests and invariant checks.
+func (m *MissCache) ContainsAux(addr uint64) bool {
+	return m.mc.contains(m.l1.LineAddr(addr))
+}
+
+var _ FrontEnd = (*MissCache)(nil)
+
+// AuxResidentLines implements AuxResidents.
+func (m *MissCache) AuxResidentLines() []uint64 { return m.mc.residents() }
+
+var _ AuxResidents = (*MissCache)(nil)

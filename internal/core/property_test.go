@@ -1,0 +1,208 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Property tests of the paper's structures on randomized access streams.
+
+// randomStream produces a clustered random address stream with enough
+// locality to exercise hits, conflicts, and sequential runs.
+func randomStream(seed int64, n int) []uint64 {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]uint64, n)
+	addr := uint64(0x1000)
+	for i := range out {
+		switch rng.Intn(8) {
+		case 0: // jump to a new region
+			addr = uint64(rng.Intn(1<<16)) &^ 0xf
+		case 1, 2: // conflict pair partner (+4KB)
+			addr ^= 0x1000
+		default: // sequential walk
+			addr += 16
+		}
+		out[i] = addr
+	}
+	return out
+}
+
+// Victim caches are LRU stack algorithms over a victim stream that does
+// not depend on the victim cache's size (the L1's behaviour is fixed by
+// the address stream), so more entries can never increase misses.
+func TestVictimCacheMonotoneInEntries(t *testing.T) {
+	for seed := int64(0); seed < 6; seed++ {
+		stream := randomStream(seed, 30000)
+		var prev uint64
+		for i, entries := range []int{0, 1, 2, 4, 8, 15} {
+			fe := NewVictimCache(newL1(1024), entries, nil, DefaultTiming())
+			for _, a := range stream {
+				fe.Access(a, false)
+			}
+			misses := fe.Stats().FullMisses()
+			if i > 0 && misses > prev {
+				t.Fatalf("seed %d: %d-entry victim cache has %d misses > smaller cache's %d",
+					seed, entries, misses, prev)
+			}
+			prev = misses
+		}
+	}
+}
+
+// The miss cache is an LRU cache referenced by the (size-independent) L1
+// miss stream, so the stack property gives the same monotonicity.
+func TestMissCacheMonotoneInEntries(t *testing.T) {
+	for seed := int64(10); seed < 16; seed++ {
+		stream := randomStream(seed, 30000)
+		var prev uint64
+		for i, entries := range []int{0, 1, 2, 4, 8, 15} {
+			fe := NewMissCache(newL1(1024), entries, nil, DefaultTiming())
+			for _, a := range stream {
+				fe.Access(a, false)
+			}
+			misses := fe.Stats().FullMisses()
+			if i > 0 && misses > prev {
+				t.Fatalf("seed %d: %d-entry miss cache has %d misses > smaller cache's %d",
+					seed, entries, misses, prev)
+			}
+			prev = misses
+		}
+	}
+}
+
+// Raising a stream buffer's run limit can only help: every prefetch the
+// shorter-run buffer issues is also issued by the longer-run one.
+func TestStreamBufferMonotoneInRunLimit(t *testing.T) {
+	for seed := int64(20); seed < 24; seed++ {
+		stream := randomStream(seed, 30000)
+		var prev uint64
+		for i, limit := range []int{1, 2, 4, 8, 16} {
+			fe := NewStreamBuffer(newL1(1024),
+				StreamConfig{Ways: 4, Depth: 4, RunLimit: limit}, nil, fastFill())
+			for _, a := range stream {
+				fe.Access(a, false)
+			}
+			misses := fe.Stats().FullMisses()
+			if i > 0 && misses > prev {
+				t.Fatalf("seed %d: run limit %d has %d misses > shorter limit's %d",
+					seed, limit, misses, prev)
+			}
+			prev = misses
+		}
+	}
+}
+
+// The combined front-end never does worse than the plain cache, and its
+// per-structure hit counts are consistent with its miss accounting.
+func TestCombinedNeverWorseThanBaseline(t *testing.T) {
+	for seed := int64(30); seed < 36; seed++ {
+		stream := randomStream(seed, 30000)
+		base := NewBaseline(newL1(1024), nil, DefaultTiming())
+		comb := NewCombined(newL1(1024), 4, StreamConfig{Ways: 4, Depth: 4}, nil, fastFill())
+		for _, a := range stream {
+			base.Access(a, false)
+			comb.Access(a, false)
+		}
+		bs, cs := base.Stats(), comb.Stats()
+		if cs.FullMisses() > bs.FullMisses() {
+			t.Errorf("seed %d: combined misses %d > baseline %d",
+				seed, cs.FullMisses(), bs.FullMisses())
+		}
+		if cs.AuxHits != cs.VictimHits+cs.StreamHits {
+			t.Errorf("seed %d: aux hits %d != victim %d + stream %d",
+				seed, cs.AuxHits, cs.VictimHits, cs.StreamHits)
+		}
+		if cs.L1Misses != bs.L1Misses {
+			// The L1 array's behaviour is determined by the address
+			// stream alone; augmentation only changes where misses are
+			// served from.
+			t.Errorf("seed %d: L1 raw misses differ: %d vs %d",
+				seed, cs.L1Misses, bs.L1Misses)
+		}
+	}
+}
+
+// Quasi-sequential lookup subsumes head-only lookup on identical streams.
+func TestQuasiSubsumesHeadOnlyRandomized(t *testing.T) {
+	for seed := int64(40); seed < 44; seed++ {
+		stream := randomStream(seed, 30000)
+		head := NewStreamBuffer(newL1(1024), StreamConfig{Ways: 4, Depth: 4}, nil, fastFill())
+		quasi := NewStreamBuffer(newL1(1024), StreamConfig{Ways: 4, Depth: 4, Quasi: true}, nil, fastFill())
+		for _, a := range stream {
+			head.Access(a, false)
+			quasi.Access(a, false)
+		}
+		if q, h := quasi.Stats().FullMisses(), head.Stats().FullMisses(); q > h {
+			t.Errorf("seed %d: quasi misses %d > head-only %d", seed, q, h)
+		}
+	}
+}
+
+// Stats bookkeeping identities hold for every front-end under random
+// streams with stores mixed in.
+func TestStatsIdentitiesAcrossFrontEnds(t *testing.T) {
+	mk := []func() FrontEnd{
+		func() FrontEnd { return NewBaseline(newL1(1024), nil, DefaultTiming()) },
+		func() FrontEnd { return NewMissCache(newL1(1024), 4, nil, DefaultTiming()) },
+		func() FrontEnd { return NewVictimCache(newL1(1024), 4, nil, DefaultTiming()) },
+		func() FrontEnd {
+			return NewStreamBuffer(newL1(1024), StreamConfig{Ways: 2, Depth: 4}, nil, DefaultTiming())
+		},
+		func() FrontEnd {
+			return NewCombined(newL1(1024), 4, StreamConfig{Ways: 2, Depth: 4}, nil, DefaultTiming())
+		},
+	}
+	rng := rand.New(rand.NewSource(99))
+	stream := randomStream(50, 20000)
+	for _, build := range mk {
+		fe := build()
+		for _, a := range stream {
+			fe.Access(a, rng.Intn(4) == 0)
+		}
+		st := fe.Stats()
+		if st.L1Hits+st.L1Misses != st.Accesses {
+			t.Errorf("%s: hits %d + misses %d != accesses %d",
+				fe.Name(), st.L1Hits, st.L1Misses, st.Accesses)
+		}
+		if st.AuxHits > st.L1Misses {
+			t.Errorf("%s: aux hits %d > L1 misses %d", fe.Name(), st.AuxHits, st.L1Misses)
+		}
+		if st.Fetches != st.FullMisses() {
+			t.Errorf("%s: fetches %d != full misses %d", fe.Name(), st.Fetches, st.FullMisses())
+		}
+		if st.PrefetchUsed > st.PrefetchIssued {
+			t.Errorf("%s: prefetch used %d > issued %d", fe.Name(), st.PrefetchUsed, st.PrefetchIssued)
+		}
+		if st.Cycles() != st.Accesses+st.StallCycles {
+			t.Errorf("%s: cycles identity broken", fe.Name())
+		}
+	}
+}
+
+// The L1 array's contents evolve identically with or without a victim
+// cache: on every miss the requested line lands in the same set either
+// way (swap or refill). This is the invariant the monotonicity proofs
+// above rest on.
+func TestVictimCacheDoesNotPerturbL1Contents(t *testing.T) {
+	stream := randomStream(60, 20000)
+	plain := NewBaseline(newL1(1024), nil, DefaultTiming())
+	vc := NewVictimCache(newL1(1024), 7, nil, DefaultTiming())
+	for _, a := range stream {
+		plain.Access(a, false)
+		vc.Access(a, false)
+	}
+	pl := plain.Cache().ResidentLines()
+	vl := vc.Cache().ResidentLines()
+	if len(pl) != len(vl) {
+		t.Fatalf("resident counts differ: %d vs %d", len(pl), len(vl))
+	}
+	set := make(map[uint64]bool, len(pl))
+	for _, la := range pl {
+		set[la] = true
+	}
+	for _, la := range vl {
+		if !set[la] {
+			t.Fatalf("line %#x resident only with victim cache", la)
+		}
+	}
+}

@@ -1,0 +1,122 @@
+package core
+
+import (
+	"fmt"
+
+	"jouppi/internal/cache"
+)
+
+// VictimCache is the paper's §3.2 front-end: like a miss cache, but the
+// small fully-associative cache is loaded with the *victim* of the
+// first-level miss rather than the requested line. No line is ever in both
+// the first-level cache and the victim cache; on a victim-cache hit the
+// two lines are swapped. This doubles the number of tight conflicts the
+// combination can capture compared with a miss cache of equal size and
+// makes even a single-entry victim cache useful.
+type VictimCache struct {
+	l1      *cache.Cache
+	vc      *assocBuf
+	fetch   Fetcher
+	timing  Timing
+	stats   Stats
+	entries int
+}
+
+// NewVictimCache builds a victim-cache front-end with the given number of
+// fully-associative entries. entries may be 0, degenerating to a baseline.
+func NewVictimCache(l1 *cache.Cache, entries int, fetch Fetcher, timing Timing) *VictimCache {
+	if entries < 0 {
+		panic(fmt.Sprintf("core: negative victim cache size %d", entries))
+	}
+	return &VictimCache{
+		l1:      l1,
+		vc:      newAssocBuf(entries),
+		fetch:   fetch,
+		timing:  timing.withDefaults(),
+		entries: entries,
+	}
+}
+
+// Access implements FrontEnd.
+func (v *VictimCache) Access(addr uint64, write bool) Result {
+	v.stats.Accesses++
+	if v.l1.Probe(addr, write) {
+		v.stats.L1Hits++
+		return Result{L1Hit: true}
+	}
+	v.stats.L1Misses++
+	la := v.l1.LineAddr(addr)
+
+	if present, dirty := v.vc.remove(la); present {
+		// Swap: the victim-cache line moves into L1; L1's displaced
+		// line moves into the victim cache (into the slot just freed).
+		v.stats.AuxHits++
+		v.stats.VictimHits++
+		v.swapIn(addr, write, dirty)
+		stall := v.timing.AuxPenalty
+		v.stats.StallCycles += uint64(stall)
+		return Result{AuxHit: true, Stall: stall}
+	}
+
+	// Full miss: fetch the line into L1 only; the L1 victim drops into
+	// the victim cache.
+	v.stats.Fetches++
+	if v.fetch != nil {
+		v.fetch(la, false)
+	}
+	v.swapIn(addr, write, false)
+	stall := v.timing.MissPenalty
+	v.stats.StallCycles += uint64(stall)
+	return Result{Stall: stall}
+}
+
+// swapIn installs addr's line in L1 (carrying wasDirty from a swapped
+// victim-cache line) and pushes L1's displaced victim into the victim
+// cache.
+func (v *VictimCache) swapIn(addr uint64, write, wasDirty bool) {
+	writeBack := v.l1.Config().WritePolicy == cache.WriteBack
+	dirty := wasDirty || (write && writeBack)
+	victim := v.l1.Fill(addr, dirty && writeBack)
+	if victim.Valid {
+		if v.vc.len() == 0 {
+			// Degenerate zero-entry victim cache: the L1 victim is
+			// written back (if dirty) and dropped.
+			if victim.Dirty {
+				v.stats.Writebacks++
+			}
+			return
+		}
+		// A dirty line displaced out of the victim cache is written back.
+		if ev, evicted := v.vc.insert(victim.LineAddr, victim.Dirty); evicted && ev.dirty {
+			v.stats.Writebacks++
+		}
+	}
+}
+
+// Stats implements FrontEnd.
+func (v *VictimCache) Stats() Stats { return v.stats }
+
+// Cache implements FrontEnd.
+func (v *VictimCache) Cache() *cache.Cache { return v.l1 }
+
+// Name implements FrontEnd.
+func (v *VictimCache) Name() string { return fmt.Sprintf("victim-cache-%d", v.entries) }
+
+// ContainsAux reports whether the victim cache currently holds addr's
+// line. Intended for tests and invariant checks.
+func (v *VictimCache) ContainsAux(addr uint64) bool {
+	return v.vc.contains(v.l1.LineAddr(addr))
+}
+
+// Exclusive verifies the victim-cache invariant for a line address: it
+// must not be in both L1 and the victim cache.
+func (v *VictimCache) Exclusive(addr uint64) bool {
+	return !(v.l1.Contains(addr) && v.vc.contains(v.l1.LineAddr(addr)))
+}
+
+var _ FrontEnd = (*VictimCache)(nil)
+
+// AuxResidentLines implements AuxResidents.
+func (v *VictimCache) AuxResidentLines() []uint64 { return v.vc.residents() }
+
+var _ AuxResidents = (*VictimCache)(nil)

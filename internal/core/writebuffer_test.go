@@ -1,0 +1,144 @@
+package core
+
+import (
+	"testing"
+)
+
+func TestWriteBufferValidation(t *testing.T) {
+	for _, fn := range []func(){
+		func() { NewWriteBuffer(0, 4) },
+		func() { NewWriteBuffer(4, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("no panic on invalid write buffer")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestWriteBufferCoalescing(t *testing.T) {
+	wb := NewWriteBuffer(4, 100)
+	if stall := wb.Store(0x10, 1); stall != 0 {
+		t.Errorf("first store stalled %d", stall)
+	}
+	for i := 0; i < 5; i++ {
+		if stall := wb.Store(0x10, uint64(2+i)); stall != 0 {
+			t.Errorf("coalesced store stalled %d", stall)
+		}
+	}
+	if wb.Coalesced != 5 {
+		t.Errorf("coalesced = %d, want 5", wb.Coalesced)
+	}
+	if wb.Pending(10) != 1 {
+		t.Errorf("pending = %d, want 1", wb.Pending(10))
+	}
+}
+
+func TestWriteBufferDrains(t *testing.T) {
+	wb := NewWriteBuffer(4, 10)
+	wb.Store(0x10, 0)
+	wb.Store(0x20, 1)
+	if got := wb.Pending(5); got != 2 {
+		t.Errorf("pending at t=5: %d, want 2", got)
+	}
+	if got := wb.Pending(10); got != 1 {
+		t.Errorf("pending at t=10: %d, want 1 (one drained)", got)
+	}
+	if got := wb.Pending(20); got != 0 {
+		t.Errorf("pending at t=20: %d, want 0", got)
+	}
+	if wb.Drained != 2 {
+		t.Errorf("drained = %d, want 2", wb.Drained)
+	}
+}
+
+func TestWriteBufferFullStalls(t *testing.T) {
+	wb := NewWriteBuffer(2, 10)
+	wb.Store(0x10, 0)
+	wb.Store(0x20, 0)
+	// Buffer full; the oldest entry drains at t=10, so a store at t=3
+	// stalls 7 cycles.
+	if stall := wb.Store(0x30, 3); stall != 7 {
+		t.Errorf("full-buffer stall = %d, want 7", stall)
+	}
+	if wb.FullStalls != 7 {
+		t.Errorf("FullStalls = %d, want 7", wb.FullStalls)
+	}
+}
+
+func TestWriteBufferIdleRestartsDrainClock(t *testing.T) {
+	wb := NewWriteBuffer(1, 10)
+	wb.Store(0x10, 0)
+	wb.Pending(100) // long idle: fully drained
+	// A store at t=100 must not drain instantly at t=101 just because
+	// the port was idle for ages.
+	wb.Store(0x20, 100)
+	if got := wb.Pending(105); got != 1 {
+		t.Errorf("pending shortly after enqueue = %d, want 1", got)
+	}
+	if got := wb.Pending(110); got != 0 {
+		t.Errorf("pending after full interval = %d, want 0", got)
+	}
+}
+
+func TestWriteBufferLoadForwarding(t *testing.T) {
+	wb := NewWriteBuffer(4, 100)
+	wb.Store(0x10, 0)
+	if !wb.CheckLoad(0x10, 1) {
+		t.Error("queued line not matched by load check")
+	}
+	if wb.CheckLoad(0x99, 1) {
+		t.Error("absent line matched")
+	}
+	if wb.Forwards != 1 {
+		t.Errorf("forwards = %d, want 1", wb.Forwards)
+	}
+}
+
+func TestWithWriteBufferFrontEnd(t *testing.T) {
+	// Slow drain (unpipelined L2): back-to-back store misses to distinct
+	// lines must accumulate buffer stalls; with a fast drain they do not.
+	run := func(interval int) Stats {
+		fe := NewWithWriteBuffer(
+			NewBaseline(newL1(4096), nil, Timing{MissPenalty: 1, AuxPenalty: 1}),
+			NewWriteBuffer(2, interval))
+		for i := 0; i < 200; i++ {
+			fe.Access(uint64(0x10000+i*16), true)
+		}
+		return fe.Stats()
+	}
+	slow, fast := run(50), run(1)
+	if slow.StallCycles <= fast.StallCycles {
+		t.Errorf("slow drain stalls %d not above fast drain %d",
+			slow.StallCycles, fast.StallCycles)
+	}
+	// The wrapper must preserve the inner front-end's counters.
+	if slow.Accesses != 200 || slow.L1Misses == 0 {
+		t.Errorf("inner stats lost: %+v", slow)
+	}
+}
+
+func TestWithWriteBufferNameAndAccessors(t *testing.T) {
+	fe := NewWithWriteBuffer(NewBaseline(newL1(64), nil, DefaultTiming()),
+		NewWriteBuffer(4, 4))
+	if fe.Name() != "baseline+wb4" {
+		t.Errorf("name = %q", fe.Name())
+	}
+	if fe.Cache() == nil || fe.Buffer() == nil {
+		t.Error("accessors nil")
+	}
+	// A load miss to a queued store line pays the forward cycle.
+	fe.Access(0x1000, true)
+	r := fe.Access(0x2000, false) // miss, different line: no forward
+	base := r.Stall
+	fe.Access(0x3000, true)
+	r = fe.Access(0x3008, false) // same line as the queued store… but L1 hit
+	if r.Stall != 0 {
+		t.Errorf("L1 hit stalled %d", r.Stall)
+	}
+	_ = base
+}

@@ -1,0 +1,266 @@
+package experiments
+
+import (
+	"fmt"
+
+	"jouppi/internal/cache"
+	"jouppi/internal/core"
+	"jouppi/internal/hierarchy"
+	"jouppi/internal/stats"
+	"jouppi/internal/textplot"
+	"jouppi/internal/workload"
+)
+
+// AblationQuasi compares the paper's simple head-only stream buffer with
+// the quasi-sequential extension (a tag comparator on every entry), which
+// the paper §4.1 identifies as the limitation of its model.
+func AblationQuasi() Experiment {
+	return Experiment{
+		ID:    "ablation-quasi",
+		Title: "Ablation: quasi-sequential vs head-only stream buffer",
+		Run: func(cfg Config) *Result {
+			cfg = cfg.withDefaults()
+			names := benchNames()
+
+			type row struct{ base, head, quasi uint64 }
+			out := make([]row, len(names))
+			parallelFor(len(names), func(i int) {
+				tr := cfg.Traces.Get(names[i])
+				bc := runBaselineClassified(tr, dSide, 4096, 16)
+				mk := func(quasi bool) core.Stats {
+					return runFront(tr, dSide, func() core.FrontEnd {
+						return core.NewStreamBuffer(cache.MustNew(l1Config(4096, 16)),
+							core.StreamConfig{Ways: 4, Depth: 4, Quasi: quasi},
+							nil, core.DefaultTiming())
+					})
+				}
+				out[i] = row{bc.misses, mk(false).FullMisses(), mk(true).FullMisses()}
+			})
+
+			headers := []string{"program", "head-only removed", "quasi removed", "gain (pp)"}
+			var rows [][]string
+			for i, name := range names {
+				r := out[i]
+				h := stats.PercentReduction(float64(r.base), float64(r.head))
+				q := stats.PercentReduction(float64(r.base), float64(r.quasi))
+				rows = append(rows, []string{name, fmtPct(h), fmtPct(q),
+					fmt.Sprintf("%+.1f", q-h)})
+			}
+			text := textplot.Table(headers, rows) +
+				"\n(4-way, 4-entry data stream buffers; % of baseline D misses removed)\n"
+			return &Result{ID: "ablation-quasi", Title: "Quasi-sequential stream buffer ablation",
+				Text: text, Headers: headers, Rows: rows}
+		},
+	}
+}
+
+// AblationStride evaluates the stride-detecting stream buffer (§5 future
+// work) across an access-pattern gallery: a sequential sweep (the paper's
+// home turf), the column-major matrix sweep (non-unit stride, where the
+// plain buffer is useless), and a random-order pointer chase (where no
+// prefetcher of this family can help — the technique's honest boundary).
+func AblationStride() Experiment {
+	return Experiment{
+		ID:    "ablation-stride",
+		Title: "Ablation: stream-buffer variants across access patterns",
+		Run: func(cfg Config) *Result {
+			cfg = cfg.withDefaults()
+
+			patterns := []struct {
+				label string
+				bench workload.Benchmark
+			}{
+				{"sequential (linpack)", workload.MustByName("linpack")},
+				{"non-unit stride (strided)", workload.Strided()},
+				{"pointer chase (ptrchase)", workload.PointerChase()},
+			}
+
+			headers := []string{"pattern", "baseline D misses",
+				"sequential 4-way", "stride-detecting 4-way"}
+			var rows [][]string
+			for _, p := range patterns {
+				tr := workload.GenerateTrace(p.bench, cfg.Scale)
+				bc := runBaselineClassified(tr, dSide, 4096, 16)
+				run := func(detect bool) float64 {
+					st := runFront(tr, dSide, func() core.FrontEnd {
+						return core.NewStreamBuffer(cache.MustNew(l1Config(4096, 16)),
+							core.StreamConfig{Ways: 4, Depth: 4, DetectStride: detect},
+							nil, core.DefaultTiming())
+					})
+					return stats.PercentReduction(float64(bc.misses), float64(st.FullMisses()))
+				}
+				rows = append(rows, []string{p.label, fmt.Sprint(bc.misses),
+					fmtPct(run(false)), fmtPct(run(true))})
+			}
+			text := textplot.Table(headers, rows) +
+				"\n(% of baseline D misses removed. Sequential streams are the paper's\n" +
+				" case; the two-delta stride detector adds the column-major sweep; the\n" +
+				" random pointer chase defeats both — prefetching by address arithmetic\n" +
+				" cannot follow data-dependent pointers.)\n"
+			return &Result{ID: "ablation-stride", Title: "Stream-buffer variants vs access patterns",
+				Text: text, Headers: headers, Rows: rows}
+		},
+	}
+}
+
+// AblationL2Victim evaluates a victim cache behind the second-level cache
+// (§3.5, "work ... is underway"). With the paper's 1MB L2 the benchmarks
+// barely miss at all, so a smaller L2 is also shown to expose the
+// conflict behaviour the paper anticipates for long traces.
+func AblationL2Victim() Experiment {
+	return Experiment{
+		ID:    "ablation-l2victim",
+		Title: "Ablation: victim cache behind the second-level cache",
+		Run: func(cfg Config) *Result {
+			cfg = cfg.withDefaults()
+			names := benchNames()
+
+			run := func(name string, l2Size, entries int) hierarchy.Results {
+				sysCfg := hierarchy.Config{
+					L2:              cache.Config{Name: "L2", Size: l2Size, LineSize: 128, Assoc: 1},
+					L2VictimEntries: entries,
+				}
+				return runSystem(cfg, name, sysCfg)
+			}
+
+			headers := []string{"program", "L2 size", "L2 misses (base)", "L2 misses (+8-entry VC)", "reduction"}
+			var rows [][]string
+			sizes := []int{1 << 20, 64 << 10}
+			// results indexed [bench][size][0=base,1=victim].
+			results := make([][][2]hierarchy.Results, len(names))
+			for i := range results {
+				results[i] = make([][2]hierarchy.Results, len(sizes))
+			}
+			parallelFor(len(names)*len(sizes)*2, func(k int) {
+				b := k / (len(sizes) * 2)
+				s := (k / 2) % len(sizes)
+				v := k % 2
+				entries := 0
+				if v == 1 {
+					entries = 8
+				}
+				results[b][s][v] = run(names[b], sizes[s], entries)
+			})
+			for b, name := range names {
+				for s, size := range sizes {
+					base := results[b][s][0]
+					vc := results[b][s][1]
+					bm := base.L2I.DemandMisses + base.L2D.DemandMisses
+					vm := vc.L2I.DemandMisses + vc.L2D.DemandMisses
+					label := fmt.Sprintf("%dKB", size/1024)
+					rows = append(rows, []string{name, label,
+						fmt.Sprint(bm), fmt.Sprint(vm),
+						fmtPct(stats.PercentReduction(float64(bm), float64(vm)))})
+				}
+			}
+			text := textplot.Table(headers, rows) +
+				"\n(128B L2 lines; demand misses only. The 1MB L2 rows show the paper's regime —\n" +
+				" too few misses for victim caching to matter on short traces; the 64KB rows\n" +
+				" expose the L2 conflict behaviour the technique targets.)\n"
+			return &Result{ID: "ablation-l2victim", Title: "L2 victim cache ablation",
+				Text: text, Headers: headers, Rows: rows}
+		},
+	}
+}
+
+// AblationMissCmp verifies §3.2's claim that victim caching is always an
+// improvement over miss caching, per benchmark and entry count.
+func AblationMissCmp() Experiment {
+	return Experiment{
+		ID:    "ablation-misscmp",
+		Title: "Ablation: victim caching vs miss caching (D-cache)",
+		Run: func(cfg Config) *Result {
+			cfg = cfg.withDefaults()
+			names := benchNames()
+			entries := []int{1, 2, 4, 15}
+
+			type cell struct{ mc, vc uint64 }
+			grid := make([][]cell, len(names))
+			base := make([]uint64, len(names))
+			for i := range grid {
+				grid[i] = make([]cell, len(entries))
+			}
+			parallelFor(len(names), func(i int) {
+				tr := cfg.Traces.Get(names[i])
+				bc := runBaselineClassified(tr, dSide, 4096, 16)
+				base[i] = bc.misses
+				for ei, e := range entries {
+					mc := runFront(tr, dSide, func() core.FrontEnd {
+						return core.NewMissCache(cache.MustNew(l1Config(4096, 16)), e, nil, core.DefaultTiming())
+					})
+					vc := runFront(tr, dSide, func() core.FrontEnd {
+						return core.NewVictimCache(cache.MustNew(l1Config(4096, 16)), e, nil, core.DefaultTiming())
+					})
+					grid[i][ei] = cell{mc.FullMisses(), vc.FullMisses()}
+				}
+			})
+
+			headers := []string{"program"}
+			for _, e := range entries {
+				headers = append(headers, fmt.Sprintf("mc%d", e), fmt.Sprintf("vc%d", e))
+			}
+			var rows [][]string
+			violations := 0
+			for i, name := range names {
+				row := []string{name}
+				for ei := range entries {
+					c := grid[i][ei]
+					mcPct := stats.PercentReduction(float64(base[i]), float64(c.mc))
+					vcPct := stats.PercentReduction(float64(base[i]), float64(c.vc))
+					if c.vc > c.mc {
+						violations++
+					}
+					row = append(row, fmtPct(mcPct), fmtPct(vcPct))
+				}
+				rows = append(rows, row)
+			}
+			text := textplot.Table(headers, rows) +
+				fmt.Sprintf("\n(%% of baseline D misses removed; victim-worse-than-miss violations: %d — the paper predicts 0)\n",
+					violations)
+			return &Result{ID: "ablation-misscmp", Title: "Victim vs miss cache comparison",
+				Text: text, Headers: headers, Rows: rows}
+		},
+	}
+}
+
+// AblationReplacement compares LRU, FIFO, and Random replacement in the
+// small fully-associative structures' underlying cache model at 4-way
+// associativity — a design-space check the paper takes as given (its
+// structures are all LRU).
+func AblationReplacement() Experiment {
+	return Experiment{
+		ID:    "ablation-replacement",
+		Title: "Ablation: replacement policy in a 4-way set-associative L1D",
+		Run: func(cfg Config) *Result {
+			cfg = cfg.withDefaults()
+			names := benchNames()
+			policies := []cache.Replacement{cache.LRU, cache.FIFO, cache.Random}
+
+			miss := make([][]float64, len(names))
+			for i := range miss {
+				miss[i] = make([]float64, len(policies))
+			}
+			parallelFor(len(names)*len(policies), func(k int) {
+				b, p := k/len(policies), k%len(policies)
+				l1 := cache.MustNew(cache.Config{Size: 4096, LineSize: 16, Assoc: 4,
+					Replacement: policies[p], RandomSeed: 12345})
+				tr := cfg.Traces.Get(names[b])
+				st := runFront(tr, dSide, func() core.FrontEnd {
+					return core.NewBaseline(l1, nil, core.DefaultTiming())
+				})
+				miss[b][p] = st.MissRate()
+			})
+
+			headers := []string{"program", "LRU", "FIFO", "Random"}
+			var rows [][]string
+			for i, name := range names {
+				rows = append(rows, []string{name,
+					fmtRate(miss[i][0]), fmtRate(miss[i][1]), fmtRate(miss[i][2])})
+			}
+			text := textplot.Table(headers, rows) +
+				"\n(4KB 4-way data cache miss rates under each replacement policy)\n"
+			return &Result{ID: "ablation-replacement", Title: "Replacement policy ablation",
+				Text: text, Headers: headers, Rows: rows}
+		},
+	}
+}

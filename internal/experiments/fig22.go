@@ -1,0 +1,67 @@
+package experiments
+
+import (
+	"fmt"
+
+	"jouppi/internal/hierarchy"
+	"jouppi/internal/perfmodel"
+	"jouppi/internal/textplot"
+)
+
+// runSystem replays a benchmark through a full two-level system and
+// returns the results.
+func runSystem(cfg Config, name string, sysCfg hierarchy.Config) hierarchy.Results {
+	tr := cfg.Traces.Get(name)
+	sys := hierarchy.MustNew(sysCfg)
+	sys.Run(tr)
+	return sys.Results(tr.Instructions())
+}
+
+// bandsRows renders per-benchmark performance bands as stacked bars.
+func bandsRows(bands []perfmodel.Bands) [][]textplot.Segment {
+	rows := make([][]textplot.Segment, len(bands))
+	for i, b := range bands {
+		rows[i] = []textplot.Segment{
+			{Name: "net", Glyph: '=', Value: b.Net},
+			{Name: "aux", Glyph: '+', Value: b.Aux},
+			{Name: "L1I", Glyph: 'i', Value: b.L1I},
+			{Name: "L1D", Glyph: 'd', Value: b.L1D},
+			{Name: "L2", Glyph: '2', Value: b.L2},
+		}
+	}
+	return rows
+}
+
+// Fig22 reproduces Figure 2-2: baseline design performance — the share of
+// potential performance achieved by each benchmark and where the rest is
+// lost (L1 instruction misses, L1 data misses, L2 misses).
+func Fig22() Experiment {
+	return Experiment{
+		ID:    "fig2-2",
+		Title: "Figure 2-2: Baseline design performance",
+		Run: func(cfg Config) *Result {
+			cfg = cfg.withDefaults()
+			names := benchNames()
+			bands := make([]perfmodel.Bands, len(names))
+			parallelFor(len(names), func(i int) {
+				r := runSystem(cfg, names[i], hierarchy.Config{})
+				bands[i] = r.Breakdown.LossBands()
+			})
+
+			headers := []string{"program", "net perf %", "lost L1I %", "lost L1D %", "lost L2 %"}
+			var rows [][]string
+			for i, name := range names {
+				b := bands[i]
+				rows = append(rows, []string{name, fmtPct(b.Net), fmtPct(b.L1I),
+					fmtPct(b.L1D), fmtPct(b.L2)})
+			}
+			text := textplot.StackedBars(
+				"Percent of potential performance (= useful) and losses per benchmark",
+				names, bandsRows(bands), 60) +
+				"\n" + textplot.Table(headers, rows) +
+				fmt.Sprintf("\n(baseline: 4KB split I/D, 16B lines, penalties 24/320 instruction times)\n")
+			return &Result{ID: "fig2-2", Title: "Figure 2-2: Baseline design performance",
+				Text: text, Headers: headers, Rows: rows}
+		},
+	}
+}

@@ -1,0 +1,52 @@
+package experiments
+
+import (
+	"jouppi/internal/stats"
+	"jouppi/internal/textplot"
+)
+
+// Fig31 reproduces Figure 3-1: the percentage of misses due to mapping
+// conflicts for 4KB instruction and data caches with 16B lines.
+func Fig31() Experiment {
+	return Experiment{
+		ID:    "fig3-1",
+		Title: "Figure 3-1: Conflict misses, 4KB I and D caches, 16B lines",
+		Run: func(cfg Config) *Result {
+			cfg = cfg.withDefaults()
+			names := benchNames()
+			type pcts struct{ i, d float64 }
+			out := make([]pcts, len(names))
+			parallelFor(len(names)*2, func(k int) {
+				idx, s := k/2, side(k%2)
+				bc := runBaselineClassified(cfg.Traces.Get(names[idx]), s, 4096, 16)
+				p := stats.Percent(float64(bc.classes.Conflict), float64(bc.misses))
+				if s == iSide {
+					out[idx].i = p
+				} else {
+					out[idx].d = p
+				}
+			})
+
+			headers := []string{"program", "I conflict %", "D conflict %"}
+			var rows [][]string
+			var iVals, dVals []float64
+			for i, name := range names {
+				rows = append(rows, []string{name, fmtPct(out[i].i), fmtPct(out[i].d)})
+				iVals = append(iVals, out[i].i)
+				dVals = append(dVals, out[i].d)
+			}
+			rows = append(rows, []string{"average", fmtPct(stats.Mean(iVals)), fmtPct(stats.Mean(dVals))})
+
+			labels := make([]string, 0, len(names)*2)
+			vals := make([]float64, 0, len(names)*2)
+			for i, name := range names {
+				labels = append(labels, name+" (I)", name+" (D)")
+				vals = append(vals, out[i].i, out[i].d)
+			}
+			text := textplot.Bars("Percent of misses due to conflicts", "%", labels, vals, 50) +
+				"\n" + textplot.Table(headers, rows)
+			return &Result{ID: "fig3-1", Title: "Figure 3-1: Conflict misses, 4KB I and D, 16B lines",
+				Text: text, Headers: headers, Rows: rows}
+		},
+	}
+}

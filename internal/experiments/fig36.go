@@ -1,0 +1,121 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"jouppi/internal/cache"
+	"jouppi/internal/core"
+	"jouppi/internal/stats"
+	"jouppi/internal/textplot"
+)
+
+// victimVsParamSweep implements the shared shape of Figures 3-6 and 3-7:
+// the percentage of data-cache conflict misses removed by victim caches of
+// 1, 2, 4, and 15 entries, swept over a cache parameter (size or line
+// size), plus the percentage of misses that are conflicts at each point.
+func victimVsParamSweep(cfg Config, id, title, xLabel string,
+	params []int, mkGeom func(p int) (size, line int)) *Result {
+	cfg = cfg.withDefaults()
+	names := benchNames()
+	entries := []int{1, 2, 4, 15}
+
+	type point struct {
+		removed  [4]float64 // average % conflict misses removed per entry count
+		conflict float64    // average % of misses that are conflicts
+	}
+	points := make([]point, len(params))
+
+	parallelFor(len(params), func(pi int) {
+		size, line := mkGeom(params[pi])
+		baseArr := make([]baseCounts, len(names))
+		for b := range names {
+			baseArr[b] = runBaselineClassified(cfg.Traces.Get(names[b]), dSide, size, line)
+		}
+		include := make([]bool, len(names))
+		var conflictPcts []float64
+		for b := range names {
+			include[b] = baseArr[b].classes.Conflict >= minConflictsForAverage
+			conflictPcts = append(conflictPcts,
+				stats.Percent(float64(baseArr[b].classes.Conflict), float64(baseArr[b].misses)))
+		}
+		points[pi].conflict = stats.Mean(conflictPcts)
+		for ei, e := range entries {
+			vals := make([]float64, len(names))
+			for b := range names {
+				st := runFront(cfg.Traces.Get(names[b]), dSide, func() core.FrontEnd {
+					return core.NewVictimCache(cache.MustNew(l1Config(size, line)), e,
+						nil, core.DefaultTiming())
+				})
+				removedMisses := float64(baseArr[b].misses) - float64(st.FullMisses())
+				vals[b] = min(100, stats.Percent(removedMisses, float64(baseArr[b].classes.Conflict)))
+			}
+			points[pi].removed[ei] = meanOver(vals, include)
+		}
+	})
+
+	xs := make([]float64, len(params))
+	for i, p := range params {
+		xs[i] = math.Log2(float64(p))
+	}
+	var series []textplot.Series
+	for ei, e := range entries {
+		ys := make([]float64, len(params))
+		for pi := range params {
+			ys[pi] = points[pi].removed[ei]
+		}
+		series = append(series, textplot.Series{
+			Name: fmt.Sprintf("%d-entry victim cache", e), X: xs, Y: ys})
+	}
+	confYs := make([]float64, len(params))
+	for pi := range params {
+		confYs[pi] = points[pi].conflict
+	}
+	series = append(series, textplot.Series{Name: "% conflict misses", X: xs, Y: confYs})
+
+	headers := []string{xLabel, "1-entry", "2-entry", "4-entry", "15-entry", "% conflicts"}
+	var rows [][]string
+	for pi, p := range params {
+		rows = append(rows, []string{
+			fmt.Sprint(p),
+			fmtPct(points[pi].removed[0]), fmtPct(points[pi].removed[1]),
+			fmtPct(points[pi].removed[2]), fmtPct(points[pi].removed[3]),
+			fmtPct(points[pi].conflict),
+		})
+	}
+	text := textplot.Lines(title, "log2("+xLabel+")", "% D conflict misses removed",
+		series, 60, 14) + "\n" + textplot.Table(headers, rows)
+	return &Result{ID: id, Title: title, Text: text, Series: series, Headers: headers, Rows: rows}
+}
+
+// Fig36 reproduces Figure 3-6: victim cache performance as the
+// direct-mapped data cache size varies from 1KB to 128KB (16B lines).
+func Fig36() Experiment {
+	return Experiment{
+		ID:    "fig3-6",
+		Title: "Figure 3-6: Victim cache performance vs direct-mapped cache size",
+		Run: func(cfg Config) *Result {
+			return victimVsParamSweep(cfg, "fig3-6",
+				"Figure 3-6: Victim cache performance vs data cache size (16B lines)",
+				"cache size (KB)",
+				[]int{1, 2, 4, 8, 16, 32, 64, 128},
+				func(kb int) (int, int) { return kb * 1024, 16 })
+		},
+	}
+}
+
+// Fig37 reproduces Figure 3-7: victim cache performance as the data cache
+// line size varies from 8B to 256B (4KB cache).
+func Fig37() Experiment {
+	return Experiment{
+		ID:    "fig3-7",
+		Title: "Figure 3-7: Victim cache performance vs data cache line size",
+		Run: func(cfg Config) *Result {
+			return victimVsParamSweep(cfg, "fig3-7",
+				"Figure 3-7: Victim cache performance vs line size (4KB cache)",
+				"line size (B)",
+				[]int{8, 16, 32, 64, 128, 256},
+				func(line int) (int, int) { return 4096, line })
+		},
+	}
+}

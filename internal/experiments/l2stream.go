@@ -1,0 +1,76 @@
+package experiments
+
+import (
+	"fmt"
+
+	"jouppi/internal/cache"
+	"jouppi/internal/core"
+	"jouppi/internal/hierarchy"
+	"jouppi/internal/stats"
+	"jouppi/internal/textplot"
+)
+
+// AblationL2Stream applies stream buffers behind the second-level cache —
+// the other half of §5's "application of these techniques to second-level
+// caches" future work. A 64KB L2 is used alongside the paper's 1MB so the
+// scaled traces produce enough L2 misses for the effect to register.
+func AblationL2Stream() Experiment {
+	return Experiment{
+		ID:    "ablation-l2stream",
+		Title: "Ablation: stream buffers behind the second-level cache",
+		Run: func(cfg Config) *Result {
+			cfg = cfg.withDefaults()
+			names := benchNames()
+			sizes := []int{1 << 20, 64 << 10}
+
+			run := func(name string, l2Size int, buffers bool) hierarchy.Results {
+				sysCfg := hierarchy.Config{
+					L2: cache.Config{Name: "L2", Size: l2Size, LineSize: 128, Assoc: 1},
+				}
+				if buffers {
+					sysCfg.L2Augment = hierarchy.Augment{
+						Kind:   hierarchy.StreamBuffers,
+						Stream: core.StreamConfig{Ways: 4, Depth: 4},
+					}
+				}
+				return runSystem(cfg, name, sysCfg)
+			}
+
+			// results[bench][size][0=base,1=buffers]
+			results := make([][][2]hierarchy.Results, len(names))
+			for i := range results {
+				results[i] = make([][2]hierarchy.Results, len(sizes))
+			}
+			parallelFor(len(names)*len(sizes)*2, func(k int) {
+				b := k / (len(sizes) * 2)
+				si := (k / 2) % len(sizes)
+				v := k % 2
+				results[b][si][v] = run(names[b], sizes[si], v == 1)
+			})
+
+			headers := []string{"program", "L2 size", "L2 misses (base)",
+				"L2 misses (+4-way buffers)", "reduction", "mem prefetches"}
+			var rows [][]string
+			for b, name := range names {
+				for si, size := range sizes {
+					base := results[b][si][0]
+					sb := results[b][si][1]
+					bm := base.L2I.DemandMisses + base.L2D.DemandMisses
+					sm := sb.L2I.DemandMisses + sb.L2D.DemandMisses
+					rows = append(rows, []string{name,
+						fmt.Sprintf("%dKB", size/1024),
+						fmt.Sprint(bm), fmt.Sprint(sm),
+						fmtPct(stats.PercentReduction(float64(bm), float64(sm))),
+						fmt.Sprint(sb.Mem.PrefetchFetches)})
+				}
+			}
+			text := textplot.Table(headers, rows) +
+				"\n(4-way, 4-entry stream buffers between L2 and memory, prefetching 128B\n" +
+				" lines. L1 miss streams that reach the L2 are line-sequential for the\n" +
+				" streaming benchmarks, so second-level buffers remove a large share of\n" +
+				" the remaining misses — §5's second-level future work.)\n"
+			return &Result{ID: "ablation-l2stream", Title: "L2 stream buffer ablation",
+				Text: text, Headers: headers, Rows: rows}
+		},
+	}
+}

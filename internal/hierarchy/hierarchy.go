@@ -1,0 +1,386 @@
+// Package hierarchy composes the full baseline memory system of the
+// paper's §2 — split 4KB direct-mapped first-level instruction and data
+// caches with 16B lines, a pipelined 1MB direct-mapped second-level cache
+// with 128B lines, and main memory — together with the augmentations of
+// §3–5 attached to either first-level cache and, as an extension, a victim
+// cache behind the second level.
+//
+// The hierarchy routes a memory-reference trace to the right first-level
+// front-end, forwards first-level fetch traffic (demand and prefetch) into
+// the second-level cache, and gathers the counts the performance model
+// needs.
+package hierarchy
+
+import (
+	"fmt"
+
+	"jouppi/internal/cache"
+	"jouppi/internal/core"
+	"jouppi/internal/memtrace"
+	"jouppi/internal/perfmodel"
+)
+
+// AugmentKind selects the augmentation attached to a first-level cache.
+type AugmentKind uint8
+
+// The available first-level augmentations.
+const (
+	None AugmentKind = iota
+	MissCache
+	VictimCache
+	StreamBuffers
+	VictimAndStream
+)
+
+// String returns the augmentation name.
+func (k AugmentKind) String() string {
+	switch k {
+	case None:
+		return "none"
+	case MissCache:
+		return "miss-cache"
+	case VictimCache:
+		return "victim-cache"
+	case StreamBuffers:
+		return "stream-buffers"
+	case VictimAndStream:
+		return "victim+stream"
+	default:
+		return fmt.Sprintf("AugmentKind(%d)", uint8(k))
+	}
+}
+
+// Augment configures one first-level cache's helper hardware.
+type Augment struct {
+	Kind AugmentKind
+	// Entries sizes the miss or victim cache (ignored otherwise).
+	Entries int
+	// Stream configures the stream buffers (ignored unless Kind includes
+	// stream buffers).
+	Stream core.StreamConfig
+}
+
+// Config describes a complete two-level system. Zero-valued cache configs
+// default to the paper's baseline geometry.
+type Config struct {
+	L1I cache.Config
+	L1D cache.Config
+	L2  cache.Config
+
+	// IAugment / DAugment attach helper hardware to the first-level
+	// caches.
+	IAugment Augment
+	DAugment Augment
+
+	// L2Augment attaches helper hardware to the second-level cache —
+	// the §3.5/§5 "apply these techniques to second-level caches" future
+	// work. Its stream buffers prefetch from main memory.
+	L2Augment Augment
+
+	// L2VictimEntries is shorthand for L2Augment{Kind: VictimCache,
+	// Entries: n}; ignored when L2Augment is set.
+	L2VictimEntries int
+
+	// Timing carries the first-level penalties; Perf the system-level
+	// penalties. Zero values take the paper's baseline.
+	Timing core.Timing
+	Perf   perfmodel.Params
+}
+
+// DefaultConfig returns the paper's baseline system: 4KB split I/D caches
+// with 16B lines, 1MB L2 with 128B lines, penalties 24 and 320.
+func DefaultConfig() Config {
+	return Config{
+		L1I:    cache.Config{Name: "L1I", Size: 4096, LineSize: 16, Assoc: 1},
+		L1D:    cache.Config{Name: "L1D", Size: 4096, LineSize: 16, Assoc: 1},
+		L2:     cache.Config{Name: "L2", Size: 1 << 20, LineSize: 128, Assoc: 1},
+		Timing: core.DefaultTiming(),
+		Perf:   perfmodel.DefaultParams(),
+	}
+}
+
+func (c Config) withDefaults() Config {
+	d := DefaultConfig()
+	if c.L1I.Size == 0 {
+		c.L1I = d.L1I
+	}
+	if c.L1D.Size == 0 {
+		c.L1D = d.L1D
+	}
+	if c.L2.Size == 0 {
+		c.L2 = d.L2
+	}
+	if c.Timing == (core.Timing{}) {
+		c.Timing = d.Timing
+	}
+	if c.Perf == (perfmodel.Params{}) {
+		c.Perf = d.Perf
+	}
+	return c
+}
+
+// L2Stats separates second-level traffic by source and type.
+type L2Stats struct {
+	DemandAccesses   uint64
+	DemandMisses     uint64
+	PrefetchAccesses uint64
+	PrefetchMisses   uint64
+	// VictimHits counts L2 victim-cache hits (extension).
+	VictimHits uint64
+	// StreamHits counts L2 stream-buffer hits (extension).
+	StreamHits uint64
+}
+
+// MemStats counts main-memory traffic (fetches below the L2).
+type MemStats struct {
+	// DemandFetches are memory lines fetched because an L2 demand access
+	// missed everywhere; PrefetchFetches are issued by L2 stream buffers.
+	DemandFetches   uint64
+	PrefetchFetches uint64
+}
+
+// System is a runnable two-level memory hierarchy.
+type System struct {
+	cfg Config
+
+	ife core.FrontEnd
+	dfe core.FrontEnd
+
+	l2   *cache.Cache
+	l2fe core.FrontEnd // wraps l2, possibly with a victim cache
+
+	l2i L2Stats // L2 traffic caused by the instruction side
+	l2d L2Stats // L2 traffic caused by the data side
+	mem MemStats
+
+	l1iShift uint
+	l1dShift uint
+}
+
+// New builds a system from cfg.
+func New(cfg Config) (*System, error) {
+	cfg = cfg.withDefaults()
+	for _, cc := range []cache.Config{cfg.L1I, cfg.L1D, cfg.L2} {
+		if err := cc.Validate(); err != nil {
+			return nil, err
+		}
+	}
+
+	s := &System{cfg: cfg}
+
+	l2, err := cache.New(cfg.L2)
+	if err != nil {
+		return nil, err
+	}
+	s.l2 = l2
+	// The L2 front-end's timing is irrelevant to the system performance
+	// model (which works from counts), so baseline timing is fine. Its
+	// fetch callback is main-memory traffic.
+	l2aug := cfg.L2Augment
+	if l2aug.Kind == None && cfg.L2VictimEntries > 0 {
+		l2aug = Augment{Kind: VictimCache, Entries: cfg.L2VictimEntries}
+	}
+	memFetch := func(lineAddr uint64, prefetch bool) {
+		if prefetch {
+			s.mem.PrefetchFetches++
+		} else {
+			s.mem.DemandFetches++
+		}
+	}
+	s.l2fe, err = buildFrontEnd(l2, l2aug, memFetch, cfg.Timing)
+	if err != nil {
+		return nil, err
+	}
+
+	l1i, err := cache.New(cfg.L1I)
+	if err != nil {
+		return nil, err
+	}
+	l1d, err := cache.New(cfg.L1D)
+	if err != nil {
+		return nil, err
+	}
+	s.l1iShift = shiftFor(cfg.L1I.LineSize)
+	s.l1dShift = shiftFor(cfg.L1D.LineSize)
+
+	s.ife, err = buildFrontEnd(l1i, cfg.IAugment, s.fetcher(&s.l2i, s.l1iShift), cfg.Timing)
+	if err != nil {
+		return nil, err
+	}
+	s.dfe, err = buildFrontEnd(l1d, cfg.DAugment, s.fetcher(&s.l2d, s.l1dShift), cfg.Timing)
+	if err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// MustNew is New but panics on configuration errors.
+func MustNew(cfg Config) *System {
+	s, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+func shiftFor(lineSize int) uint {
+	shift := uint(0)
+	for ls := lineSize; ls > 1; ls >>= 1 {
+		shift++
+	}
+	return shift
+}
+
+func buildFrontEnd(l1 *cache.Cache, aug Augment, fetch core.Fetcher, timing core.Timing) (core.FrontEnd, error) {
+	switch aug.Kind {
+	case None:
+		return core.NewBaseline(l1, fetch, timing), nil
+	case MissCache:
+		return core.NewMissCache(l1, aug.Entries, fetch, timing), nil
+	case VictimCache:
+		return core.NewVictimCache(l1, aug.Entries, fetch, timing), nil
+	case StreamBuffers:
+		if err := aug.Stream.Validate(); err != nil {
+			return nil, err
+		}
+		return core.NewStreamBuffer(l1, aug.Stream, fetch, timing), nil
+	case VictimAndStream:
+		if err := aug.Stream.Validate(); err != nil {
+			return nil, err
+		}
+		return core.NewCombined(l1, aug.Entries, aug.Stream, fetch, timing), nil
+	default:
+		return nil, fmt.Errorf("hierarchy: unknown augmentation kind %d", aug.Kind)
+	}
+}
+
+// fetcher routes a first-level fetch into the second level, attributing
+// traffic to stats.
+func (s *System) fetcher(stats *L2Stats, l1Shift uint) core.Fetcher {
+	return func(lineAddr uint64, prefetch bool) {
+		addr := lineAddr << l1Shift
+		vcBefore := s.l2VictimHits()
+		sbBefore := s.l2StreamHits()
+		r := s.l2fe.Access(addr, false)
+		if prefetch {
+			stats.PrefetchAccesses++
+			if r.FullMiss() {
+				stats.PrefetchMisses++
+			}
+		} else {
+			stats.DemandAccesses++
+			if r.FullMiss() {
+				stats.DemandMisses++
+			}
+		}
+		stats.VictimHits += s.l2VictimHits() - vcBefore
+		stats.StreamHits += s.l2StreamHits() - sbBefore
+	}
+}
+
+func (s *System) l2VictimHits() uint64 { return s.l2fe.Stats().VictimHits }
+
+func (s *System) l2StreamHits() uint64 { return s.l2fe.Stats().StreamHits }
+
+// Access routes one trace reference.
+func (s *System) Access(a memtrace.Access) {
+	switch a.Kind {
+	case memtrace.Ifetch:
+		s.ife.Access(uint64(a.Addr), false)
+	case memtrace.Load:
+		s.dfe.Access(uint64(a.Addr), false)
+	case memtrace.Store:
+		s.dfe.Access(uint64(a.Addr), true)
+	}
+}
+
+// Run replays an entire trace.
+func (s *System) Run(t *memtrace.Trace) { t.Each(s.Access) }
+
+// Results collects the run's counters and performance breakdown.
+type Results struct {
+	Instructions uint64
+	I, D         core.Stats
+	L2I, L2D     L2Stats
+	Mem          MemStats
+	Breakdown    perfmodel.Breakdown
+}
+
+// IMissRate returns the effective instruction miss rate.
+func (r Results) IMissRate() float64 { return r.I.MissRate() }
+
+// DMissRate returns the effective data miss rate.
+func (r Results) DMissRate() float64 { return r.D.MissRate() }
+
+// Results gathers counters after a run. instructions is the dynamic
+// instruction count of the trace (its ifetch count).
+func (s *System) Results(instructions uint64) Results {
+	i, d := s.ife.Stats(), s.dfe.Stats()
+	in := perfmodel.Inputs{
+		Instructions:    instructions,
+		L1IFullMisses:   i.FullMisses(),
+		L1DFullMisses:   d.FullMisses(),
+		IAuxHits:        i.AuxHits,
+		DAuxHits:        d.AuxHits,
+		L2IDemandMisses: s.l2i.DemandMisses,
+		L2DDemandMisses: s.l2d.DemandMisses,
+	}
+	return Results{
+		Instructions: instructions,
+		I:            i,
+		D:            d,
+		L2I:          s.l2i,
+		L2D:          s.l2d,
+		Mem:          s.mem,
+		Breakdown:    perfmodel.Compute(in, s.cfg.Perf),
+	}
+}
+
+// IFrontEnd returns the instruction-side front-end (for inspection).
+func (s *System) IFrontEnd() core.FrontEnd { return s.ife }
+
+// DFrontEnd returns the data-side front-end (for inspection).
+func (s *System) DFrontEnd() core.FrontEnd { return s.dfe }
+
+// L2Cache returns the second-level cache array.
+func (s *System) L2Cache() *cache.Cache { return s.l2 }
+
+// Config returns the (defaulted) configuration the system was built with.
+func (s *System) Config() Config { return s.cfg }
+
+// InclusionReport quantifies the multilevel inclusion property (Baer &
+// Wang): how many lines resident in a first-level structure are absent
+// from the second-level cache. The paper's §3.5 observes that victim
+// caches violate inclusion (they deliberately retain lines the hierarchy
+// has pushed out), as do mismatched line sizes.
+type InclusionReport struct {
+	// ILines / DLines are the resident line counts of the first-level
+	// caches (plus their miss/victim caches).
+	ILines int
+	DLines int
+	// IViolations / DViolations count those lines that are not present
+	// in the second-level cache.
+	IViolations int
+	DViolations int
+}
+
+// Inclusion scans current cache contents and reports violations.
+func (s *System) Inclusion() InclusionReport {
+	var r InclusionReport
+	count := func(fe core.FrontEnd, shift uint) (lines, violations int) {
+		resident := fe.Cache().ResidentLines()
+		if aux, ok := fe.(core.AuxResidents); ok {
+			resident = append(resident, aux.AuxResidentLines()...)
+		}
+		for _, la := range resident {
+			lines++
+			if !s.l2.Contains(la << shift) {
+				violations++
+			}
+		}
+		return lines, violations
+	}
+	r.ILines, r.IViolations = count(s.ife, s.l1iShift)
+	r.DLines, r.DViolations = count(s.dfe, s.l1dShift)
+	return r
+}

@@ -1,0 +1,140 @@
+package memtrace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Dinero "din" text trace format interoperability. The classic dineroIII
+// input format is one reference per line:
+//
+//	<label> <hex-address>
+//
+// where label 0 is a data read, 1 a data write, and 2 an instruction
+// fetch. Everything after the address on a line is ignored, as dinero
+// does. This lets traces move between this simulator and the many tools
+// that speak din.
+
+const (
+	dinRead   = 0
+	dinWrite  = 1
+	dinIfetch = 2
+)
+
+func dinLabel(k Kind) int {
+	switch k {
+	case Load:
+		return dinRead
+	case Store:
+		return dinWrite
+	default:
+		return dinIfetch
+	}
+}
+
+// WriteDinero writes the trace to w in din format. It returns the number
+// of records written.
+func (t *Trace) WriteDinero(w io.Writer) (int, error) {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	n := 0
+	var err error
+	t.Each(func(a Access) {
+		if err != nil {
+			return
+		}
+		if _, werr := fmt.Fprintf(bw, "%d %x\n", dinLabel(a.Kind), uint64(a.Addr)); werr != nil {
+			err = werr
+			return
+		}
+		n++
+	})
+	if err != nil {
+		return n, err
+	}
+	return n, bw.Flush()
+}
+
+// ReadDinero reads a din-format trace from r. Blank lines are skipped;
+// trailing fields after the address are ignored; malformed lines are
+// reported with their line number.
+func ReadDinero(r io.Reader) (*Trace, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<20)
+	t := NewTrace(1 << 12)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("memtrace: din line %d: want \"<label> <addr>\", got %q", lineNo, line)
+		}
+		label, err := strconv.Atoi(fields[0])
+		if err != nil {
+			return nil, fmt.Errorf("memtrace: din line %d: bad label %q", lineNo, fields[0])
+		}
+		addr, err := strconv.ParseUint(fields[1], 16, 64)
+		if err != nil {
+			return nil, fmt.Errorf("memtrace: din line %d: bad address %q", lineNo, fields[1])
+		}
+		var kind Kind
+		switch label {
+		case dinRead:
+			kind = Load
+		case dinWrite:
+			kind = Store
+		case dinIfetch:
+			kind = Ifetch
+		default:
+			return nil, fmt.Errorf("memtrace: din line %d: unknown label %d", lineNo, label)
+		}
+		t.Append(Access{Addr: Addr(addr), Kind: kind})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("memtrace: reading din trace: %w", err)
+	}
+	return t, nil
+}
+
+// DineroWriter is a streaming Sink that writes din format.
+type DineroWriter struct {
+	bw    *bufio.Writer
+	count uint64
+	err   error
+}
+
+// NewDineroWriter starts writing din records to w.
+func NewDineroWriter(w io.Writer) *DineroWriter {
+	return &DineroWriter{bw: bufio.NewWriterSize(w, 1<<16)}
+}
+
+// Access implements Sink. Errors are sticky and reported by Close.
+func (dw *DineroWriter) Access(a Access) {
+	if dw.err != nil {
+		return
+	}
+	if _, err := fmt.Fprintf(dw.bw, "%d %x\n", dinLabel(a.Kind), uint64(a.Addr)); err != nil {
+		dw.err = err
+		return
+	}
+	dw.count++
+}
+
+// Count returns records written so far.
+func (dw *DineroWriter) Count() uint64 { return dw.count }
+
+// Close flushes buffered output and returns the first write error.
+func (dw *DineroWriter) Close() error {
+	if dw.err != nil {
+		return dw.err
+	}
+	return dw.bw.Flush()
+}
+
+var _ Sink = (*DineroWriter)(nil)

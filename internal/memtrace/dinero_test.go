@@ -1,0 +1,101 @@
+package memtrace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestDineroRoundTrip(t *testing.T) {
+	tr := randomTrace(500, 9)
+	var buf bytes.Buffer
+	n, err := tr.WriteDinero(&buf)
+	if err != nil {
+		t.Fatalf("WriteDinero: %v", err)
+	}
+	if n != tr.Len() {
+		t.Errorf("wrote %d records, want %d", n, tr.Len())
+	}
+	got, err := ReadDinero(&buf)
+	if err != nil {
+		t.Fatalf("ReadDinero: %v", err)
+	}
+	if !tracesEqual(tr, got) {
+		t.Error("din round trip differs")
+	}
+}
+
+func TestDineroFormatExact(t *testing.T) {
+	tr := NewTrace(0)
+	tr.Append(Access{Addr: 0x1000, Kind: Load})
+	tr.Append(Access{Addr: 0x2000, Kind: Store})
+	tr.Append(Access{Addr: 0x40ab, Kind: Ifetch})
+	var buf bytes.Buffer
+	if _, err := tr.WriteDinero(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := "0 1000\n1 2000\n2 40ab\n"
+	if buf.String() != want {
+		t.Errorf("din output = %q, want %q", buf.String(), want)
+	}
+}
+
+func TestReadDineroTolerance(t *testing.T) {
+	// Blank lines and trailing fields (as emitted by some tracers) are
+	// accepted.
+	in := "0 1000 extra stuff\n\n  2 2000\n1 3000\n"
+	tr, err := ReadDinero(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 3 {
+		t.Fatalf("len = %d, want 3", tr.Len())
+	}
+	if tr.At(1).Kind != Ifetch || tr.At(1).Addr != 0x2000 {
+		t.Errorf("record 1 = %v", tr.At(1))
+	}
+}
+
+func TestReadDineroErrors(t *testing.T) {
+	cases := []string{
+		"0\n",      // missing address
+		"x 1000\n", // bad label
+		"0 zz\n",   // bad address
+		"7 1000\n", // unknown label
+	}
+	for _, in := range cases {
+		if _, err := ReadDinero(strings.NewReader(in)); err == nil {
+			t.Errorf("accepted malformed input %q", in)
+		}
+	}
+}
+
+func TestDineroWriterStreaming(t *testing.T) {
+	var buf bytes.Buffer
+	dw := NewDineroWriter(&buf)
+	tr := randomTrace(100, 4)
+	tr.Each(dw.Access)
+	if dw.Count() != 100 {
+		t.Errorf("count = %d", dw.Count())
+	}
+	if err := dw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadDinero(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tracesEqual(tr, got) {
+		t.Error("streamed din trace differs")
+	}
+}
+
+func TestDineroWriterStickyError(t *testing.T) {
+	dw := NewDineroWriter(&failAfter{n: 8})
+	for i := 0; i < 1<<14; i++ {
+		dw.Access(Access{Addr: Addr(i), Kind: Load})
+	}
+	if err := dw.Close(); err == nil {
+		t.Fatal("Close succeeded despite write failure")
+	}
+}

@@ -1,0 +1,149 @@
+package memtrace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Binary trace file format ("JTR1"):
+//
+//	offset  size  field
+//	0       4     magic "JTR1"
+//	4       4     reserved (zero)
+//	8       8     record count, little-endian
+//	16      8*n   packed records (kind in top 2 bits, addr in low 62),
+//	              little-endian
+//
+// The format is deliberately simple and fixed-width so that external tools
+// can generate or inspect traces easily.
+
+var fileMagic = [4]byte{'J', 'T', 'R', '1'}
+
+// ErrBadFormat is returned when a trace file does not carry the expected
+// magic number or is structurally truncated.
+var ErrBadFormat = errors.New("memtrace: bad trace file format")
+
+// WriteTo writes the trace to w in the binary trace format. It returns the
+// number of bytes written.
+func (t *Trace) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	var n int64
+
+	var header [16]byte
+	copy(header[0:4], fileMagic[:])
+	binary.LittleEndian.PutUint64(header[8:16], uint64(len(t.recs)))
+	k, err := bw.Write(header[:])
+	n += int64(k)
+	if err != nil {
+		return n, err
+	}
+
+	var buf [8]byte
+	for _, r := range t.recs {
+		binary.LittleEndian.PutUint64(buf[:], uint64(r))
+		k, err := bw.Write(buf[:])
+		n += int64(k)
+		if err != nil {
+			return n, err
+		}
+	}
+	return n, bw.Flush()
+}
+
+// ReadTrace reads a complete trace in the binary trace format from r.
+func ReadTrace(r io.Reader) (*Trace, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+
+	var header [16]byte
+	if _, err := io.ReadFull(br, header[:]); err != nil {
+		return nil, fmt.Errorf("memtrace: reading header: %w", err)
+	}
+	if [4]byte(header[0:4]) != fileMagic {
+		return nil, ErrBadFormat
+	}
+	count := binary.LittleEndian.Uint64(header[8:16])
+	const maxReasonable = 1 << 33 // 8 G records ≈ 64 GB; reject clearly corrupt counts
+	if count > maxReasonable {
+		return nil, fmt.Errorf("%w: implausible record count %d", ErrBadFormat, count)
+	}
+
+	t := NewTrace(int(count))
+	var buf [8]byte
+	for i := uint64(0); i < count; i++ {
+		if _, err := io.ReadFull(br, buf[:]); err != nil {
+			return nil, fmt.Errorf("%w: truncated at record %d: %v", ErrBadFormat, i, err)
+		}
+		rec := record(binary.LittleEndian.Uint64(buf[:]))
+		a := rec.unpack()
+		if a.Kind >= numKinds {
+			return nil, fmt.Errorf("%w: record %d has invalid kind %d", ErrBadFormat, i, a.Kind)
+		}
+		t.Append(a)
+	}
+	return t, nil
+}
+
+// StreamWriter incrementally writes a trace file without holding it in
+// memory. Close must be called to finalize the record count, so the
+// underlying writer must be an io.WriteSeeker.
+type StreamWriter struct {
+	ws    io.WriteSeeker
+	bw    *bufio.Writer
+	count uint64
+	err   error
+}
+
+// NewStreamWriter starts writing a trace file to ws. The header is written
+// immediately with a zero count and patched on Close.
+func NewStreamWriter(ws io.WriteSeeker) (*StreamWriter, error) {
+	sw := &StreamWriter{ws: ws, bw: bufio.NewWriterSize(ws, 1<<16)}
+	var header [16]byte
+	copy(header[0:4], fileMagic[:])
+	if _, err := sw.bw.Write(header[:]); err != nil {
+		return nil, err
+	}
+	return sw, nil
+}
+
+// Access appends one access record. Errors are sticky and reported by Close.
+func (sw *StreamWriter) Access(a Access) {
+	if sw.err != nil {
+		return
+	}
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], uint64(pack(a)))
+	if _, err := sw.bw.Write(buf[:]); err != nil {
+		sw.err = err
+		return
+	}
+	sw.count++
+}
+
+// Count returns the number of records written so far.
+func (sw *StreamWriter) Count() uint64 { return sw.count }
+
+// Close flushes buffered records and patches the record count into the
+// header. It returns the first error encountered during writing.
+func (sw *StreamWriter) Close() error {
+	if sw.err != nil {
+		return sw.err
+	}
+	if err := sw.bw.Flush(); err != nil {
+		return err
+	}
+	if _, err := sw.ws.Seek(8, io.SeekStart); err != nil {
+		return err
+	}
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], sw.count)
+	if _, err := sw.ws.Write(buf[:]); err != nil {
+		return err
+	}
+	_, err := sw.ws.Seek(0, io.SeekEnd)
+	return err
+}
+
+var _ Sink = (*StreamWriter)(nil)

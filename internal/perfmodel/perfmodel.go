@@ -1,0 +1,127 @@
+// Package perfmodel implements the paper's instruction-time performance
+// accounting (Figures 2-2 and 5-1): execution time is the dynamic
+// instruction count plus, for every first-level miss, the first-level miss
+// penalty; misses that also miss the second-level cache pay the full
+// main-memory penalty instead; augmentation hits (victim cache, stream
+// buffer) pay a single cycle. All quantities are in instruction times,
+// following the paper's convention that penalties are quoted in
+// instruction issues (24 for L1, 320 for L2).
+package perfmodel
+
+// Params are the penalty settings. The zero value is invalid; use
+// DefaultParams for the paper's baseline system.
+type Params struct {
+	// L1MissPenalty is the cost of an L1 miss that hits in L2 (24).
+	L1MissPenalty int
+	// L2MissPenalty is the total cost of a miss that goes to main
+	// memory (320). The incremental cost beyond the L1 penalty is
+	// L2MissPenalty − L1MissPenalty.
+	L2MissPenalty int
+	// AuxHitPenalty is the cost of an augmentation hit (1).
+	AuxHitPenalty int
+}
+
+// DefaultParams returns the paper's baseline penalties.
+func DefaultParams() Params {
+	return Params{L1MissPenalty: 24, L2MissPenalty: 320, AuxHitPenalty: 1}
+}
+
+// Inputs are the event counts the model consumes, typically taken from the
+// hierarchy's run results.
+type Inputs struct {
+	// Instructions is the dynamic instruction count (one cycle each at
+	// peak issue).
+	Instructions uint64
+	// L1IFullMisses / L1DFullMisses are first-level misses not covered
+	// by any augmentation (they pay at least L1MissPenalty).
+	L1IFullMisses uint64
+	L1DFullMisses uint64
+	// IAuxHits / DAuxHits are L1 misses satisfied by an augmentation
+	// (1-cycle penalty).
+	IAuxHits uint64
+	DAuxHits uint64
+	// L2IDemandMisses / L2DDemandMisses are demand fetches that also
+	// missed L2, split by which first-level cache caused them. Each adds
+	// L2MissPenalty − L1MissPenalty on top of the L1 penalty.
+	L2IDemandMisses uint64
+	L2DDemandMisses uint64
+}
+
+// Breakdown is execution time partitioned by where cycles went, in
+// instruction times.
+type Breakdown struct {
+	Instructions uint64 // base: one instruction time each
+	L1ICycles    uint64 // L1 instruction-miss stall cycles (at L1 penalty)
+	L1DCycles    uint64 // L1 data-miss stall cycles (at L1 penalty)
+	L2ICycles    uint64 // additional cycles for instruction L2 misses
+	L2DCycles    uint64 // additional cycles for data L2 misses
+	AuxCycles    uint64 // augmentation-hit cycles
+}
+
+// Compute builds the time breakdown from event counts.
+func Compute(in Inputs, p Params) Breakdown {
+	l2extra := uint64(p.L2MissPenalty - p.L1MissPenalty)
+	return Breakdown{
+		Instructions: in.Instructions,
+		L1ICycles:    in.L1IFullMisses * uint64(p.L1MissPenalty),
+		L1DCycles:    in.L1DFullMisses * uint64(p.L1MissPenalty),
+		L2ICycles:    in.L2IDemandMisses * l2extra,
+		L2DCycles:    in.L2DDemandMisses * l2extra,
+		AuxCycles:    (in.IAuxHits + in.DAuxHits) * uint64(p.AuxHitPenalty),
+	}
+}
+
+// Total returns total execution time in instruction times.
+func (b Breakdown) Total() uint64 {
+	return b.Instructions + b.L1ICycles + b.L1DCycles + b.L2ICycles + b.L2DCycles + b.AuxCycles
+}
+
+// PercentOfPotential returns the fraction of peak performance achieved:
+// instructions / total time × 100 (the height of the solid line in
+// Figure 2-2).
+func (b Breakdown) PercentOfPotential() float64 {
+	total := b.Total()
+	if total == 0 {
+		return 0
+	}
+	return float64(b.Instructions) / float64(total) * 100
+}
+
+// LossBands returns the Figure 2-2 stacked bands as percentages of total
+// time: performance lost to L1 instruction misses, L1 data misses, L2
+// misses, and augmentation hits. Together with PercentOfPotential they sum
+// to 100.
+type Bands struct {
+	Net   float64 // useful work
+	L1I   float64
+	L1D   float64
+	L2    float64
+	Aux   float64
+	Total uint64 // total instruction times, for reference
+}
+
+// LossBands partitions total time into percentage bands.
+func (b Breakdown) LossBands() Bands {
+	total := float64(b.Total())
+	if total == 0 {
+		return Bands{}
+	}
+	return Bands{
+		Net:   float64(b.Instructions) / total * 100,
+		L1I:   float64(b.L1ICycles) / total * 100,
+		L1D:   float64(b.L1DCycles) / total * 100,
+		L2:    float64(b.L2ICycles+b.L2DCycles) / total * 100,
+		Aux:   float64(b.AuxCycles) / total * 100,
+		Total: b.Total(),
+	}
+}
+
+// Speedup returns how much faster the improved breakdown is than the
+// baseline: baselineTotal / improvedTotal. Both must describe the same
+// instruction stream.
+func Speedup(baseline, improved Breakdown) float64 {
+	if improved.Total() == 0 {
+		return 0
+	}
+	return float64(baseline.Total()) / float64(improved.Total())
+}

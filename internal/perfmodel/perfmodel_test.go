@@ -1,0 +1,120 @@
+package perfmodel
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestDefaultParams(t *testing.T) {
+	p := DefaultParams()
+	if p.L1MissPenalty != 24 || p.L2MissPenalty != 320 || p.AuxHitPenalty != 1 {
+		t.Errorf("defaults = %+v", p)
+	}
+}
+
+func TestComputeBasic(t *testing.T) {
+	// 1000 instructions, 10 I misses, 20 D misses, 5 aux hits, 2 L2
+	// misses on the data side.
+	in := Inputs{
+		Instructions:    1000,
+		L1IFullMisses:   10,
+		L1DFullMisses:   20,
+		IAuxHits:        2,
+		DAuxHits:        3,
+		L2DDemandMisses: 2,
+	}
+	b := Compute(in, DefaultParams())
+	if b.L1ICycles != 240 || b.L1DCycles != 480 {
+		t.Errorf("L1 cycles = %d, %d", b.L1ICycles, b.L1DCycles)
+	}
+	if b.L2ICycles != 0 || b.L2DCycles != 2*(320-24) {
+		t.Errorf("L2 cycles = %d, %d", b.L2ICycles, b.L2DCycles)
+	}
+	if b.AuxCycles != 5 {
+		t.Errorf("aux cycles = %d", b.AuxCycles)
+	}
+	want := uint64(1000 + 240 + 480 + 592 + 5)
+	if b.Total() != want {
+		t.Errorf("total = %d, want %d", b.Total(), want)
+	}
+	if got := b.PercentOfPotential(); !almost(got, 1000.0/float64(want)*100) {
+		t.Errorf("percent of potential = %v", got)
+	}
+}
+
+func TestNoMissesIsFullSpeed(t *testing.T) {
+	b := Compute(Inputs{Instructions: 500}, DefaultParams())
+	if b.Total() != 500 {
+		t.Errorf("total = %d, want 500", b.Total())
+	}
+	if got := b.PercentOfPotential(); !almost(got, 100) {
+		t.Errorf("percent = %v, want 100", got)
+	}
+}
+
+func TestEmptyBreakdown(t *testing.T) {
+	var b Breakdown
+	if b.PercentOfPotential() != 0 {
+		t.Error("empty percent nonzero")
+	}
+	if b.LossBands() != (Bands{}) {
+		t.Error("empty bands nonzero")
+	}
+}
+
+func TestLossBandsSumTo100(t *testing.T) {
+	f := func(instr, l1i, l1d, auxI, auxD, l2i, l2d uint16) bool {
+		in := Inputs{
+			Instructions:    uint64(instr) + 1,
+			L1IFullMisses:   uint64(l1i),
+			L1DFullMisses:   uint64(l1d),
+			IAuxHits:        uint64(auxI),
+			DAuxHits:        uint64(auxD),
+			L2IDemandMisses: uint64(l2i),
+			L2DDemandMisses: uint64(l2d),
+		}
+		b := Compute(in, DefaultParams()).LossBands()
+		sum := b.Net + b.L1I + b.L1D + b.L2 + b.Aux
+		return math.Abs(sum-100) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSpeedup(t *testing.T) {
+	base := Compute(Inputs{Instructions: 100, L1DFullMisses: 100}, DefaultParams())
+	improved := Compute(Inputs{Instructions: 100, DAuxHits: 100}, DefaultParams())
+	got := Speedup(base, improved)
+	want := float64(100+2400) / float64(100+100)
+	if !almost(got, want) {
+		t.Errorf("speedup = %v, want %v", got, want)
+	}
+	if Speedup(base, Breakdown{}) != 0 {
+		t.Error("speedup vs zero breakdown should be 0")
+	}
+}
+
+// Removing misses can only reduce total time (monotonicity).
+func TestMonotonicity(t *testing.T) {
+	f := func(instr uint16, misses uint8, removed uint8) bool {
+		m := uint64(misses)
+		r := uint64(removed)
+		if r > m {
+			r = m
+		}
+		base := Compute(Inputs{Instructions: uint64(instr), L1DFullMisses: m}, DefaultParams())
+		improved := Compute(Inputs{
+			Instructions:  uint64(instr),
+			L1DFullMisses: m - r,
+			DAuxHits:      r,
+		}, DefaultParams())
+		return improved.Total() <= base.Total()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

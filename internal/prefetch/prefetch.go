@@ -1,0 +1,273 @@
+// Package prefetch implements the prior-art prefetch techniques the paper
+// compares stream buffers against (§4, after Smith 1982):
+//
+//   - prefetch on miss — a miss for line L also fetches L+1,
+//   - tagged prefetch — every line carries a tag bit, cleared when the
+//     line arrives by prefetch and set on first use; a 0→1 transition
+//     prefetches the successor line,
+//   - prefetch always — every reference to line L prefetches L+1.
+//
+// Unlike stream buffers, these techniques place prefetched data directly
+// in the cache (and so can pollute it), and they prefetch at most one line
+// ahead, which the paper shows cannot hide large second-level latencies.
+//
+// The package also provides the Figure 4-1 instrumentation: a histogram of
+// the number of instruction issues between a prefetch and the first demand
+// reference to the prefetched line.
+package prefetch
+
+import (
+	"fmt"
+
+	"jouppi/internal/cache"
+)
+
+// Policy selects the prefetch algorithm.
+type Policy uint8
+
+// The three §4 baseline policies.
+const (
+	OnMiss Policy = iota
+	Tagged
+	Always
+)
+
+// String returns the policy name as used in the paper.
+func (p Policy) String() string {
+	switch p {
+	case OnMiss:
+		return "prefetch-on-miss"
+	case Tagged:
+		return "tagged-prefetch"
+	case Always:
+		return "prefetch-always"
+	default:
+		return fmt.Sprintf("Policy(%d)", uint8(p))
+	}
+}
+
+// Timing carries the cycle costs. Zero values default to the paper's
+// baseline (24-cycle miss penalty and fill latency).
+type Timing struct {
+	MissPenalty int
+	FillLatency int
+}
+
+func (t Timing) withDefaults() Timing {
+	if t.MissPenalty == 0 {
+		t.MissPenalty = 24
+	}
+	if t.FillLatency == 0 {
+		t.FillLatency = t.MissPenalty
+	}
+	return t
+}
+
+// Stats accumulates prefetching front-end activity.
+type Stats struct {
+	Accesses uint64
+	Hits     uint64
+	Misses   uint64 // demand misses (prefetch hits are not misses)
+
+	// PrefetchIssued counts prefetch fills; PrefetchUsed counts
+	// prefetched lines that later received a demand reference;
+	// PrefetchEvictedUnused counts prefetched lines displaced before any
+	// use (cache pollution).
+	PrefetchIssued        uint64
+	PrefetchUsed          uint64
+	PrefetchEvictedUnused uint64
+
+	// InFlightHits counts demand hits on lines whose prefetch had not
+	// yet completed; the access stalls for the residual latency.
+	InFlightHits uint64
+
+	StallCycles uint64
+}
+
+// MissRate returns demand misses per access.
+func (s Stats) MissRate() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Misses) / float64(s.Accesses)
+}
+
+// TimeToUse is the Figure 4-1 histogram: bucket i counts prefetched lines
+// first used exactly i instruction issues after the prefetch was issued.
+type TimeToUse struct {
+	Buckets  []uint64
+	Overflow uint64 // first used later than len(Buckets)-1 issues
+	Never    uint64 // evicted without use (filled in by the front-end)
+}
+
+// NewTimeToUse builds a histogram with buckets 0..n-1.
+func NewTimeToUse(n int) *TimeToUse { return &TimeToUse{Buckets: make([]uint64, n)} }
+
+func (h *TimeToUse) record(delta uint64) {
+	if h == nil {
+		return
+	}
+	if delta < uint64(len(h.Buckets)) {
+		h.Buckets[delta]++
+	} else {
+		h.Overflow++
+	}
+}
+
+// Total returns the number of used prefetches recorded.
+func (h *TimeToUse) Total() uint64 {
+	t := h.Overflow
+	for _, b := range h.Buckets {
+		t += b
+	}
+	return t
+}
+
+// CumulativePercent returns, for each bucket i, the percentage of used
+// prefetches that were needed within i instruction issues.
+func (h *TimeToUse) CumulativePercent() []float64 {
+	out := make([]float64, len(h.Buckets))
+	total := float64(h.Total())
+	if total == 0 {
+		return out
+	}
+	running := uint64(0)
+	for i, b := range h.Buckets {
+		running += b
+		out[i] = float64(running) / total * 100
+	}
+	return out
+}
+
+// lineMeta is the per-resident-line bookkeeping.
+type lineMeta struct {
+	tagBit   bool   // tagged prefetch: set on first use
+	arrived  bool   // line came in by prefetch and has not been used yet
+	issuedAt uint64 // prefetch issue time
+	availAt  uint64 // fill completion time
+}
+
+// FrontEnd is a first-level cache with one of the baseline prefetch
+// policies. Prefetched lines are installed directly into the cache.
+type FrontEnd struct {
+	l1     *cache.Cache
+	policy Policy
+	timing Timing
+	stats  Stats
+	meta   map[uint64]*lineMeta
+	now    uint64
+	hist   *TimeToUse
+	shift  uint
+}
+
+// New builds a prefetching front-end over l1. hist may be nil when the
+// Figure 4-1 time-to-use distribution is not wanted.
+func New(l1 *cache.Cache, policy Policy, timing Timing, hist *TimeToUse) *FrontEnd {
+	shift := uint(0)
+	for ls := l1.LineSize(); ls > 1; ls >>= 1 {
+		shift++
+	}
+	return &FrontEnd{
+		l1:     l1,
+		policy: policy,
+		timing: timing.withDefaults(),
+		meta:   make(map[uint64]*lineMeta),
+		hist:   hist,
+		shift:  shift,
+	}
+}
+
+// Access performs one reference.
+func (f *FrontEnd) Access(addr uint64, write bool) (hit bool, stall int) {
+	f.stats.Accesses++
+	f.now++
+	la := f.l1.LineAddr(addr)
+
+	if f.l1.Probe(addr, write) {
+		f.stats.Hits++
+		m := f.meta[la]
+		if m != nil {
+			if m.arrived {
+				// First demand use of a prefetched line.
+				f.stats.PrefetchUsed++
+				f.hist.record(f.now - m.issuedAt)
+				m.arrived = false
+			}
+			if m.availAt > f.now {
+				stall = int(m.availAt - f.now)
+				f.stats.InFlightHits++
+				f.stats.StallCycles += uint64(stall)
+				f.now += uint64(stall)
+			}
+			if !m.tagBit {
+				m.tagBit = true
+				if f.policy == Tagged {
+					f.prefetch(la + 1)
+				}
+			}
+		}
+		if f.policy == Always {
+			f.prefetch(la + 1)
+		}
+		return true, stall
+	}
+
+	// Demand miss.
+	f.stats.Misses++
+	stall = f.timing.MissPenalty
+	f.stats.StallCycles += uint64(stall)
+	f.now += uint64(stall)
+	f.install(la, write, false)
+	// A demand-fetched line is referenced immediately: under tagged
+	// prefetch that is a 0→1 transition, and on-miss prefetches the
+	// successor by definition. Prefetch-always also fetches ahead.
+	f.prefetch(la + 1)
+	return false, stall
+}
+
+// prefetch installs la into the cache as an unused prefetched line, unless
+// it is already resident.
+func (f *FrontEnd) prefetch(la uint64) {
+	if f.l1.Contains(la << f.shift) {
+		return
+	}
+	f.stats.PrefetchIssued++
+	f.install(la, false, true)
+}
+
+// install fills la and maintains metadata for it and the displaced victim.
+func (f *FrontEnd) install(la uint64, write, prefetched bool) {
+	addr := la << f.shift
+	dirty := write && f.l1.Config().WritePolicy == cache.WriteBack
+	victim := f.l1.Fill(addr, dirty)
+	if victim.Valid {
+		if vm := f.meta[victim.LineAddr]; vm != nil {
+			if vm.arrived {
+				f.stats.PrefetchEvictedUnused++
+				if f.hist != nil {
+					f.hist.Never++
+				}
+			}
+			delete(f.meta, victim.LineAddr)
+		}
+	}
+	m := &lineMeta{
+		tagBit:   !prefetched, // demand lines count as used
+		arrived:  prefetched,
+		issuedAt: f.now,
+		availAt:  f.now,
+	}
+	if prefetched {
+		m.availAt = f.now + uint64(f.timing.FillLatency)
+	}
+	f.meta[la] = m
+}
+
+// Stats returns accumulated counters.
+func (f *FrontEnd) Stats() Stats { return f.stats }
+
+// Cache exposes the underlying cache.
+func (f *FrontEnd) Cache() *cache.Cache { return f.l1 }
+
+// Name identifies the configuration.
+func (f *FrontEnd) Name() string { return f.policy.String() }

@@ -1,0 +1,243 @@
+package prefetch
+
+import (
+	"math/rand"
+	"testing"
+
+	"jouppi/internal/cache"
+)
+
+func newL1() *cache.Cache {
+	return cache.MustNew(cache.Config{Size: 256, LineSize: 16, Assoc: 1})
+}
+
+func fastTiming() Timing { return Timing{MissPenalty: 24, FillLatency: 1} }
+
+func TestPolicyString(t *testing.T) {
+	if OnMiss.String() != "prefetch-on-miss" || Tagged.String() != "tagged-prefetch" ||
+		Always.String() != "prefetch-always" {
+		t.Error("policy names wrong")
+	}
+	if Policy(9).String() != "Policy(9)" {
+		t.Error("unknown policy name wrong")
+	}
+}
+
+func TestTimingDefaults(t *testing.T) {
+	tm := Timing{}.withDefaults()
+	if tm.MissPenalty != 24 || tm.FillLatency != 24 {
+		t.Errorf("defaults = %+v", tm)
+	}
+}
+
+func TestOnMissHalvesSequentialMisses(t *testing.T) {
+	// §4: "Prefetch on miss ... can cut the number of misses for a purely
+	// sequential reference stream in half." One access per line, far
+	// beyond cache capacity.
+	fe := New(newL1(), OnMiss, fastTiming(), nil)
+	const n = 400
+	for i := 0; i < n; i++ {
+		fe.Access(uint64(0x100000+i*16), false)
+	}
+	st := fe.Stats()
+	if lo, hi := uint64(n/2-2), uint64(n/2+2); st.Misses < lo || st.Misses > hi {
+		t.Errorf("on-miss sequential misses = %d, want ≈ %d", st.Misses, n/2)
+	}
+}
+
+func TestTaggedRemovesSequentialMisses(t *testing.T) {
+	// §4: "Tagged prefetch can reduce the number of misses in a purely
+	// sequential reference stream to zero, if fetching is fast enough."
+	fe := New(newL1(), Tagged, fastTiming(), nil)
+	const n = 400
+	for i := 0; i < n; i++ {
+		fe.Access(uint64(0x100000+i*16), false)
+		// Several references per line so the tag transition fires before
+		// the next line is needed.
+		fe.Access(uint64(0x100000+i*16+4), false)
+		fe.Access(uint64(0x100000+i*16+8), false)
+	}
+	st := fe.Stats()
+	if st.Misses != 1 {
+		t.Errorf("tagged sequential misses = %d, want 1", st.Misses)
+	}
+}
+
+func TestAlwaysRemovesSequentialMisses(t *testing.T) {
+	fe := New(newL1(), Always, fastTiming(), nil)
+	const n = 400
+	for i := 0; i < n; i++ {
+		fe.Access(uint64(0x100000+i*16), false)
+	}
+	if st := fe.Stats(); st.Misses != 1 {
+		t.Errorf("always sequential misses = %d, want 1", st.Misses)
+	}
+}
+
+func TestOnMissOnlyPrefetchesOnMiss(t *testing.T) {
+	fe := New(newL1(), OnMiss, fastTiming(), nil)
+	fe.Access(0x1000, false) // miss → prefetch 0x1010
+	issued := fe.Stats().PrefetchIssued
+	if issued != 1 {
+		t.Fatalf("prefetches after miss = %d, want 1", issued)
+	}
+	for i := 0; i < 10; i++ {
+		fe.Access(0x1004, false) // hits must not prefetch
+	}
+	if got := fe.Stats().PrefetchIssued; got != issued {
+		t.Errorf("hits issued %d extra prefetches", got-issued)
+	}
+}
+
+func TestTaggedPrefetchesOncePerLineUse(t *testing.T) {
+	fe := New(newL1(), Tagged, fastTiming(), nil)
+	fe.Access(0x1000, false) // miss → prefetch 0x1010 (tag 0)
+	fe.Access(0x1010, false) // first use → 0→1 → prefetch 0x1020
+	before := fe.Stats().PrefetchIssued
+	fe.Access(0x1014, false) // second use of same line: no transition
+	fe.Access(0x1018, false)
+	if got := fe.Stats().PrefetchIssued; got != before {
+		t.Errorf("repeat uses issued %d extra prefetches", got-before)
+	}
+}
+
+func TestPrefetchSkipsResidentLines(t *testing.T) {
+	fe := New(newL1(), Always, fastTiming(), nil)
+	fe.Access(0x1000, false)
+	fe.Access(0x1010, false)
+	before := fe.Stats().PrefetchIssued
+	fe.Access(0x1000, false) // successor 0x1010 already resident
+	if got := fe.Stats().PrefetchIssued; got != before {
+		t.Errorf("prefetched a resident line (%d extra)", got-before)
+	}
+}
+
+func TestInFlightHitStalls(t *testing.T) {
+	tm := Timing{MissPenalty: 24, FillLatency: 12}
+	fe := New(newL1(), OnMiss, tm, nil)
+	fe.Access(0x1000, false)
+	// Next access arrives 1 issue later; the prefetch needs 12 cycles.
+	hit, stall := fe.Access(0x1010, false)
+	if !hit {
+		t.Fatal("prefetched line missed")
+	}
+	if stall <= 0 || stall >= tm.MissPenalty {
+		t.Errorf("in-flight stall = %d, want in (0, %d)", stall, tm.MissPenalty)
+	}
+	if fe.Stats().InFlightHits != 1 {
+		t.Errorf("in-flight hits = %d, want 1", fe.Stats().InFlightHits)
+	}
+}
+
+func TestPollutionCounting(t *testing.T) {
+	// Prefetch a line into a conflicting set and displace it before use.
+	fe := New(newL1(), OnMiss, fastTiming(), nil)
+	fe.Access(0x1000, false) // prefetches 0x1010
+	fe.Access(0x2010, false) // same set as 0x1010 in a 256B cache → displaces it
+	if got := fe.Stats().PrefetchEvictedUnused; got != 1 {
+		t.Errorf("evicted-unused = %d, want 1", got)
+	}
+}
+
+func TestTimeToUseHistogram(t *testing.T) {
+	h := NewTimeToUse(8)
+	fe := New(newL1(), OnMiss, fastTiming(), h)
+	fe.Access(0x1000, false) // miss at t=1; prefetch 0x1010 issued at t=25 (after stall)
+	fe.Access(0x1004, false)
+	fe.Access(0x1008, false)
+	fe.Access(0x1010, false) // first use of the prefetched line
+	if h.Total() != 1 {
+		t.Fatalf("histogram total = %d, want 1", h.Total())
+	}
+	// The prefetch was issued during the miss (after the stall advanced
+	// the clock); the three subsequent accesses put the use 3 issues
+	// later.
+	if h.Buckets[3] != 1 {
+		t.Errorf("histogram = %+v, want delta-3 recorded", h.Buckets)
+	}
+	cum := h.CumulativePercent()
+	if cum[2] != 0 || cum[3] != 100 || cum[7] != 100 {
+		t.Errorf("cumulative = %v", cum)
+	}
+}
+
+func TestTimeToUseOverflowAndNever(t *testing.T) {
+	h := NewTimeToUse(2)
+	fe := New(newL1(), OnMiss, fastTiming(), h)
+	fe.Access(0x1000, false) // prefetch 0x1010
+	for i := 0; i < 10; i++ {
+		fe.Access(0x1004, false)
+	}
+	fe.Access(0x1010, false) // used long after issue → overflow bucket
+	if h.Overflow != 1 {
+		t.Errorf("overflow = %d, want 1", h.Overflow)
+	}
+	fe.Access(0x3000, false) // prefetch 0x3010
+	fe.Access(0x2010, false) // displace 0x3010 unused
+	if h.Never != 1 {
+		t.Errorf("never = %d, want 1", h.Never)
+	}
+	empty := NewTimeToUse(4)
+	if got := empty.CumulativePercent(); got[3] != 0 {
+		t.Errorf("empty cumulative = %v", got)
+	}
+}
+
+func TestNilHistogramSafe(t *testing.T) {
+	fe := New(newL1(), Tagged, fastTiming(), nil)
+	for i := 0; i < 100; i++ {
+		fe.Access(uint64(0x1000+i*16), false)
+	}
+	// No panic = pass.
+}
+
+// Ordering property: on sequential streams, always ≤ tagged ≤ on-miss ≤
+// baseline in demand misses.
+func TestPolicyOrderingOnSequentialStream(t *testing.T) {
+	run := func(p Policy) uint64 {
+		fe := New(newL1(), p, fastTiming(), nil)
+		for i := 0; i < 500; i++ {
+			fe.Access(uint64(0x100000+i*16), false)
+			fe.Access(uint64(0x100000+i*16+8), false)
+		}
+		return fe.Stats().Misses
+	}
+	base := cache.MustNew(cache.Config{Size: 256, LineSize: 16, Assoc: 1})
+	var baseMisses uint64
+	for i := 0; i < 500; i++ {
+		for _, off := range []int{0, 8} {
+			if hit, _ := base.Access(uint64(0x100000+i*16+off), false); !hit {
+				baseMisses++
+			}
+		}
+	}
+	om, tg, al := run(OnMiss), run(Tagged), run(Always)
+	if !(al <= tg && tg <= om && om <= baseMisses) {
+		t.Errorf("ordering violated: always=%d tagged=%d onmiss=%d baseline=%d",
+			al, tg, om, baseMisses)
+	}
+}
+
+func TestMissRateAndAccessors(t *testing.T) {
+	fe := New(newL1(), OnMiss, fastTiming(), nil)
+	if fe.Name() != "prefetch-on-miss" {
+		t.Errorf("name = %q", fe.Name())
+	}
+	if fe.Cache() == nil {
+		t.Error("nil cache")
+	}
+	if fe.Stats().MissRate() != 0 {
+		t.Error("idle miss rate nonzero")
+	}
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 1000; i++ {
+		fe.Access(uint64(rng.Intn(1<<16)), false)
+	}
+	st := fe.Stats()
+	if st.MissRate() <= 0 || st.MissRate() > 1 {
+		t.Errorf("miss rate = %v", st.MissRate())
+	}
+	if st.Hits+st.Misses != st.Accesses {
+		t.Errorf("hits %d + misses %d != accesses %d", st.Hits, st.Misses, st.Accesses)
+	}
+}

@@ -1,0 +1,209 @@
+// Package textplot renders the experiment results as plain-text charts —
+// line charts for the paper's figure sweeps, horizontal bars for the
+// per-benchmark comparisons, stacked bars for the performance-loss
+// figures, and aligned tables. Output is deterministic, ASCII-safe, and
+// suitable for diffing in EXPERIMENTS.md.
+package textplot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is one line on a chart.
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+// markers assigns one glyph per series, cycling if there are many.
+var markers = []byte{'*', 'o', '+', 'x', '#', '@', '%', '&'}
+
+// Lines renders series on a width×height character grid with axis labels.
+func Lines(title, xLabel, yLabel string, series []Series, width, height int) string {
+	if width < 16 {
+		width = 16
+	}
+	if height < 5 {
+		height = 5
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s\n", title)
+
+	xMin, xMax := math.Inf(1), math.Inf(-1)
+	yMin, yMax := 0.0, math.Inf(-1) // y axis anchored at 0: all our figures are percentages/counts
+	for _, s := range series {
+		for i := range s.X {
+			xMin = math.Min(xMin, s.X[i])
+			xMax = math.Max(xMax, s.X[i])
+			yMax = math.Max(yMax, s.Y[i])
+			yMin = math.Min(yMin, s.Y[i])
+		}
+	}
+	if math.IsInf(xMin, 1) {
+		return sb.String() + "(no data)\n"
+	}
+	if yMax <= yMin {
+		yMax = yMin + 1
+	}
+	if xMax <= xMin {
+		xMax = xMin + 1
+	}
+
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	for si, s := range series {
+		m := markers[si%len(markers)]
+		for i := range s.X {
+			cx := int((s.X[i] - xMin) / (xMax - xMin) * float64(width-1))
+			cy := int((s.Y[i] - yMin) / (yMax - yMin) * float64(height-1))
+			row := height - 1 - cy
+			if row >= 0 && row < height && cx >= 0 && cx < width {
+				grid[row][cx] = m
+			}
+		}
+	}
+
+	yTop := fmt.Sprintf("%8.1f", yMax)
+	yBot := fmt.Sprintf("%8.1f", yMin)
+	for r, row := range grid {
+		label := "        "
+		switch r {
+		case 0:
+			label = yTop
+		case height - 1:
+			label = yBot
+		case height / 2:
+			label = fmt.Sprintf("%8.1f", (yMax+yMin)/2)
+		}
+		fmt.Fprintf(&sb, "%s |%s\n", label, string(row))
+	}
+	fmt.Fprintf(&sb, "%s +%s\n", strings.Repeat(" ", 8), strings.Repeat("-", width))
+	fmt.Fprintf(&sb, "%s  %-*s%s\n", strings.Repeat(" ", 8), width-len(fmt.Sprint(xMax)), fmt.Sprintf("%.4g", xMin), fmt.Sprintf("%.4g", xMax))
+	if xLabel != "" || yLabel != "" {
+		fmt.Fprintf(&sb, "%s  x: %s   y: %s\n", strings.Repeat(" ", 8), xLabel, yLabel)
+	}
+	for si, s := range series {
+		fmt.Fprintf(&sb, "%s    %c = %s\n", strings.Repeat(" ", 8), markers[si%len(markers)], s.Name)
+	}
+	return sb.String()
+}
+
+// Bars renders a horizontal bar per label, scaled to the maximum value.
+func Bars(title, unit string, labels []string, values []float64, width int) string {
+	if width < 10 {
+		width = 10
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s\n", title)
+	maxVal := 0.0
+	maxLabel := 0
+	for i, v := range values {
+		maxVal = math.Max(maxVal, v)
+		if len(labels[i]) > maxLabel {
+			maxLabel = len(labels[i])
+		}
+	}
+	if maxVal == 0 {
+		maxVal = 1
+	}
+	for i, v := range values {
+		n := int(v / maxVal * float64(width))
+		if v > 0 && n == 0 {
+			n = 1
+		}
+		fmt.Fprintf(&sb, "  %-*s |%s %.2f%s\n", maxLabel, labels[i], strings.Repeat("#", n), v, unit)
+	}
+	return sb.String()
+}
+
+// Segment is one band of a stacked bar.
+type Segment struct {
+	Name  string
+	Glyph byte
+	Value float64
+}
+
+// StackedBars renders one stacked horizontal bar per label (the Figure
+// 2-2 / 5-1 performance-band presentation). Each bar is normalized to
+// width characters, so segments are percentages of the row total.
+func StackedBars(title string, labels []string, rows [][]Segment, width int) string {
+	if width < 10 {
+		width = 10
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s\n", title)
+	maxLabel := 0
+	for _, l := range labels {
+		if len(l) > maxLabel {
+			maxLabel = len(l)
+		}
+	}
+	for i, segs := range rows {
+		total := 0.0
+		for _, s := range segs {
+			total += s.Value
+		}
+		if total == 0 {
+			total = 1
+		}
+		var bar strings.Builder
+		used := 0
+		for _, s := range segs {
+			n := int(s.Value/total*float64(width) + 0.5)
+			if used+n > width {
+				n = width - used
+			}
+			bar.WriteString(strings.Repeat(string(s.Glyph), n))
+			used += n
+		}
+		fmt.Fprintf(&sb, "  %-*s |%-*s|\n", maxLabel, labels[i], width, bar.String())
+	}
+	if len(rows) > 0 {
+		fmt.Fprintf(&sb, "  key:")
+		for _, s := range rows[0] {
+			fmt.Fprintf(&sb, "  %c=%s", s.Glyph, s.Name)
+		}
+		fmt.Fprintln(&sb)
+	}
+	return sb.String()
+}
+
+// Table renders an aligned text table.
+func Table(headers []string, rows [][]string) string {
+	widths := make([]int, len(headers))
+	for i, h := range headers {
+		widths[i] = len(h)
+	}
+	for _, row := range rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var sb strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			fmt.Fprintf(&sb, "%-*s", widths[i], c)
+		}
+		sb.WriteByte('\n')
+	}
+	writeRow(headers)
+	sep := make([]string, len(headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range rows {
+		writeRow(row)
+	}
+	return sb.String()
+}

@@ -1,0 +1,126 @@
+package textplot
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLinesBasic(t *testing.T) {
+	s := []Series{
+		{Name: "a", X: []float64{0, 1, 2}, Y: []float64{0, 50, 100}},
+		{Name: "b", X: []float64{0, 1, 2}, Y: []float64{100, 50, 0}},
+	}
+	out := Lines("title", "xs", "ys", s, 30, 8)
+	if !strings.Contains(out, "title") {
+		t.Error("missing title")
+	}
+	if !strings.Contains(out, "* = a") || !strings.Contains(out, "o = b") {
+		t.Error("missing legend")
+	}
+	if !strings.Contains(out, "100.0") {
+		t.Error("missing y max label")
+	}
+	if !strings.Contains(out, "*") || !strings.Contains(out, "o") {
+		t.Error("missing plotted points")
+	}
+	if !strings.Contains(out, "x: xs") {
+		t.Error("missing axis labels")
+	}
+}
+
+func TestLinesEmpty(t *testing.T) {
+	out := Lines("t", "", "", nil, 20, 6)
+	if !strings.Contains(out, "(no data)") {
+		t.Errorf("empty chart output: %q", out)
+	}
+}
+
+func TestLinesDegenerateRanges(t *testing.T) {
+	// Single point: both axes degenerate; must not panic or divide by 0.
+	out := Lines("t", "", "", []Series{{Name: "p", X: []float64{5}, Y: []float64{5}}}, 20, 6)
+	if !strings.Contains(out, "*") {
+		t.Error("single point not plotted")
+	}
+}
+
+func TestLinesClampsTinyDimensions(t *testing.T) {
+	out := Lines("t", "", "", []Series{{Name: "p", X: []float64{0, 1}, Y: []float64{0, 1}}}, 1, 1)
+	if len(out) == 0 {
+		t.Error("no output for tiny chart")
+	}
+}
+
+func TestBars(t *testing.T) {
+	out := Bars("misses", "%", []string{"ccom", "grr"}, []float64{50, 100}, 20)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("bars output has %d lines, want 3", len(lines))
+	}
+	ccomHashes := strings.Count(lines[1], "#")
+	grrHashes := strings.Count(lines[2], "#")
+	if grrHashes != 20 || ccomHashes != 10 {
+		t.Errorf("bar lengths = %d, %d; want 10, 20", ccomHashes, grrHashes)
+	}
+	if !strings.Contains(lines[1], "50.00%") {
+		t.Error("missing value annotation")
+	}
+}
+
+func TestBarsZeroAndTinyValues(t *testing.T) {
+	out := Bars("t", "", []string{"zero", "tiny", "big"}, []float64{0, 0.01, 100}, 20)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if strings.Count(lines[1], "#") != 0 {
+		t.Error("zero value drew a bar")
+	}
+	if strings.Count(lines[2], "#") != 1 {
+		t.Error("tiny nonzero value should draw a minimal bar")
+	}
+	// All-zero input must not divide by zero.
+	_ = Bars("t", "", []string{"a"}, []float64{0}, 20)
+}
+
+func TestStackedBars(t *testing.T) {
+	rows := [][]Segment{
+		{{Name: "net", Glyph: '=', Value: 50}, {Name: "lost", Glyph: '.', Value: 50}},
+		{{Name: "net", Glyph: '=', Value: 25}, {Name: "lost", Glyph: '.', Value: 75}},
+	}
+	out := StackedBars("perf", []string{"ccom", "grr"}, rows, 40)
+	if !strings.Contains(out, "==") || !strings.Contains(out, "..") {
+		t.Error("missing segments")
+	}
+	if !strings.Contains(out, "key:") || !strings.Contains(out, "==net") &&
+		!strings.Contains(out, "=net") {
+		t.Errorf("missing key: %q", out)
+	}
+	// Bars are normalized: each row should contain exactly width glyphs
+	// (within rounding).
+	for _, line := range strings.Split(out, "\n") {
+		if strings.Contains(line, "|") && !strings.Contains(line, "key") {
+			inner := line[strings.Index(line, "|")+1 : strings.LastIndex(line, "|")]
+			if len(inner) != 40 {
+				t.Errorf("bar width %d, want 40: %q", len(inner), line)
+			}
+		}
+	}
+	// Zero-total row must not panic.
+	_ = StackedBars("z", []string{"a"}, [][]Segment{{{Name: "n", Glyph: '=', Value: 0}}}, 10)
+}
+
+func TestTable(t *testing.T) {
+	out := Table([]string{"name", "value"}, [][]string{
+		{"ccom", "0.096"},
+		{"linpack-long", "0.144"},
+	})
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("table has %d lines, want 4", len(lines))
+	}
+	if !strings.HasPrefix(lines[1], "----") {
+		t.Error("missing separator row")
+	}
+	// Alignment: "value" column starts at the same offset in all rows.
+	idx := strings.Index(lines[0], "value")
+	if !strings.HasPrefix(lines[2][idx:], "0.096") {
+		t.Errorf("misaligned table:\n%s", out)
+	}
+}

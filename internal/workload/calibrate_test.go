@@ -1,0 +1,52 @@
+package workload
+
+import (
+	"testing"
+
+	"jouppi/internal/cache"
+	"jouppi/internal/classify"
+	"jouppi/internal/memtrace"
+)
+
+// TestCalibrationReport prints each benchmark's baseline behaviour against
+// the paper's Table 2-1/2-2 and Figure 3-1 targets. Run with -v to see the
+// table; assertions are deliberately loose (band checks live in
+// paper_test.go).
+func TestCalibrationReport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration report skipped in -short mode")
+	}
+	t.Logf("%-8s %10s %10s %7s %7s %8s %8s %8s",
+		"bench", "instr", "datarefs", "imr", "dmr", "iconf%", "dconf%", "d/i")
+	for _, b := range All() {
+		tr := GenerateTrace(b, 0.25)
+
+		l1i := cache.MustNew(cache.Config{Size: 4096, LineSize: 16, Assoc: 1})
+		l1d := cache.MustNew(cache.Config{Size: 4096, LineSize: 16, Assoc: 1})
+		ci := classify.MustNew(4096, 16)
+		cd := classify.MustNew(4096, 16)
+
+		tr.Each(func(a memtrace.Access) {
+			if a.Kind == memtrace.Ifetch {
+				hit, _ := l1i.Access(uint64(a.Addr), false)
+				ci.ObserveMiss(uint64(a.Addr), !hit)
+			} else {
+				hit, _ := l1d.Access(uint64(a.Addr), a.Kind == memtrace.Store)
+				cd.ObserveMiss(uint64(a.Addr), !hit)
+			}
+		})
+
+		imr := l1i.Stats().MissRate()
+		dmr := l1d.Stats().MissRate()
+		iconf, dconf := 0.0, 0.0
+		if m := ci.Counts().Total(); m > 0 {
+			iconf = float64(ci.Counts().Conflict) / float64(m) * 100
+		}
+		if m := cd.Counts().Total(); m > 0 {
+			dconf = float64(cd.Counts().Conflict) / float64(m) * 100
+		}
+		ratio := float64(tr.DataRefs()) / float64(tr.Instructions())
+		t.Logf("%-8s %10d %10d %7.4f %7.4f %7.1f%% %7.1f%% %8.2f",
+			b.Name(), tr.Instructions(), tr.DataRefs(), imr, dmr, iconf, dconf, ratio)
+	}
+}

@@ -1,0 +1,226 @@
+package workload
+
+import "jouppi/internal/memtrace"
+
+// ccom is a behavioural model of a C compiler front end, the paper's
+// first benchmark. Per compiled function it runs the classic phases:
+//
+//   - lexing: a sequential scan of the source buffer producing a token
+//     stream, with identifier interning through a hash table whose probe
+//     occasionally degenerates into a character-by-character comparison of
+//     two strings — the paper's §3.1 example of a tight data conflict;
+//   - parsing: recursive descent across many small procedures, allocating
+//     expression-tree nodes bump-pointer style on a heap;
+//   - semantic analysis and code generation: depth-first walks of the
+//     tree just built (pointer-chasing loads) emitting to a sequential
+//     output buffer.
+//
+// The text segment holds ~120 procedures spread over ~80KB, so the call
+// fabric sweeps working sets much larger than a 4KB instruction cache —
+// the source of ccom's high instruction miss rate.
+type ccom struct{}
+
+// Ccom returns the C-compiler benchmark.
+func Ccom() Benchmark { return ccom{} }
+
+func (ccom) Name() string        { return "ccom" }
+func (ccom) Description() string { return "C compiler" }
+
+func (ccom) Generate(scale float64, sink memtrace.Sink) {
+	g := newGen(sink, 0xCC04)
+
+	mem := newLayout(dataBase)
+	src := array{base: mem.alloc(1<<20, 64), elem: 1}      // source text
+	tokens := array{base: mem.alloc(1<<20, 64), elem: 8}   // token records
+	heap := array{base: mem.alloc(8<<20, 64), elem: 8}     // AST node words
+	hashTab := array{base: mem.alloc(64<<10, 64), elem: 8} // symbol buckets
+	symtab := array{base: mem.alloc(1<<20, 64), elem: 8}   // symbol records
+	// Two string-storage areas that collide in a 4KB cache: interning
+	// compares a new identifier against a stored one, alternating loads
+	// between conflicting lines.
+	strA := array{base: mem.allocAt(64<<10, 4096, 0x40), elem: 1}
+	strB := array{base: mem.allocAt(64<<10, 4096, 0x40), elem: 1}
+	out := array{base: mem.alloc(2<<20, 64), elem: 8} // generated code
+
+	procs := newProcAllocator()
+	// The parser/semantic fabric: many small procedures.
+	const nParse = 48
+	const nSema = 40
+	const nGen = 32
+	parseProcs := make([]proc, nParse)
+	for i := range parseProcs {
+		parseProcs[i] = procs.place(96 + 16*(i%12))
+	}
+	semaProcs := make([]proc, nSema)
+	for i := range semaProcs {
+		semaProcs[i] = procs.place(112 + 16*(i%10))
+	}
+	genProcs := make([]proc, nGen)
+	for i := range genProcs {
+		genProcs[i] = procs.place(128 + 16*(i%8))
+	}
+	pLex := procs.place(448)
+	pIntern := procs.place(192)
+	pStrcmp := procs.place(64)
+	pAlloc := procs.place(80)
+	pEmit := procs.place(96)
+	pMain := procs.place(256)
+
+	srcPos := 0
+	tokPos := 0
+	heapPos := 0
+	strApos := 0
+	strBpos := 0
+	outPos := 0
+
+	// intern hashes an identifier and, on a partial match, compares it
+	// byte-by-byte against the stored copy (the conflict-pair pattern).
+	intern := func() {
+		g.call(pIntern, 2, func() {
+			g.exec(6) // hash computation
+			// Identifier frequency is Zipf-like: most probes land on a
+			// small set of hot buckets (common identifiers), the rest
+			// spray across the full table.
+			bucket := g.rand(256)
+			if g.chance(1, 5) {
+				bucket = g.rand(8192)
+			}
+			g.load(hashTab.at(bucket))
+			g.exec(2)
+			if g.chance(2, 3) {
+				// Chain entry: load the symbol record.
+				rec := g.rand(96) * 4
+				if g.chance(1, 5) {
+					rec = g.rand(4096) * 4
+				}
+				g.load(symtab.at(rec))
+				g.load(symtab.at(rec + 1))
+				g.exec(2)
+				if g.chance(1, 3) {
+					// Full string comparison between the probe string
+					// (built in strA) and the stored name (in strB).
+					g.call(pStrcmp, 1, func() {
+						length := 4 + g.rand(12)
+						g.loop(length, func(i int) {
+							g.load(strA.at((strApos + i) % (48 << 10)))
+							g.load(strB.at((strBpos + i) % (48 << 10)))
+							g.exec(3)
+						})
+						strApos += length
+						strBpos += length
+					})
+				}
+			} else {
+				// New symbol: append a record.
+				rec := g.rand(4096) * 4
+				g.store(symtab.at(rec))
+				g.store(symtab.at(rec + 1))
+				g.exec(3)
+			}
+		})
+	}
+
+	// lex scans forward through the source, producing one token.
+	lex := func() {
+		g.call(pLex, 3, func() {
+			g.exec(4)
+			span := 2 + g.rand(8) // bytes consumed
+			for b := 0; b < span; b += 4 {
+				g.load(src.at((srcPos + b) % (1 << 20)))
+				g.exec(3)
+			}
+			srcPos += span
+			g.store(tokens.at(tokPos % (1 << 17)))
+			tokPos++
+			if g.chance(1, 4) {
+				intern()
+			}
+		})
+	}
+
+	// allocNode bump-allocates an AST node (6 words) and returns its
+	// index in the heap.
+	allocNode := func() int {
+		idx := heapPos
+		g.call(pAlloc, 1, func() {
+			g.exec(3)
+			for w := 0; w < 6; w++ {
+				g.store(heap.at((idx + w) % (1 << 20)))
+			}
+		})
+		heapPos += 6
+		return idx
+	}
+
+	// parse builds an expression tree of bounded depth, consuming
+	// tokens, and returns the node indices in construction order.
+	var nodes []int
+	var parse func(depth int)
+	parse = func(depth int) {
+		p := parseProcs[g.rand(nParse)]
+		g.call(p, 2, func() {
+			g.exec(5 + g.rand(8))
+			lex()
+			idx := allocNode()
+			nodes = append(nodes, idx)
+			if depth > 0 {
+				kids := 1 + g.rand(2)
+				for c := 0; c < kids; c++ {
+					g.exec(2)
+					parse(depth - 1)
+				}
+			}
+		})
+	}
+
+	// walk revisits the tree nodes (pointer-chasing loads) through the
+	// semantic/codegen procedure fabric, emitting output words.
+	walk := func(procsArr []proc, nProcs int, emit bool) {
+		for _, idx := range nodes {
+			p := procsArr[g.rand(nProcs)]
+			g.call(p, 2, func() {
+				g.exec(4 + g.rand(6))
+				for w := 0; w < 3; w++ {
+					g.load(heap.at((idx + w) % (1 << 20)))
+				}
+				g.exec(3)
+				if emit {
+					g.call(pEmit, 1, func() {
+						g.exec(3)
+						words := 1 + g.rand(3)
+						for w := 0; w < words; w++ {
+							g.store(out.at(outPos % (1 << 17)))
+							outPos++
+						}
+					})
+				} else {
+					g.store(heap.at((idx + 4) % (1 << 20)))
+				}
+			})
+		}
+	}
+
+	functions := int(scale*260 + 0.5)
+	if functions < 1 {
+		functions = 1
+	}
+	g.call(pMain, 4, func() {
+		g.loop(functions, func(f int) {
+			g.exec(6)
+			// Per-function arenas: the AST heap and token buffer are
+			// recycled when a function's compilation finishes, as real
+			// compilers do.
+			heapPos = 0
+			tokPos = 0
+			stmts := 3 + g.rand(6)
+			g.loop(stmts, func(s int) {
+				// Statement-at-a-time: parse, analyse, and generate
+				// code for each statement's tree while it is hot.
+				nodes = nodes[:0]
+				parse(2 + g.rand(3))
+				walk(semaProcs, nSema, false)
+				walk(genProcs, nGen, true)
+			})
+		})
+	})
+}

@@ -1,0 +1,72 @@
+// Package workload reconstructs the paper's six trace workloads (Table
+// 2-1): ccom (C compiler), grr (PC board CAD), yacc (Unix utility), met
+// (PC board CAD), linpack (100×100 numeric), and liver (the first 14
+// Livermore loops) — plus the strided extra workload and a
+// multiprogramming combinator.
+//
+// Generators are deterministic: the same name and scale always produce
+// the identical trace.
+//
+// # Why synthetic reconstruction
+//
+// The paper's traces are proprietary: 31–145M-instruction address traces
+// of six programs captured on a DEC WRL Titan. No copy is available, so
+// this package rebuilds each program as a deterministic generator whose
+// reference stream has the same *character* — the locality structure that
+// the paper's hardware exploits — rather than the same bytes.
+//
+// Three levels of fidelity are used:
+//
+//   - linpack and liver are address-pattern implementations of the actual
+//     algorithms: LU factorization with partial pivoting over a 100×100
+//     column-major matrix with the authentic leading dimension of 201,
+//     and the first fourteen Livermore kernels over ≈8KB vectors. Their
+//     miss behaviour *emerges* from the algorithms.
+//   - ccom, grr, yacc, and met are behavioural models: procedures placed
+//     in a text segment, call/return traffic with register save/restore
+//     on a descending stack, and the data structures each program class
+//     is known for (token buffers, AST heaps, symbol tables, routing
+//     grids, work queues, item-set bit vectors, coordinate tables).
+//   - Each model's free parameters (procedure counts and sizes, hot-table
+//     sizes, branch probabilities, conflict-pair placement) were then
+//     calibrated against the paper's Table 2-2 miss rates and Figure 3-1
+//     conflict fractions; TestCalibrationReport prints the current values
+//     and TestBaselineMissRateBands pins them.
+//
+// # The load-bearing behaviours
+//
+// The experiments depend on specific, paper-documented properties that
+// the generators must reproduce:
+//
+//   - ccom: a large instruction working set reached through calls (high I
+//     miss rate), per-statement AST construction and traversal, and the
+//     §3.1 string-comparison conflict pair (interning against colliding
+//     string storage).
+//   - grr: 2-D wavefront expansion with a drifting frontier (data
+//     locality), a sequential work queue, colliding per-layer obstacle
+//     tables, and a routing-heuristic procedure fabric that overflows the
+//     4KB I-cache — grr and yacc have above-average conflict fractions.
+//   - yacc: hot closure scratch vectors, a recently-created-states ring
+//     deliberately colliding with the closure result vector, hashed state
+//     lookup, and a moving action-table packing frontier.
+//   - met: a small hot working set (lowest non-numeric I miss rate) plus
+//     parallel per-layer coordinate tables at the same offset modulo 4KB,
+//     giving the highest conflict fraction of the suite — the paper's
+//     flagship miss/victim-cache client.
+//   - linpack: the whole matrix streams through the cache once per
+//     elimination step (§4.1's stream-buffer showcase), while conflicts
+//     are rare — the paper notes linpack benefits least from victim
+//     caching.
+//   - liver: several interleaved unit-stride streams per kernel, which
+//     defeat a single stream buffer and motivate the 4-way buffer (the
+//     paper's 7% → 60% example), with COMMON-resident scalar coefficients
+//     providing the hot references real Fortran would have.
+//
+// # Determinism and scaling
+//
+// Every generator is seeded xorshift64*; the same (benchmark, scale) pair
+// always yields the identical trace, which the experiments and golden
+// tests rely on. Scale multiplies the amount of work (compiled functions,
+// routed nets, factorization columns, kernel passes) without changing any
+// layout, so miss rates are stationary once past warm-up (scale ≈ 0.2).
+package workload

@@ -1,0 +1,101 @@
+package workload
+
+import "jouppi/internal/memtrace"
+
+// strided is an auxiliary workload outside the paper's six-benchmark
+// suite: a column-major sweep over a matrix stored row-major, i.e. a
+// constant non-unit-stride reference stream. The paper's §5 notes that
+// "numeric programs with non-unit stride ... access patterns also need to
+// be simulated"; this workload exercises the stride-detecting stream
+// buffer extension, which the plain sequential buffer cannot help.
+type strided struct{}
+
+// Strided returns the non-unit-stride matrix-walk workload.
+func Strided() Benchmark { return strided{} }
+
+func (strided) Name() string        { return "strided" }
+func (strided) Description() string { return "column-major matrix sweep (non-unit stride)" }
+
+func (strided) Generate(scale float64, sink memtrace.Sink) {
+	g := newGen(sink, 0x57FD)
+	const fw = 8
+	const rows, cols = 256, 64 // 128KB matrix, row stride 512B (32 lines)
+
+	mem := newLayout(dataBase)
+	m := array{base: mem.alloc(rows*cols*fw, 64), elem: fw}
+	sums := array{base: mem.alloc(cols*fw, 64), elem: fw}
+
+	procs := newProcAllocator()
+	pMain := procs.place(256)
+	pColSum := procs.place(128)
+
+	passes := int(scale*24 + 0.5)
+	if passes < 1 {
+		passes = 1
+	}
+	g.call(pMain, 4, func() {
+		g.loop(passes, func(p int) {
+			// Sum each column: the inner loop walks one column with a
+			// row-sized stride — the non-unit-stride stream.
+			g.loop(cols, func(j int) {
+				g.call(pColSum, 2, func() {
+					g.exec(3)
+					g.loop(rows, func(i int) {
+						g.load(m.at(i*cols + j))
+						g.exec(4)
+					})
+					g.store(sums.at(j))
+				})
+			})
+		})
+	})
+}
+
+// pointerChase is the second auxiliary workload: a linked-list traversal
+// whose node order is a random permutation, so consecutive misses share no
+// spatial relationship at all. No sequential or strided prefetcher can
+// help it — the honest negative case that bounds what the paper's stream
+// buffers (and the stride extension) can do.
+type pointerChase struct{}
+
+// PointerChase returns the random-order linked-list traversal workload.
+func PointerChase() Benchmark { return pointerChase{} }
+
+func (pointerChase) Name() string        { return "ptrchase" }
+func (pointerChase) Description() string { return "random-order linked-list walk" }
+
+func (pointerChase) Generate(scale float64, sink memtrace.Sink) {
+	g := newGen(sink, 0x9C4A)
+	const nodes = 4096  // 4096 × 64B = 256KB of nodes, 64× the 4KB cache
+	const nodeSize = 64 // one node per pair of cache lines
+
+	mem := newLayout(dataBase)
+	pool := array{base: mem.alloc(nodes*nodeSize, 64), elem: nodeSize}
+
+	// Deterministic pseudo-random permutation: traversal order is
+	// i → (a·i + c) mod nodes with a coprime multiplier, visiting every
+	// node once per lap with no spatial pattern.
+	next := func(i int) int { return (i*1597 + 511) % nodes }
+
+	procs := newProcAllocator()
+	pMain := procs.place(192)
+	pVisit := procs.place(96)
+
+	laps := int(scale*40 + 0.5)
+	if laps < 1 {
+		laps = 1
+	}
+	g.call(pMain, 4, func() {
+		g.loop(laps, func(lap int) {
+			node := lap % nodes
+			g.loop(nodes, func(step int) {
+				g.call(pVisit, 1, func() {
+					g.load(pool.at(node))     // node->next
+					g.load(pool.at(node) + 8) // node->payload
+					g.exec(5)
+				})
+				node = next(node)
+			})
+		})
+	})
+}

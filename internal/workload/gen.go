@@ -1,0 +1,154 @@
+package workload
+
+import "jouppi/internal/memtrace"
+
+// Address-space layout shared by the behavioural generators. Segments are
+// far apart so they never alias accidentally; conflict behaviour comes
+// only from cache geometry (addresses congruent modulo the cache size).
+const (
+	textBase  = 0x0010_0000 // program text
+	dataBase  = 0x1000_0000 // statics, heaps, tables
+	stackBase = 0x7fff_f000 // grows down
+	instrSize = 4           // one instruction fetch every 4 bytes
+)
+
+// gen is the little machine the behavioural benchmarks run on: a program
+// counter emitting instruction fetches, a data path emitting loads and
+// stores, a stack, and a deterministic PRNG.
+type gen struct {
+	sink memtrace.Sink
+	pc   uint64
+	sp   uint64
+	rng  uint64
+}
+
+func newGen(sink memtrace.Sink, seed uint64) *gen {
+	return &gen{sink: sink, pc: textBase, sp: stackBase, rng: seed*2654435761 | 1}
+}
+
+// rand returns a deterministic pseudo-random integer in [0, n).
+func (g *gen) rand(n int) int {
+	// xorshift64*
+	g.rng ^= g.rng >> 12
+	g.rng ^= g.rng << 25
+	g.rng ^= g.rng >> 27
+	return int((g.rng * 2685821657736338717) >> 33 % uint64(n))
+}
+
+// chance reports true with probability num/den.
+func (g *gen) chance(num, den int) bool { return g.rand(den) < num }
+
+// exec emits n sequential instruction fetches.
+func (g *gen) exec(n int) {
+	for i := 0; i < n; i++ {
+		g.sink.Access(memtrace.Access{Addr: memtrace.Addr(g.pc), Kind: memtrace.Ifetch})
+		g.pc += instrSize
+	}
+}
+
+// jump emits the branch instruction at the current pc and transfers
+// control to target.
+func (g *gen) jump(target uint64) {
+	g.exec(1)
+	g.pc = target
+}
+
+// load and store emit data references.
+func (g *gen) load(addr uint64) {
+	g.sink.Access(memtrace.Access{Addr: memtrace.Addr(addr), Kind: memtrace.Load})
+}
+
+func (g *gen) store(addr uint64) {
+	g.sink.Access(memtrace.Access{Addr: memtrace.Addr(addr), Kind: memtrace.Store})
+}
+
+// loop runs body iters times with a backward branch after each iteration,
+// so the instruction fetches of every iteration cover the same text
+// addresses — the fundamental loop locality the I-cache sees.
+func (g *gen) loop(iters int, body func(i int)) {
+	if iters <= 0 {
+		return
+	}
+	top := g.pc
+	for i := 0; i < iters; i++ {
+		g.pc = top
+		body(i)
+		g.exec(1) // the backward branch (falls through on the last pass)
+	}
+}
+
+// proc is a procedure placed in the text segment.
+type proc struct {
+	base uint64
+}
+
+// call transfers control to p with callWords of register save/restore
+// traffic on the stack, runs body, and returns. The body's instruction
+// fetches start at p.base on every call, giving procedures stable
+// footprints that conflict (or not) purely by their placement.
+func (g *gen) call(p proc, saveWords int, body func()) {
+	g.exec(1) // the call instruction
+	ret := g.pc
+	sp := g.sp
+	g.sp -= uint64(8 * (saveWords + 2))
+	g.pc = p.base
+	for i := 0; i < saveWords; i++ {
+		g.store(g.sp + uint64(8*i))
+	}
+	body()
+	for i := 0; i < saveWords; i++ {
+		g.load(g.sp + uint64(8*i))
+	}
+	g.exec(1) // the return instruction
+	g.sp = sp
+	g.pc = ret
+}
+
+// layout hands out non-overlapping memory regions.
+type layout struct{ next uint64 }
+
+func newLayout(base uint64) *layout { return &layout{next: base} }
+
+// alloc returns size bytes aligned to align (a power of two).
+func (l *layout) alloc(size, align uint64) uint64 {
+	l.next = (l.next + align - 1) &^ (align - 1)
+	addr := l.next
+	l.next += size
+	return addr
+}
+
+// allocAt returns a region whose address is congruent to offset modulo
+// modulus — the tool for constructing deliberate cache conflicts.
+func (l *layout) allocAt(size, modulus, offset uint64) uint64 {
+	l.next = (l.next + modulus - 1) &^ (modulus - 1)
+	addr := l.next + offset
+	l.next = addr + size
+	return addr
+}
+
+// array is a traced array of fixed-size elements.
+type array struct {
+	base uint64
+	elem uint64
+}
+
+func (a array) at(i int) uint64 { return a.base + uint64(i)*a.elem }
+
+// procAllocator places procedures in the text segment. Procedures are
+// padded to 16-byte boundaries like real linkers do.
+type procAllocator struct{ l layout }
+
+func newProcAllocator() *procAllocator {
+	return &procAllocator{l: layout{next: textBase}}
+}
+
+// place returns a procedure of the given size in bytes.
+func (pa *procAllocator) place(size int) proc {
+	return proc{base: pa.l.alloc(uint64(size), 16)}
+}
+
+// placeConflicting returns a procedure whose start collides with addr
+// modulo modulus (e.g. the I-cache size), forcing mapping conflicts.
+func (pa *procAllocator) placeConflicting(size int, modulus, addr uint64) proc {
+	return proc{base: pa.l.allocAt(uint64(size), modulus, addr%modulus)}
+}

@@ -1,0 +1,185 @@
+package workload
+
+import "jouppi/internal/memtrace"
+
+// grr is a behavioural model of a printed-circuit-board router (DEC's
+// internal "grr" CAD tool): for each net it runs a Lee-style wavefront
+// expansion over a large routing grid — breadth-first search with a work
+// queue — then backtraces the found path and marks it. The wavefront has
+// strong 2-D locality (neighbour probes around a slowly moving frontier),
+// the work queue contributes sequential streams, per-layer obstacle tables
+// contribute mapping conflicts, and the routing-heuristic procedure fabric
+// is large enough that the instruction cache sees steady conflict traffic
+// — grr and yacc are the paper's examples of programs with above-average
+// conflict-miss fractions.
+type grr struct{}
+
+// Grr returns the PC-board-router benchmark.
+func Grr() Benchmark { return grr{} }
+
+func (grr) Name() string        { return "grr" }
+func (grr) Description() string { return "PC board CAD" }
+
+func (grr) Generate(scale float64, sink memtrace.Sink) {
+	g := newGen(sink, 0x6121)
+
+	const width = 256 // grid cells per row
+	const height = 256
+	const cell = 2 // bytes per grid cell
+
+	mem := newLayout(dataBase)
+	grid := array{base: mem.alloc(width*height*cell, 64), elem: cell}
+	// Offset the cost array by half the 4KB cache so grid[i] and cost[i]
+	// do not collide (they are always accessed together).
+	cost := array{base: mem.allocAt(width*height*cell, 4096, 2048), elem: cell}
+	queue := array{base: mem.alloc(1<<20, 64), elem: 4}
+	nets := array{base: mem.alloc(1<<18, 64), elem: 16}
+	path := array{base: mem.alloc(1<<16, 64), elem: 4}
+	// Per-layer obstacle tables that collide in the cache: checked
+	// alternately during expansion.
+	obstA := array{base: mem.allocAt(32<<10, 4096, 0x80), elem: 4}
+	obstB := array{base: mem.allocAt(32<<10, 4096, 0x80), elem: 4}
+
+	procs := newProcAllocator()
+	pMain := procs.place(320)
+	pRoute := procs.place(512)
+	pExpand := procs.place(384)
+	pProbe := procs.place(128)
+	pBacktrace := procs.place(256)
+	pMark := procs.place(96)
+	pObst := procs.place(112)
+	// Routing heuristics: cost evaluation differs by net class, layer,
+	// and congestion — a fabric of mid-sized procedures that overflows a
+	// 4KB instruction cache when cycled.
+	const nHeur = 26
+	heur := make([]proc, nHeur)
+	for i := range heur {
+		heur[i] = procs.place(224 + 32*(i%5))
+	}
+
+	cellAt := func(x, y int) int { return y*width + x }
+
+	// The moving wavefront frontier for the current net.
+	cx, cy := width/2, height/2
+
+	// probe examines one neighbour cell: grid load, cost compare, and on
+	// acceptance a cost store plus queue append.
+	qHead, qTail := 0, 0
+	probe := func(idx int) {
+		g.call(pProbe, 1, func() {
+			g.load(grid.at(idx))
+			g.exec(3)
+			g.load(cost.at(idx))
+			g.exec(2)
+			if g.chance(2, 5) { // cell improves: relax and enqueue
+				g.store(cost.at(idx))
+				g.store(queue.at(qTail % (1 << 18)))
+				qTail++
+				g.exec(2)
+			}
+		})
+	}
+
+	// checkObstacles consults the two per-layer tables around the
+	// frontier — the alternating conflicting-pair pattern.
+	checkObstacles := func(idx int) {
+		g.call(pObst, 1, func() {
+			g.exec(2)
+			g.load(obstA.at(idx % 8000))
+			g.exec(2)
+			g.load(obstB.at(idx % 8000))
+			g.exec(2)
+		})
+	}
+
+	// evaluate runs the net's cost heuristic for the frontier cell.
+	evaluate := func(h int, idx int) {
+		g.call(heur[h], 2, func() {
+			g.exec(28 + h%9)
+			g.load(cost.at(idx))
+			g.exec(24)
+		})
+	}
+
+	// expand pops one frontier cell and probes its four neighbours. The
+	// frontier drifts a few cells per expansion, as a real wavefront
+	// does.
+	expand := func(h int) {
+		g.call(pExpand, 2, func() {
+			g.exec(3)
+			g.load(queue.at(qHead % (1 << 18)))
+			qHead++
+			cx += g.rand(3) - 1
+			if g.chance(1, 4) {
+				cy += g.rand(3) - 1
+			}
+			if cx < 1 {
+				cx = 1
+			} else if cx > width-2 {
+				cx = width - 2
+			}
+			if cy < 1 {
+				cy = 1
+			} else if cy > height-2 {
+				cy = height - 2
+			}
+			idx := cellAt(cx, cy)
+			g.load(grid.at(idx))
+			g.exec(2)
+			evaluate(g.rand(nHeur), idx)
+			if g.chance(1, 3) { // cell flagged: consult the layer tables
+				checkObstacles(idx)
+			}
+			_ = h
+			probe(cellAt(cx+1, cy))
+			probe(cellAt(cx-1, cy))
+			probe(cellAt(cx, cy+1))
+			probe(cellAt(cx, cy-1))
+		})
+	}
+
+	// backtrace walks the found path back to the source, marking cells.
+	backtrace := func(steps int) {
+		g.call(pBacktrace, 2, func() {
+			x, y := cx, cy
+			g.loop(steps, func(i int) {
+				idx := cellAt(x, y)
+				g.load(cost.at(idx))
+				g.exec(3)
+				g.call(pMark, 1, func() {
+					g.store(grid.at(idx))
+					g.store(path.at(i % (1 << 14)))
+					g.exec(2)
+				})
+				// Step toward the source along one axis.
+				if g.chance(1, 2) && x > 1 {
+					x--
+				} else if y > 1 {
+					y--
+				}
+			})
+		})
+	}
+
+	netsToRoute := int(scale*420 + 0.5)
+	if netsToRoute < 1 {
+		netsToRoute = 1
+	}
+	g.call(pMain, 4, func() {
+		g.loop(netsToRoute, func(netIdx int) {
+			g.exec(4)
+			g.load(nets.at(netIdx % (1 << 14)))
+			g.load(nets.at(netIdx%(1<<14) + 1))
+			// New net: the wavefront restarts at the net's pins.
+			cx, cy = 1+g.rand(width-2), 1+g.rand(height-2)
+			h := g.rand(nHeur)
+			g.call(pRoute, 3, func() {
+				g.exec(6)
+				g.loop(40+g.rand(80), func(e int) {
+					expand(h)
+				})
+				backtrace(10 + g.rand(30))
+			})
+		})
+	})
+}

@@ -1,0 +1,177 @@
+package workload
+
+import "jouppi/internal/memtrace"
+
+// linpack reconstructs the address behaviour of the 100×100 LINPACK
+// benchmark: LU factorization (dgefa) with partial pivoting followed by
+// back-substitution (dgesl), with the classic column-oriented BLAS-1 inner
+// loops (idamax, dscal, daxpy). The 80KB column-major matrix streams
+// through the 4KB data cache on every elimination step — the paper's
+// example of a workload whose misses are long sequential runs that a
+// stream buffer can service at full second-level bandwidth, while a victim
+// cache barely helps (linpack benefits least from victim caching of the
+// six).
+type linpack struct{}
+
+// Linpack returns the 100×100 numeric benchmark.
+func Linpack() Benchmark { return linpack{} }
+
+func (linpack) Name() string        { return "linpack" }
+func (linpack) Description() string { return "100x100 numeric" }
+
+func (linpack) Generate(scale float64, sink memtrace.Sink) {
+	g := newGen(sink, 0x11A9)
+	const n = 100
+	const fw = 8 // float64 width
+
+	// The real 100×100 LINPACK declares the matrix a(201,200): columns
+	// are lda elements apart, not n.
+	const lda = 201
+
+	mem := newLayout(dataBase)
+	// Column-major matrix: column j starts lda float64s after column j-1.
+	aBase := mem.alloc(n*lda*fw, 64)
+	colAddr := func(j, i int) uint64 { return aBase + uint64(j*lda+i)*fw }
+	b := array{base: mem.alloc(n*fw, 64), elem: fw}
+	ipvt := array{base: mem.alloc(n*4, 64), elem: 4}
+
+	procs := newProcAllocator()
+	pMain := procs.place(512)
+	pDgefa := procs.place(768)
+	pIdamax := procs.place(128)
+	pDscal := procs.place(128)
+	pDaxpy := procs.place(160)
+	pDgesl := procs.place(512)
+
+	// idamax: find the pivot row in column k.
+	idamax := func(k int) {
+		g.call(pIdamax, 2, func() {
+			g.exec(4)
+			g.loop(n-k, func(i int) {
+				g.load(colAddr(k, k+i))
+				g.exec(3) // compare-and-update-max
+			})
+			g.exec(2)
+		})
+	}
+
+	// dscal: scale column k below the diagonal.
+	dscal := func(k int) {
+		g.call(pDscal, 2, func() {
+			g.exec(3)
+			g.loop(n-k-1, func(i int) {
+				g.load(colAddr(k, k+1+i))
+				g.exec(3)
+				g.store(colAddr(k, k+1+i))
+			})
+		})
+	}
+
+	// daxpy: a[k+1..n-1, j] += t * a[k+1..n-1, k].
+	daxpy := func(k, j int) {
+		g.call(pDaxpy, 2, func() {
+			g.exec(3)
+			g.loop(n-k-1, func(i int) {
+				g.load(colAddr(k, k+1+i)) // x element
+				g.exec(2)
+				g.load(colAddr(j, k+1+i)) // y element
+				g.exec(2)
+				g.store(colAddr(j, k+1+i))
+			})
+		})
+	}
+
+	// dgefa runs the elimination up to kLimit columns (n-1 for the full
+	// factorization); fractional workload scales truncate it.
+	dgefa := func(kLimit int) {
+		g.call(pDgefa, 4, func() {
+			g.loop(kLimit, func(k int) {
+				g.exec(4)
+				idamax(k)
+				g.store(ipvt.at(k))
+				g.exec(3) // pivot swap bookkeeping
+				g.load(colAddr(k, k))
+				dscal(k)
+				g.loop(n-k-1, func(jj int) {
+					j := k + 1 + jj
+					g.exec(2)
+					g.load(colAddr(j, k)) // t = a[k][j] pivot element
+					daxpy(k, j)
+				})
+			})
+		})
+	}
+
+	dgesl := func() {
+		g.call(pDgesl, 4, func() {
+			// Forward elimination on b.
+			g.loop(n-1, func(k int) {
+				g.exec(3)
+				g.load(ipvt.at(k))
+				g.load(b.at(k))
+				g.loop(n-k-1, func(i int) {
+					g.load(colAddr(k, k+1+i))
+					g.load(b.at(k + 1 + i))
+					g.exec(2)
+					g.store(b.at(k + 1 + i))
+				})
+			})
+			// Back substitution.
+			g.loop(n, func(kk int) {
+				k := n - 1 - kk
+				g.exec(3)
+				g.load(b.at(k))
+				g.load(colAddr(k, k))
+				g.store(b.at(k))
+				g.loop(k, func(i int) {
+					g.load(colAddr(k, i))
+					g.load(b.at(i))
+					g.exec(2)
+					g.store(b.at(i))
+				})
+			})
+		})
+	}
+
+	// Translate the scale into whole factorizations plus a truncated
+	// final one. Elimination step k costs about (n-k)² element
+	// operations, so the truncation point for a fractional remainder is
+	// found by accumulating that cost.
+	whole := int(scale)
+	frac := scale - float64(whole)
+	kFrac := 0
+	if frac > 0 {
+		total := 0.0
+		for k := 0; k < n-1; k++ {
+			total += float64((n - k) * (n - k))
+		}
+		acc := 0.0
+		for k := 0; k < n-1 && acc < frac*total; k++ {
+			acc += float64((n - k) * (n - k))
+			kFrac = k + 1
+		}
+	}
+	if whole == 0 && kFrac == 0 {
+		kFrac = 1
+	}
+
+	runOnce := func(kLimit int) {
+		// Matrix (re)generation: one sequential pass of stores.
+		g.loop(n*n/4, func(i int) {
+			g.exec(3)
+			for e := 0; e < 4; e++ {
+				g.store(aBase + uint64(i*4+e)*fw)
+			}
+		})
+		dgefa(kLimit)
+		dgesl()
+	}
+	g.call(pMain, 4, func() {
+		g.loop(whole, func(rep int) {
+			runOnce(n - 1)
+		})
+		if kFrac > 0 {
+			runOnce(kFrac)
+		}
+	})
+}

@@ -1,0 +1,226 @@
+package workload
+
+import "jouppi/internal/memtrace"
+
+// liver reconstructs the first 14 Livermore Fortran kernels, which the
+// paper runs sequentially as its "liver" benchmark. Each kernel is a
+// small loop over a handful of large arrays — interleaved unit-stride
+// reference streams, the workload that motivates the multi-way stream
+// buffer (a single buffer thrashes between the streams; four buffers in
+// parallel capture them). The loop bodies are tiny and executed
+// back-to-back, so instruction misses are essentially nil.
+type liver struct{}
+
+// Liver returns the Livermore-loops benchmark.
+func Liver() Benchmark { return liver{} }
+
+func (liver) Name() string        { return "liver" }
+func (liver) Description() string { return "LFK (numeric)" }
+
+func (liver) Generate(scale float64, sink memtrace.Sink) {
+	g := newGen(sink, 0x11FE)
+	const fw = 8
+	const n = 990 // elements per vector; ~8KB, twice the 4KB data cache
+
+	mem := newLayout(dataBase)
+	vec := func() array { return array{base: mem.alloc((n+16)*fw, 64), elem: fw} }
+	x, y, z, u, v, w := vec(), vec(), vec(), vec(), vec(), vec()
+	// 2D state for kernels 8–10 and 13–14.
+	rows := 64
+	cols := 16
+	px := array{base: mem.alloc(uint64(rows*cols)*fw, 64), elem: fw}
+	pxAt := func(i, j int) uint64 { return px.at(i*cols + j) }
+	grid := array{base: mem.alloc(64*1024, 64), elem: fw}
+	// Scalar coefficients (q, r, t, ...) live in COMMON storage in the
+	// Fortran kernels: loaded every iteration, always hot.
+	coef := array{base: mem.alloc(256, 64), elem: fw}
+
+	procs := newProcAllocator()
+	kproc := make([]proc, 15)
+	for k := 1; k <= 14; k++ {
+		kproc[k] = procs.place(256)
+	}
+	pMain := procs.place(256)
+
+	kernels := []func(){
+		// K1: hydro fragment — x[k] = q + y[k]*(r*z[k+10] + t*z[k+11]).
+		func() {
+			g.loop(n-12, func(k int) {
+				g.load(coef.at(0)) // q
+				g.load(coef.at(1)) // r
+				g.load(z.at(k + 10))
+				g.load(z.at(k + 11))
+				g.exec(3)
+				g.load(coef.at(2)) // t
+				g.load(y.at(k))
+				g.exec(3)
+				g.store(x.at(k))
+			})
+		},
+		// K2: ICCG excerpt — strided gathers over a halving index set.
+		func() {
+			for ii := n / 2; ii >= 4; ii /= 2 {
+				g.exec(4)
+				g.loop(ii/2, func(i int) {
+					g.load(coef.at(1)) // r
+					g.load(x.at(2 * i))
+					g.load(v.at(i))
+					g.load(x.at(2*i + 1))
+					g.exec(4)
+					g.store(x.at(i))
+				})
+			}
+		},
+		// K3: inner product — q += z[k]*x[k].
+		func() {
+			g.loop(n, func(k int) {
+				g.load(z.at(k))
+				g.load(x.at(k))
+				g.exec(3)
+				g.load(coef.at(4)) // q accumulator
+				g.store(coef.at(4))
+			})
+		},
+		// K4: banded linear equations.
+		func() {
+			for j := 0; j < 3; j++ {
+				g.exec(4)
+				g.loop((n-6)/5, func(k int) {
+					g.load(coef.at(7 + j)) // band coefficient
+					g.load(y.at(5 * k))
+					g.load(z.at(5*k + j))
+					g.exec(4)
+					g.store(x.at(5 * k))
+				})
+			}
+		},
+		// K5: tri-diagonal elimination — x[i] = z[i]*(y[i] − x[i−1]).
+		func() {
+			g.loop(n-1, func(i int) {
+				g.load(z.at(i + 1))
+				g.load(y.at(i + 1))
+				g.load(x.at(i)) // usually the line just stored: hits
+				g.exec(3)
+				g.store(x.at(i + 1))
+			})
+		},
+		// K6: general linear recurrence (banded to keep O(n)).
+		func() {
+			g.loop(n-16, func(i int) {
+				g.load(coef.at(10))
+				for k := 0; k < 3; k++ {
+					g.load(w.at(i + k))
+					g.exec(2)
+				}
+				g.load(y.at(i))
+				g.exec(2)
+				g.store(w.at(i + 16))
+			})
+		},
+		// K7: equation of state fragment — many operands per element.
+		func() {
+			g.loop(n-8, func(k int) {
+				g.load(coef.at(1)) // r
+				g.load(u.at(k))
+				g.load(z.at(k))
+				g.load(y.at(k))
+				g.exec(4)
+				g.load(coef.at(2)) // t
+				g.load(u.at(k + 3))
+				g.load(u.at(k + 6))
+				g.exec(4)
+				g.store(x.at(k))
+			})
+		},
+		// K8: ADI integration — six streams.
+		func() {
+			g.loop(n-4, func(k int) {
+				g.load(coef.at(5)) // a11..a13
+				g.load(coef.at(6))
+				g.load(u.at(k))
+				g.load(v.at(k))
+				g.load(w.at(k))
+				g.exec(5)
+				g.load(x.at(k))
+				g.exec(3)
+				g.store(y.at(k))
+				g.store(z.at(k))
+			})
+		},
+		// K9: integrate predictors — row-wise polynomial evaluation.
+		func() {
+			g.loop(rows, func(i int) {
+				for j := 4; j < 13; j++ {
+					g.load(pxAt(i, j))
+					g.exec(2)
+				}
+				g.store(pxAt(i, 0))
+			})
+		},
+		// K10: difference predictors — shifting cascade along each row.
+		func() {
+			g.loop(rows, func(i int) {
+				g.load(pxAt(i, 4))
+				for j := 12; j > 4; j-- {
+					g.load(pxAt(i, j-1))
+					g.exec(2)
+					g.store(pxAt(i, j))
+				}
+			})
+		},
+		// K11: first sum — x[k] = x[k−1] + y[k].
+		func() {
+			g.loop(n-1, func(k int) {
+				g.load(x.at(k))
+				g.load(y.at(k + 1))
+				g.exec(2)
+				g.store(x.at(k + 1))
+			})
+		},
+		// K12: first difference — x[k] = y[k+1] − y[k].
+		func() {
+			g.loop(n-1, func(k int) {
+				g.load(y.at(k + 1))
+				g.load(y.at(k))
+				g.exec(2)
+				g.store(x.at(k))
+			})
+		},
+		// K13: 2-D particle in cell — gather/scatter through the grid.
+		func() {
+			g.loop(n/2, func(ip int) {
+				g.load(y.at(ip)) // particle coordinates
+				g.load(z.at(ip))
+				g.exec(4)
+				cell := uint64(ip*8+g.rand(64)) % 8000 * fw
+				g.load(grid.base + cell)
+				g.exec(3)
+				g.store(grid.base + cell)
+				g.store(y.at(ip))
+			})
+		},
+		// K14: 1-D particle in cell.
+		func() {
+			g.loop(n/2, func(ip int) {
+				g.load(v.at(ip))
+				g.exec(3)
+				cell := uint64(ip*4+g.rand(32)) % 4000 * fw
+				g.load(grid.base + cell)
+				g.exec(2)
+				g.store(grid.base + cell)
+			})
+		},
+	}
+
+	passes := int(scale*16 + 0.5)
+	if passes < 1 {
+		passes = 1
+	}
+	g.call(pMain, 4, func() {
+		g.loop(passes, func(p int) {
+			for k, kernel := range kernels {
+				g.call(kproc[k+1], 3, kernel)
+			}
+		})
+	})
+}

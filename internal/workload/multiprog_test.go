@@ -1,0 +1,101 @@
+package workload
+
+import (
+	"testing"
+
+	"jouppi/internal/memtrace"
+)
+
+func TestMultiprogramValidation(t *testing.T) {
+	for _, fn := range []func(){
+		func() { Multiprogram(0, Met()) },
+		func() { Multiprogram(100) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("no panic on invalid Multiprogram arguments")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestMultiprogramNameAndDescription(t *testing.T) {
+	m := Multiprogram(1000, Met(), Yacc())
+	if m.Name() != "multi(met+yacc)" {
+		t.Errorf("name = %q", m.Name())
+	}
+	if m.Description() == "" {
+		t.Error("empty description")
+	}
+}
+
+func TestMultiprogramPreservesAllAccesses(t *testing.T) {
+	a := GenerateTrace(Met(), 0.02)
+	b := GenerateTrace(Yacc(), 0.02)
+	merged := GenerateTrace(Multiprogram(500, Met(), Yacc()), 0.02)
+	if got, want := merged.Len(), a.Len()+b.Len(); got != want {
+		t.Fatalf("merged length %d, want %d", got, want)
+	}
+	if got, want := merged.Instructions(), a.Instructions()+b.Instructions(); got != want {
+		t.Errorf("merged instructions %d, want %d", got, want)
+	}
+}
+
+func TestMultiprogramOffsetsProcesses(t *testing.T) {
+	merged := GenerateTrace(Multiprogram(500, Met(), Yacc()), 0.02)
+	const stride = uint64(1) << 40
+	var inP0, inP1 int
+	merged.Each(func(acc memtrace.Access) {
+		switch uint64(acc.Addr) / stride {
+		case 0:
+			inP0++
+		case 1:
+			inP1++
+		default:
+			t.Fatalf("access outside both process regions: %v", acc)
+		}
+	})
+	if inP0 == 0 || inP1 == 0 {
+		t.Fatalf("process regions unused: p0=%d p1=%d", inP0, inP1)
+	}
+}
+
+func TestMultiprogramOffsetsPreserveIndexBits(t *testing.T) {
+	// The per-process offset must not change addr mod 4096, so the
+	// cache-set behaviour of each program is preserved.
+	single := GenerateTrace(Yacc(), 0.02)
+	merged := GenerateTrace(Multiprogram(1<<30, Met(), Yacc()), 0.02)
+	// With a quantum larger than either trace, the merged trace is met
+	// followed by yacc; extract the yacc tail and compare index bits.
+	metLen := GenerateTrace(Met(), 0.02).Len()
+	for i := 0; i < 100; i++ {
+		got := merged.At(metLen + i)
+		want := single.At(i)
+		if uint64(got.Addr)%4096 != uint64(want.Addr)%4096 {
+			t.Fatalf("access %d: index bits changed: %#x vs %#x", i, got.Addr, want.Addr)
+		}
+		if got.Kind != want.Kind {
+			t.Fatalf("access %d: kind changed", i)
+		}
+	}
+}
+
+func TestMultiprogramInterleavesByQuantum(t *testing.T) {
+	const stride = uint64(1) << 40
+	merged := GenerateTrace(Multiprogram(200, Met(), Yacc()), 0.02)
+	switches := 0
+	last := -1
+	merged.Each(func(a memtrace.Access) {
+		p := int(uint64(a.Addr) / stride)
+		if p != last {
+			switches++
+			last = p
+		}
+	})
+	if switches < 10 {
+		t.Errorf("only %d context switches; quantum interleaving broken", switches)
+	}
+}

@@ -1,0 +1,70 @@
+package workload
+
+import (
+	"fmt"
+	"sort"
+
+	"jouppi/internal/memtrace"
+)
+
+// Benchmark generates the reference trace of one test program.
+type Benchmark interface {
+	// Name is the paper's program name (e.g. "ccom").
+	Name() string
+	// Description matches Table 2-1's "program type" column.
+	Description() string
+	// Generate emits the program's reference trace into sink. scale
+	// linearly scales the amount of work; 1.0 is the default length
+	// (roughly 1–4 M instructions depending on the benchmark).
+	Generate(scale float64, sink memtrace.Sink)
+}
+
+// All returns the six benchmarks in the paper's Table 2-1 order.
+func All() []Benchmark {
+	return []Benchmark{
+		Ccom(),
+		Grr(),
+		Yacc(),
+		Met(),
+		Linpack(),
+		Liver(),
+	}
+}
+
+// Names returns the benchmark names in paper order.
+func Names() []string {
+	all := All()
+	names := make([]string, len(all))
+	for i, b := range all {
+		names[i] = b.Name()
+	}
+	return names
+}
+
+// ByName looks a benchmark up by its paper name.
+func ByName(name string) (Benchmark, bool) {
+	for _, b := range All() {
+		if b.Name() == name {
+			return b, true
+		}
+	}
+	return nil, false
+}
+
+// MustByName is ByName but panics on unknown names, listing the valid ones.
+func MustByName(name string) Benchmark {
+	b, ok := ByName(name)
+	if !ok {
+		names := Names()
+		sort.Strings(names)
+		panic(fmt.Sprintf("workload: unknown benchmark %q (have %v)", name, names))
+	}
+	return b
+}
+
+// GenerateTrace runs b into a fresh in-memory trace.
+func GenerateTrace(b Benchmark, scale float64) *memtrace.Trace {
+	t := memtrace.NewTrace(1 << 20)
+	b.Generate(scale, t)
+	return t
+}

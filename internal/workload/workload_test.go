@@ -1,0 +1,361 @@
+package workload
+
+import (
+	"testing"
+
+	"jouppi/internal/cache"
+	"jouppi/internal/memtrace"
+)
+
+func TestAllReturnsSixInPaperOrder(t *testing.T) {
+	want := []string{"ccom", "grr", "yacc", "met", "linpack", "liver"}
+	all := All()
+	if len(all) != len(want) {
+		t.Fatalf("All() returned %d benchmarks, want %d", len(all), len(want))
+	}
+	for i, b := range all {
+		if b.Name() != want[i] {
+			t.Errorf("All()[%d] = %q, want %q", i, b.Name(), want[i])
+		}
+		if b.Description() == "" {
+			t.Errorf("%s has empty description", b.Name())
+		}
+	}
+	if names := Names(); len(names) != 6 || names[0] != "ccom" {
+		t.Errorf("Names() = %v", names)
+	}
+}
+
+func TestByName(t *testing.T) {
+	if b, ok := ByName("linpack"); !ok || b.Name() != "linpack" {
+		t.Error("ByName(linpack) failed")
+	}
+	if _, ok := ByName("nosuch"); ok {
+		t.Error("ByName accepted unknown name")
+	}
+	if MustByName("liver").Name() != "liver" {
+		t.Error("MustByName failed")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustByName did not panic on unknown name")
+		}
+	}()
+	MustByName("nosuch")
+}
+
+func TestGeneratorsAreDeterministic(t *testing.T) {
+	for _, b := range All() {
+		a := GenerateTrace(b, 0.02)
+		c := GenerateTrace(b, 0.02)
+		if a.Len() != c.Len() {
+			t.Fatalf("%s: lengths differ between runs: %d vs %d", b.Name(), a.Len(), c.Len())
+		}
+		for i := 0; i < a.Len(); i++ {
+			if a.At(i) != c.At(i) {
+				t.Fatalf("%s: access %d differs: %v vs %v", b.Name(), i, a.At(i), c.At(i))
+			}
+		}
+	}
+}
+
+func TestScaleGrowsTraces(t *testing.T) {
+	for _, b := range All() {
+		small := GenerateTrace(b, 0.05)
+		big := GenerateTrace(b, 0.2)
+		if big.Len() <= small.Len() {
+			t.Errorf("%s: scale 0.2 trace (%d) not larger than 0.05 (%d)",
+				b.Name(), big.Len(), small.Len())
+		}
+	}
+}
+
+func TestTracesAreWellFormed(t *testing.T) {
+	for _, b := range All() {
+		tr := GenerateTrace(b, 0.05)
+		if tr.Instructions() == 0 {
+			t.Errorf("%s: no instructions", b.Name())
+		}
+		if tr.DataRefs() == 0 {
+			t.Errorf("%s: no data refs", b.Name())
+		}
+		// Every instruction fetch must be 4-byte aligned and in the text
+		// segment; data refs must be outside it.
+		bad := 0
+		tr.Each(func(a memtrace.Access) {
+			if a.Kind == memtrace.Ifetch {
+				if uint64(a.Addr)%4 != 0 || uint64(a.Addr) < textBase || uint64(a.Addr) >= dataBase {
+					bad++
+				}
+			} else {
+				if uint64(a.Addr) < dataBase {
+					bad++
+				}
+			}
+		})
+		if bad > 0 {
+			t.Errorf("%s: %d malformed accesses", b.Name(), bad)
+		}
+		// The data/instruction ratio should be in a plausible range
+		// (Table 2-1 ratios are 0.2–0.5; generators run 0.2–0.9).
+		ratio := float64(tr.DataRefs()) / float64(tr.Instructions())
+		if ratio < 0.1 || ratio > 1.2 {
+			t.Errorf("%s: data/instr ratio %.2f out of range", b.Name(), ratio)
+		}
+	}
+}
+
+// runBaseline replays a benchmark against the paper's baseline 4KB split
+// I/D caches and returns the miss rates.
+func runBaseline(t *testing.T, b Benchmark, scale float64) (imr, dmr float64) {
+	t.Helper()
+	tr := GenerateTrace(b, scale)
+	l1i := cache.MustNew(cache.Config{Size: 4096, LineSize: 16, Assoc: 1})
+	l1d := cache.MustNew(cache.Config{Size: 4096, LineSize: 16, Assoc: 1})
+	tr.Each(func(a memtrace.Access) {
+		if a.Kind == memtrace.Ifetch {
+			l1i.Access(uint64(a.Addr), false)
+		} else {
+			l1d.Access(uint64(a.Addr), a.Kind == memtrace.Store)
+		}
+	})
+	return l1i.Stats().MissRate(), l1d.Stats().MissRate()
+}
+
+// TestBaselineMissRateBands asserts each benchmark's baseline miss rates
+// stay within a calibration band around the paper's Table 2-2. The bands
+// are generous (the generators are models, not the original traces) but
+// tight enough to catch regressions that would change experiment shapes.
+func TestBaselineMissRateBands(t *testing.T) {
+	bands := map[string]struct{ iLo, iHi, dLo, dHi float64 }{
+		"ccom":    {0.06, 0.14, 0.08, 0.17},
+		"grr":     {0.035, 0.09, 0.04, 0.10},
+		"yacc":    {0.012, 0.045, 0.025, 0.08},
+		"met":     {0.006, 0.030, 0.020, 0.06},
+		"linpack": {0.0, 0.005, 0.10, 0.25},
+		"liver":   {0.0, 0.005, 0.20, 0.40},
+	}
+	for _, b := range All() {
+		band := bands[b.Name()]
+		imr, dmr := runBaseline(t, b, 0.25)
+		if imr < band.iLo || imr > band.iHi {
+			t.Errorf("%s: instruction miss rate %.4f outside [%.3f, %.3f]",
+				b.Name(), imr, band.iLo, band.iHi)
+		}
+		if dmr < band.dLo || dmr > band.dHi {
+			t.Errorf("%s: data miss rate %.4f outside [%.3f, %.3f]",
+				b.Name(), dmr, band.dLo, band.dHi)
+		}
+	}
+}
+
+func TestGenEmitsExpectedShapes(t *testing.T) {
+	tr := memtrace.NewTrace(0)
+	g := newGen(tr, 1)
+	g.exec(3)
+	if tr.Len() != 3 || tr.Instructions() != 3 {
+		t.Fatalf("exec emitted %d accesses", tr.Len())
+	}
+	if tr.At(1).Addr != tr.At(0).Addr+4 {
+		t.Error("exec addresses not sequential")
+	}
+	g.load(0x2000_0000)
+	g.store(0x2000_0008)
+	if tr.Loads() != 1 || tr.Stores() != 1 {
+		t.Error("load/store counts wrong")
+	}
+}
+
+func TestGenLoopRepeatsText(t *testing.T) {
+	tr := memtrace.NewTrace(0)
+	g := newGen(tr, 1)
+	g.loop(3, func(i int) { g.exec(2) })
+	// Each iteration: 2 body instructions + 1 branch, at identical
+	// addresses across iterations.
+	if tr.Len() != 9 {
+		t.Fatalf("loop emitted %d accesses, want 9", tr.Len())
+	}
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			if tr.At(i*3+j).Addr != tr.At(j).Addr {
+				t.Fatalf("iteration %d instruction %d at %#x, want %#x",
+					i, j, tr.At(i*3+j).Addr, tr.At(j).Addr)
+			}
+		}
+	}
+	// Zero iterations emit nothing.
+	before := tr.Len()
+	g.loop(0, func(int) { g.exec(5) })
+	if tr.Len() != before {
+		t.Error("empty loop emitted accesses")
+	}
+}
+
+func TestGenCallRestoresState(t *testing.T) {
+	tr := memtrace.NewTrace(0)
+	g := newGen(tr, 1)
+	p := proc{base: textBase + 0x1000}
+	pcBefore, spBefore := g.pc, g.sp
+	g.call(p, 2, func() {
+		if g.pc != p.base {
+			t.Errorf("body pc = %#x, want %#x", g.pc, p.base)
+		}
+		if g.sp >= spBefore {
+			t.Error("sp did not descend for frame")
+		}
+		g.exec(4)
+	})
+	if g.pc != pcBefore+4 {
+		t.Errorf("pc after call = %#x, want %#x", g.pc, pcBefore+4)
+	}
+	if g.sp != spBefore {
+		t.Error("sp not restored after call")
+	}
+	// 2 saves + 2 restores of the frame words.
+	if tr.Stores() != 2 || tr.Loads() != 2 {
+		t.Errorf("frame traffic = %d stores / %d loads, want 2/2", tr.Stores(), tr.Loads())
+	}
+}
+
+func TestLayoutAllocators(t *testing.T) {
+	l := newLayout(0x1000)
+	a := l.alloc(100, 64)
+	b := l.alloc(100, 64)
+	if a%64 != 0 || b%64 != 0 {
+		t.Error("alloc alignment violated")
+	}
+	if b < a+100 {
+		t.Error("alloc regions overlap")
+	}
+	c := l.allocAt(64, 4096, 0x123)
+	if c%4096 != 0x123 {
+		t.Errorf("allocAt offset = %#x, want 0x123", c%4096)
+	}
+	pa := newProcAllocator()
+	p1 := pa.place(100)
+	p2 := pa.placeConflicting(100, 4096, p1.base)
+	if p1.base%16 != 0 {
+		t.Error("proc not 16-byte aligned")
+	}
+	if p2.base%4096 != p1.base%4096 {
+		t.Error("placeConflicting offset mismatch")
+	}
+	if p2.base == p1.base {
+		t.Error("conflicting proc at identical address")
+	}
+}
+
+func TestRandDeterministicAndBounded(t *testing.T) {
+	g1 := newGen(memtrace.NewTrace(0), 42)
+	g2 := newGen(memtrace.NewTrace(0), 42)
+	for i := 0; i < 1000; i++ {
+		a, b := g1.rand(100), g2.rand(100)
+		if a != b {
+			t.Fatal("same seed diverged")
+		}
+		if a < 0 || a >= 100 {
+			t.Fatalf("rand out of bounds: %d", a)
+		}
+	}
+	// chance() frequencies should be roughly right.
+	g := newGen(memtrace.NewTrace(0), 7)
+	hits := 0
+	for i := 0; i < 10000; i++ {
+		if g.chance(1, 4) {
+			hits++
+		}
+	}
+	if hits < 2200 || hits > 2800 {
+		t.Errorf("chance(1,4) hit %d/10000, want ≈2500", hits)
+	}
+}
+
+// Structural checks: the reconstructed numeric workloads must touch the
+// memory the real programs would.
+func TestWorkloadFootprints(t *testing.T) {
+	footprint := func(b Benchmark) (iBytes, dBytes int) {
+		iLines := map[uint64]struct{}{}
+		dLines := map[uint64]struct{}{}
+		tr := GenerateTrace(b, 0.2)
+		tr.Each(func(a memtrace.Access) {
+			la := uint64(a.Addr) >> 4
+			if a.Kind == memtrace.Ifetch {
+				iLines[la] = struct{}{}
+			} else {
+				dLines[la] = struct{}{}
+			}
+		})
+		return len(iLines) * 16, len(dLines) * 16
+	}
+
+	// linpack: the 100×100 float64 matrix is 80KB; the data footprint
+	// must be at least that and not wildly more.
+	_, d := footprint(Linpack())
+	if d < 78<<10 || d > 120<<10 {
+		t.Errorf("linpack data footprint = %dKB, want ≈80KB", d/1024)
+	}
+
+	// liver: six ~8KB vectors plus 2D state: tens of KB.
+	_, d = footprint(Liver())
+	if d < 40<<10 || d > 160<<10 {
+		t.Errorf("liver data footprint = %dKB, want ≈50-100KB", d/1024)
+	}
+
+	// The numeric kernels' instruction footprints fit their 4KB caches;
+	// ccom's is far larger (many procedures).
+	iLin, _ := footprint(Linpack())
+	if iLin > 4<<10 {
+		t.Errorf("linpack instruction footprint = %dB, want < 4KB", iLin)
+	}
+	iCcom, _ := footprint(Ccom())
+	if iCcom < 8<<10 {
+		t.Errorf("ccom instruction footprint = %dKB, want ≥ 2× the 4KB cache", iCcom/1024)
+	}
+}
+
+// The deliberate conflict pairs land where the models say they do: met's
+// layer tables collide at offset 0x200 modulo 4KB.
+func TestMetConflictPairPlacement(t *testing.T) {
+	tr := GenerateTrace(Met(), 0.02)
+	offsets := map[uint64]int{}
+	tr.Each(func(a memtrace.Access) {
+		if a.Kind.IsData() {
+			offsets[uint64(a.Addr)%4096/16]++
+		}
+	})
+	// The colliding window starts at set 0x200/16 = 32.
+	if offsets[32] == 0 {
+		t.Error("no data traffic at met's colliding offset")
+	}
+}
+
+func TestPointerChaseDefeatsPrefetching(t *testing.T) {
+	tr := GenerateTrace(PointerChase(), 0.05)
+	if tr.Instructions() == 0 || tr.DataRefs() == 0 {
+		t.Fatal("empty ptrchase trace")
+	}
+	// Its data miss rate must be very high (nodes never fit), and the
+	// miss stream must have essentially no sequential runs.
+	l1 := cache.MustNew(cache.Config{Size: 4096, LineSize: 16, Assoc: 1})
+	var prev uint64
+	sequential, misses := 0, 0
+	tr.Each(func(a memtrace.Access) {
+		if !a.Kind.IsData() {
+			return
+		}
+		if hit, _ := l1.Access(uint64(a.Addr), a.Kind == memtrace.Store); !hit {
+			la := uint64(a.Addr) >> 4
+			if la == prev+1 {
+				sequential++
+			}
+			prev = la
+			misses++
+		}
+	})
+	if misses == 0 {
+		t.Fatal("pointer chase never missed")
+	}
+	if frac := float64(sequential) / float64(misses); frac > 0.05 {
+		t.Errorf("pointer-chase miss stream %0.1f%% sequential, want ≈0", frac*100)
+	}
+}

@@ -1,0 +1,184 @@
+package workload
+
+import "jouppi/internal/memtrace"
+
+// yaccBench is a behavioural model of the Unix yacc utility building LALR
+// parser tables from a grammar: computing item-set closures with
+// bit-vector operations over hot scratch vectors, comparing freshly built
+// states against recently created ones, hashing item sets, and packing
+// action rows into the output tables. The hot working set is small (yacc
+// has low absolute miss rates), and an above-average share of the
+// remaining data misses are mapping conflicts — here between the closure
+// result vector and the recent-state comparison buffers, which land on the
+// same cache lines.
+type yaccBench struct{}
+
+// Yacc returns the yacc benchmark.
+func Yacc() Benchmark { return yaccBench{} }
+
+func (yaccBench) Name() string        { return "yacc" }
+func (yaccBench) Description() string { return "Unix utility" }
+
+func (yaccBench) Generate(scale float64, sink memtrace.Sink) {
+	g := newGen(sink, 0x9ACC)
+
+	const setWords = 40 // bit-vector words per item set (320B)
+
+	mem := newLayout(dataBase)
+	grammar := array{base: mem.alloc(16<<10, 64), elem: 8}   // productions
+	first := array{base: mem.alloc(2<<10, 64), elem: 8}      // FIRST sets (hot)
+	stateHash := array{base: mem.alloc(32<<10, 64), elem: 8} // item-set hash
+	states := array{base: mem.alloc(256<<10, 64), elem: 8}   // stored item sets
+	actions := array{base: mem.alloc(512<<10, 64), elem: 4}  // packed action table
+	kernel := array{base: mem.alloc(setWords*8, 64), elem: 8}
+	setSrc := array{base: mem.alloc(setWords*8, 64), elem: 8}
+	// The closure result vector and the ring of recently created states
+	// land on conflicting lines: the state-equality comparison alternates
+	// between them, producing yacc's conflict misses.
+	setDst := array{base: mem.allocAt(setWords*8, 4096, 0x300), elem: 8}
+	recentSlots := make([]array, 8)
+	for i := range recentSlots {
+		recentSlots[i] = array{base: mem.allocAt(setWords*8, 4096, 0x300), elem: 8}
+	}
+
+	procs := newProcAllocator()
+	pMain := procs.place(320)
+	pClosure := procs.place(384)
+	pGoto := procs.place(256)
+	pCompare := procs.place(160)
+	pLookup := procs.place(192)
+	pPack := procs.place(224)
+	pFirst := procs.place(160)
+	// Grammar-rule handling: one smallish routine per production class,
+	// giving yacc its moderate instruction footprint.
+	const nRule = 26
+	rule := make([]proc, nRule)
+	for i := range rule {
+		rule[i] = procs.place(176 + 16*(i%6))
+	}
+
+	actFrontier := 0
+	recentSlot := 0
+
+	// closure expands the scratch set: passes over the hot vectors
+	// OR-ing production FIRST sets into the result.
+	closure := func() {
+		g.call(pClosure, 3, func() {
+			g.exec(4)
+			passes := 2 + g.rand(2)
+			for p := 0; p < passes; p++ {
+				g.loop(setWords, func(w int) {
+					g.load(setSrc.at(w))
+					g.exec(2)
+					g.load(setDst.at(w))
+					g.exec(2)
+					g.store(setDst.at(w))
+				})
+				pulls := 2 + g.rand(4)
+				for q := 0; q < pulls; q++ {
+					nt := g.rand(256)
+					g.call(pFirst, 1, func() {
+						g.load(first.at(nt))
+						g.exec(3)
+					})
+				}
+			}
+		})
+	}
+
+	// compare checks the freshly closed set against one recently created
+	// state — the alternating conflicting-pair pattern.
+	compare := func() {
+		g.call(pCompare, 1, func() {
+			g.exec(3)
+			slot := recentSlots[g.rand(8)]
+			g.loop(setWords/3, func(w int) {
+				g.load(setDst.at(w))
+				g.exec(2)
+				g.load(slot.at(w))
+				g.exec(2)
+			})
+		})
+	}
+
+	// lookup hashes the result vector and probes the state hash table;
+	// a new state is appended to the cold state store and the recent
+	// ring.
+	lookup := func() {
+		g.call(pLookup, 2, func() {
+			g.exec(3)
+			g.loop(setWords/4, func(w int) {
+				g.load(setDst.at(w * 4))
+				g.exec(2)
+			})
+			bucket := g.rand(4096)
+			g.load(stateHash.at(bucket))
+			g.exec(2)
+			if g.chance(1, 3) {
+				// New state: store it cold and remember it hot.
+				base := g.rand(2048) * 16
+				slot := recentSlots[recentSlot]
+				recentSlot = (recentSlot + 1) % 8
+				g.loop(setWords/4, func(w int) {
+					g.load(setDst.at(w * 4))
+					g.store(states.at(base + w))
+					g.store(slot.at(w * 4))
+				})
+				g.store(stateHash.at(bucket))
+			}
+		})
+	}
+
+	// pack writes one action row at the moving packing frontier.
+	pack := func() {
+		g.call(pPack, 2, func() {
+			g.exec(4)
+			probes := 2 + g.rand(6)
+			for p := 0; p < probes; p++ {
+				g.load(actions.at((actFrontier + p*17) % (120 << 10)))
+				g.exec(2)
+			}
+			entries := 4 + g.rand(10)
+			g.loop(entries, func(e int) {
+				g.store(actions.at((actFrontier + e) % (120 << 10)))
+				g.exec(2)
+			})
+			actFrontier += entries
+		})
+	}
+
+	statesToBuild := int(scale*2400 + 0.5)
+	if statesToBuild < 1 {
+		statesToBuild = 1
+	}
+	g.call(pMain, 4, func() {
+		g.loop(statesToBuild, func(s int) {
+			g.exec(5)
+			g.load(grammar.at(g.rand(240)))
+			items := 3 + g.rand(3)
+			for it := 0; it < items; it++ {
+				g.call(rule[g.rand(nRule)], 2, func() {
+					g.exec(30 + g.rand(16))
+					g.load(grammar.at(g.rand(240) + 2))
+					g.exec(12)
+				})
+			}
+			g.call(pGoto, 2, func() {
+				g.exec(4)
+				// Seed the scratch set from the current state's kernel.
+				g.loop(setWords/2, func(w int) {
+					g.load(kernel.at(w * 2))
+					g.store(setSrc.at(w * 2))
+				})
+			})
+			closure()
+			if g.chance(1, 3) {
+				compare()
+			}
+			lookup()
+			if g.chance(2, 3) {
+				pack()
+			}
+		})
+	})
+}

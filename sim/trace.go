@@ -1,0 +1,130 @@
+package sim
+
+import (
+	"fmt"
+	"os"
+
+	"jouppi/internal/memtrace"
+)
+
+// AccessKind identifies the type of a memory reference delivered to a
+// TraceVisitor.
+type AccessKind uint8
+
+// The access kinds, matching the trace formats' labels.
+const (
+	Ifetch AccessKind = iota
+	Load
+	Store
+)
+
+// String returns the kind name.
+func (k AccessKind) String() string {
+	switch k {
+	case Ifetch:
+		return "ifetch"
+	case Load:
+		return "load"
+	case Store:
+		return "store"
+	default:
+		return fmt.Sprintf("AccessKind(%d)", uint8(k))
+	}
+}
+
+// TraceVisitor receives one memory reference at a time.
+type TraceVisitor func(kind AccessKind, addr uint64)
+
+func toKind(k memtrace.Kind) AccessKind {
+	switch k {
+	case memtrace.Load:
+		return Load
+	case memtrace.Store:
+		return Store
+	default:
+		return Ifetch
+	}
+}
+
+// VisitBenchmark generates the named workload at the given scale and
+// streams every reference to visit, without materializing the trace. Use
+// it to drive custom simulators or exporters off the paper's workloads.
+func VisitBenchmark(name string, scale float64, visit TraceVisitor) error {
+	b, err := benchmark(name)
+	if err != nil {
+		return err
+	}
+	b.Generate(scale, memtrace.SinkFunc(func(a memtrace.Access) {
+		visit(toKind(a.Kind), uint64(a.Addr))
+	}))
+	return nil
+}
+
+// WriteTraceFile generates the named workload and writes its trace to
+// path. format is "jtr" (compact binary) or "din" (dinero text). It
+// returns the number of records written.
+func WriteTraceFile(name string, scale float64, path, format string) (uint64, error) {
+	b, err := benchmark(name)
+	if err != nil {
+		return 0, err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+
+	switch format {
+	case "jtr":
+		sw, err := memtrace.NewStreamWriter(f)
+		if err != nil {
+			return 0, err
+		}
+		b.Generate(scale, sw)
+		if err := sw.Close(); err != nil {
+			return 0, err
+		}
+		return sw.Count(), f.Close()
+	case "din":
+		dw := memtrace.NewDineroWriter(f)
+		b.Generate(scale, dw)
+		if err := dw.Close(); err != nil {
+			return 0, err
+		}
+		return dw.Count(), f.Close()
+	default:
+		return 0, fmt.Errorf("sim: unknown trace format %q (want jtr or din)", format)
+	}
+}
+
+// ReplayTraceFile reads a trace file (format "jtr" or "din") and replays
+// it through a system built from cfg, returning the results. Instruction
+// counts are taken from the trace's ifetch records.
+func ReplayTraceFile(path, format string, cfg Config) (Results, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return Results{}, err
+	}
+	defer f.Close()
+
+	var tr *memtrace.Trace
+	switch format {
+	case "jtr":
+		tr, err = memtrace.ReadTrace(f)
+	case "din":
+		tr, err = memtrace.ReadDinero(f)
+	default:
+		return Results{}, fmt.Errorf("sim: unknown trace format %q (want jtr or din)", format)
+	}
+	if err != nil {
+		return Results{}, err
+	}
+
+	sys, err := NewSystem(cfg)
+	if err != nil {
+		return Results{}, err
+	}
+	sys.sys.Run(tr)
+	sys.instructions = tr.Instructions()
+	return sys.Results(), nil
+}

@@ -1,0 +1,104 @@
+package sim
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestVisitBenchmark(t *testing.T) {
+	var ifetches, loads, stores uint64
+	err := VisitBenchmark("met", 0.02, func(kind AccessKind, addr uint64) {
+		switch kind {
+		case Ifetch:
+			ifetches++
+		case Load:
+			loads++
+		case Store:
+			stores++
+		}
+		if addr == 0 {
+			t.Error("zero address visited")
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ifetches == 0 || loads == 0 || stores == 0 {
+		t.Errorf("counts: ifetch %d, load %d, store %d", ifetches, loads, stores)
+	}
+	if err := VisitBenchmark("nope", 1, func(AccessKind, uint64) {}); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+}
+
+func TestAccessKindString(t *testing.T) {
+	if Ifetch.String() != "ifetch" || Load.String() != "load" || Store.String() != "store" {
+		t.Error("kind names wrong")
+	}
+	if AccessKind(9).String() != "AccessKind(9)" {
+		t.Error("unknown kind name wrong")
+	}
+}
+
+func TestWriteAndReplayTraceFile(t *testing.T) {
+	dir := t.TempDir()
+	for _, format := range []string{"jtr", "din"} {
+		path := filepath.Join(dir, "met."+format)
+		n, err := WriteTraceFile("met", 0.02, path, format)
+		if err != nil {
+			t.Fatalf("%s: %v", format, err)
+		}
+		if n == 0 {
+			t.Fatalf("%s: zero records", format)
+		}
+		if fi, err := os.Stat(path); err != nil || fi.Size() == 0 {
+			t.Fatalf("%s: file missing or empty", format)
+		}
+		res, err := ReplayTraceFile(path, format, BaselineSystem())
+		if err != nil {
+			t.Fatalf("%s replay: %v", format, err)
+		}
+		if res.Instructions == 0 || res.D.Accesses == 0 {
+			t.Errorf("%s replay results empty: %+v", format, res)
+		}
+		// Replaying the file must match running the benchmark directly.
+		direct, err := RunBenchmark("met", 0.02, BaselineSystem())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.D.FullMisses != direct.D.FullMisses {
+			t.Errorf("%s replay misses %d != direct %d",
+				format, res.D.FullMisses, direct.D.FullMisses)
+		}
+	}
+}
+
+func TestTraceFileErrors(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := WriteTraceFile("nope", 1, filepath.Join(dir, "x"), "jtr"); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+	if _, err := WriteTraceFile("met", 0.01, filepath.Join(dir, "x"), "xml"); err == nil {
+		t.Error("unknown format accepted")
+	}
+	if _, err := WriteTraceFile("met", 0.01, filepath.Join(dir, "nodir", "x"), "jtr"); err == nil {
+		t.Error("bad path accepted")
+	}
+	if _, err := ReplayTraceFile(filepath.Join(dir, "missing"), "jtr", Config{}); err == nil {
+		t.Error("missing file accepted")
+	}
+	path := filepath.Join(dir, "t.jtr")
+	if _, err := WriteTraceFile("met", 0.01, path, "jtr"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReplayTraceFile(path, "xml", Config{}); err == nil {
+		t.Error("bad replay format accepted")
+	}
+	if _, err := ReplayTraceFile(path, "din", Config{}); err == nil {
+		t.Error("jtr-as-din accepted")
+	}
+	if _, err := ReplayTraceFile(path, "jtr", Config{L1I: CacheGeometry{Size: 7}}); err == nil {
+		t.Error("bad config accepted")
+	}
+}
