@@ -1,0 +1,27 @@
+GO ?= go
+
+.PHONY: all check fmt vet build test bench
+
+all: check
+
+# check chains every gate in order: formatting, vet, build, the full test
+# suite under the race detector, then a short benchmark pass.
+check: fmt vet build test bench
+
+fmt:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test -race ./...
+
+# bench runs the micro-benchmarks briefly — enough to catch a throughput
+# cliff, not a full measurement run.
+bench:
+	$(GO) test . -run '^$$' -bench 'Replay|RunBenchmark|TraceGeneration' -benchtime 1x -benchmem

@@ -11,6 +11,7 @@
 package jouppi
 
 import (
+	"runtime"
 	"testing"
 
 	"jouppi/internal/cache"
@@ -168,4 +169,104 @@ func BenchmarkFullSystemReplay(b *testing.B) {
 		total += uint64(tr.Len())
 	}
 	b.ReportMetric(float64(total)/1e6/b.Elapsed().Seconds(), "MAcc/s")
+}
+
+// --- streaming vs materialized replay ---
+
+// streamScale sizes the streaming comparison: at scale 4 ccom is ≈5M
+// accesses, so the materialized trace (8 bytes per record plus growth
+// copies) dominates the heap, while the streaming path replays the same
+// workload in O(1) memory. Run with -benchmem to see the gap.
+const streamScale = 4
+
+// BenchmarkStreamedRunBenchmark measures the streaming replay path: the
+// generator emits directly into the memory system, no trace is built.
+func BenchmarkStreamedRunBenchmark(b *testing.B) {
+	var total uint64
+	for i := 0; i < b.N; i++ {
+		res, err := sim.RunBenchmark("ccom", streamScale, sim.BaselineSystem())
+		if err != nil {
+			b.Fatal(err)
+		}
+		total += res.I.Accesses + res.D.Accesses
+	}
+	b.ReportMetric(float64(total)/1e6/b.Elapsed().Seconds(), "MAcc/s")
+}
+
+// BenchmarkMaterializedRunBenchmark measures the pre-streaming shape of
+// the same replay: generate the whole trace, then walk it.
+func BenchmarkMaterializedRunBenchmark(b *testing.B) {
+	var total uint64
+	for i := 0; i < b.N; i++ {
+		tr := workload.GenerateTrace(workload.MustByName("ccom"), streamScale)
+		sys, err := sim.NewSystem(sim.BaselineSystem())
+		if err != nil {
+			b.Fatal(err)
+		}
+		tr.Each(func(a memtrace.Access) {
+			switch a.Kind {
+			case memtrace.Ifetch:
+				sys.Ifetch(uint64(a.Addr))
+			case memtrace.Load:
+				sys.Load(uint64(a.Addr))
+			case memtrace.Store:
+				sys.Store(uint64(a.Addr))
+			}
+		})
+		total += uint64(tr.Len())
+	}
+	b.ReportMetric(float64(total)/1e6/b.Elapsed().Seconds(), "MAcc/s")
+}
+
+// TestStreamingReplayAllocReduction pins the point of the streaming
+// engine: replaying a benchmark at scale 4 must allocate at least 10×
+// less than materializing its trace first.
+func TestStreamingReplayAllocReduction(t *testing.T) {
+	measure := func(fn func()) uint64 {
+		var before, after runtime.MemStats
+		runtime.GC()
+		runtime.ReadMemStats(&before)
+		fn()
+		runtime.ReadMemStats(&after)
+		return after.TotalAlloc - before.TotalAlloc
+	}
+
+	var streamedRes sim.Results
+	streamed := measure(func() {
+		var err error
+		streamedRes, err = sim.RunBenchmark("ccom", streamScale, sim.BaselineSystem())
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+
+	var traceLen int
+	materialized := measure(func() {
+		tr := workload.GenerateTrace(workload.MustByName("ccom"), streamScale)
+		sys, err := sim.NewSystem(sim.BaselineSystem())
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr.Each(func(a memtrace.Access) {
+			switch a.Kind {
+			case memtrace.Ifetch:
+				sys.Ifetch(uint64(a.Addr))
+			case memtrace.Load:
+				sys.Load(uint64(a.Addr))
+			case memtrace.Store:
+				sys.Store(uint64(a.Addr))
+			}
+		})
+		traceLen = tr.Len()
+	})
+
+	if got := streamedRes.I.Accesses + streamedRes.D.Accesses; got != uint64(traceLen) {
+		t.Fatalf("paths replayed different work: streamed %d accesses, materialized %d", got, traceLen)
+	}
+	t.Logf("allocated: streamed %d KB, materialized %d KB (%d accesses)",
+		streamed/1024, materialized/1024, traceLen)
+	if materialized < 10*streamed {
+		t.Errorf("streaming saved less than 10×: streamed %d B, materialized %d B",
+			streamed, materialized)
+	}
 }

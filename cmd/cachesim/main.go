@@ -55,26 +55,33 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
+	// The trace streams through the simulator in buffered chunks — it is
+	// never materialized, so file size does not bound what cachesim can
+	// replay.
 	f, err := os.Open(*tracePath)
 	if err != nil {
 		fmt.Fprintln(stderr, "cachesim:", err)
 		return 1
 	}
-	var tr *memtrace.Trace
+	defer f.Close()
+	var (
+		src    memtrace.Source
+		srcErr func() error
+	)
 	switch *format {
 	case "jtr":
-		tr, err = memtrace.ReadTrace(f)
+		r, err := memtrace.NewReader(f)
+		if err != nil {
+			fmt.Fprintln(stderr, "cachesim:", err)
+			return 1
+		}
+		src, srcErr = r, r.Err
 	case "din":
-		tr, err = memtrace.ReadDinero(f)
+		dr := memtrace.NewDineroReader(f)
+		src, srcErr = dr, dr.Err
 	default:
-		f.Close()
 		fmt.Fprintln(stderr, "cachesim: -format must be jtr or din")
 		return 2
-	}
-	f.Close()
-	if err != nil {
-		fmt.Fprintln(stderr, "cachesim:", err)
-		return 1
 	}
 
 	keep := func(a memtrace.Access) bool { return true }
@@ -117,7 +124,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		cl = classify.MustNew(*size, *line)
 	}
 
-	tr.Each(func(a memtrace.Access) {
+	memtrace.Each(src, func(a memtrace.Access) {
 		if !keep(a) {
 			return
 		}
@@ -126,6 +133,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 			cl.ObserveMiss(uint64(a.Addr), !r.L1Hit)
 		}
 	})
+	if err := srcErr(); err != nil {
+		fmt.Fprintln(stderr, "cachesim:", err)
+		return 1
+	}
 
 	st := fe.Stats()
 	fmt.Fprintf(stdout, "configuration:   %s over %dB/%dB/%d-way cache\n", fe.Name(), *size, *line, *assoc)

@@ -2,6 +2,9 @@
 // footprints, the sequential run-length distribution of the miss stream
 // (the property stream buffers exploit), and a working-set curve.
 //
+// Every analysis is an independent streaming pass over the file — the
+// trace is never materialized, so multi-gigabyte traces are fine.
+//
 // Usage:
 //
 //	tracestat -trace linpack.jtr
@@ -22,6 +25,43 @@ import (
 func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
+
+// traceSource is one streaming pass over a trace file.
+type traceSource struct {
+	memtrace.Source
+	f   *os.File
+	err func() error
+}
+
+// openTraceSource opens path and positions a streaming reader at the first
+// record. Callers must Close it and should check Err after consuming.
+func openTraceSource(path, format string) (*traceSource, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	switch format {
+	case "jtr":
+		r, err := memtrace.NewReader(f)
+		if err != nil {
+			f.Close()
+			return nil, err
+		}
+		return &traceSource{Source: r, f: f, err: r.Err}, nil
+	case "din":
+		dr := memtrace.NewDineroReader(f)
+		return &traceSource{Source: dr, f: f, err: dr.Err}, nil
+	default:
+		f.Close()
+		return nil, fmt.Errorf("-format must be jtr or din")
+	}
+}
+
+// Close releases the underlying file.
+func (ts *traceSource) Close() error { return ts.f.Close() }
+
+// Err reports the decoding error that ended the pass, if any.
+func (ts *traceSource) Err() error { return ts.err() }
 
 func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("tracestat", flag.ContinueOnError)
@@ -44,30 +84,31 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "tracestat: -trace is required")
 		return 2
 	}
-	f, err := os.Open(*tracePath)
-	if err != nil {
-		fmt.Fprintln(stderr, "tracestat:", err)
-		return 1
-	}
-	var tr *memtrace.Trace
-	switch *format {
-	case "jtr":
-		tr, err = memtrace.ReadTrace(f)
-	case "din":
-		tr, err = memtrace.ReadDinero(f)
-	default:
-		f.Close()
+	if *format != "jtr" && *format != "din" {
 		fmt.Fprintln(stderr, "tracestat: -format must be jtr or din")
 		return 2
 	}
-	f.Close()
-	if err != nil {
-		fmt.Fprintln(stderr, "tracestat:", err)
-		return 1
+
+	// pass runs one streaming analysis over the file and folds decoding
+	// errors into the analysis error.
+	pass := func(analyze func(src memtrace.Source) error) error {
+		src, err := openTraceSource(*tracePath, *format)
+		if err != nil {
+			return err
+		}
+		defer src.Close()
+		if err := analyze(src); err != nil {
+			return err
+		}
+		return src.Err()
 	}
 
-	s, err := analysis.Summarize(tr, *line)
-	if err != nil {
+	var s analysis.Summary
+	if err := pass(func(src memtrace.Source) error {
+		var err error
+		s, err = analysis.Summarize(src, *line)
+		return err
+	}); err != nil {
 		fmt.Fprintln(stderr, "tracestat:", err)
 		return 1
 	}
@@ -79,8 +120,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 	for _, sideName := range []string{"instruction", "data"} {
 		instr := sideName == "instruction"
-		h, err := analysis.MissRunLengths(tr, instr, *size, *line, *maxRun)
-		if err != nil {
+		var h *analysis.Histogram
+		if err := pass(func(src memtrace.Source) error {
+			var err error
+			h, err = analysis.MissRunLengths(src, instr, *size, *line, *maxRun)
+			return err
+		}); err != nil {
 			fmt.Fprintln(stderr, "tracestat:", err)
 			return 1
 		}
@@ -100,8 +145,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 	}
 
-	ws, err := analysis.WorkingSetCurve(tr, *line, *window)
-	if err != nil {
+	var ws []int
+	if err := pass(func(src memtrace.Source) error {
+		var err error
+		ws, err = analysis.WorkingSetCurve(src, *line, *window)
+		return err
+	}); err != nil {
 		fmt.Fprintln(stderr, "tracestat:", err)
 		return 1
 	}
@@ -119,9 +168,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 	if *hotspots > 0 {
 		for _, sideName := range []string{"instruction", "data"} {
-			hs, err := analysis.ConflictHotspots(tr, sideName == "instruction",
-				*size, *line, *hotspots)
-			if err != nil {
+			var hs []analysis.Hotspot
+			if err := pass(func(src memtrace.Source) error {
+				var err error
+				hs, err = analysis.ConflictHotspots(src, sideName == "instruction",
+					*size, *line, *hotspots)
+				return err
+			}); err != nil {
 				fmt.Fprintln(stderr, "tracestat:", err)
 				return 1
 			}
@@ -150,11 +203,17 @@ func run(args []string, stdout, stderr io.Writer) int {
 		for _, sideName := range []string{"instruction", "data"} {
 			instr := sideName == "instruction"
 			sd := analysis.MustNewStackDist(*line, caps[len(caps)-1])
-			tr.Each(func(a memtrace.Access) {
-				if (a.Kind == memtrace.Ifetch) == instr {
-					sd.Access(uint64(a.Addr))
-				}
-			})
+			if err := pass(func(src memtrace.Source) error {
+				memtrace.Each(src, func(a memtrace.Access) {
+					if (a.Kind == memtrace.Ifetch) == instr {
+						sd.Access(uint64(a.Addr))
+					}
+				})
+				return nil
+			}); err != nil {
+				fmt.Fprintln(stderr, "tracestat:", err)
+				return 1
+			}
 			if sd.Accesses() == 0 {
 				continue
 			}

@@ -67,12 +67,12 @@ func main() {
 		loaded.Len(), jtrInfo.Size()/1024, dinInfo.Size()/1024)
 
 	// 3. Characterize: footprint and sequential miss runs.
-	sum, err := analysis.Summarize(loaded, 16)
+	sum, err := analysis.Summarize(loaded.Source(), 16)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("footprint: I %dKB, D %dKB\n", sum.IFootprint/1024, sum.DFootprint/1024)
-	runs, err := analysis.MissRunLengths(loaded, false, 4096, 16, 32)
+	runs, err := analysis.MissRunLengths(loaded.Source(), false, 4096, 16, 32)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -84,7 +84,7 @@ func main() {
 	fe := core.NewCombined(
 		cache.MustNew(cache.Config{Name: "L1D", Size: 4096, LineSize: 16, Assoc: 1}),
 		4, core.StreamConfig{Ways: 4, Depth: 4}, nil, core.DefaultTiming())
-	loaded.Each(func(a memtrace.Access) {
+	memtrace.Each(loaded.Source(), func(a memtrace.Access) {
 		if a.Kind.IsData() {
 			fe.Access(uint64(a.Addr), a.Kind == memtrace.Store)
 		}

@@ -28,9 +28,9 @@ type Summary struct {
 	DFootprint   int
 }
 
-// Summarize scans the trace once and fills a Summary. lineSize must be a
-// positive power of two.
-func Summarize(tr *memtrace.Trace, lineSize int) (Summary, error) {
+// Summarize scans the access stream once and fills a Summary. lineSize
+// must be a positive power of two.
+func Summarize(src memtrace.Source, lineSize int) (Summary, error) {
 	if lineSize <= 0 || bits.OnesCount(uint(lineSize)) != 1 {
 		return Summary{}, fmt.Errorf("analysis: line size %d is not a positive power of two", lineSize)
 	}
@@ -38,7 +38,7 @@ func Summarize(tr *memtrace.Trace, lineSize int) (Summary, error) {
 	iLines := make(map[uint64]struct{})
 	dLines := make(map[uint64]struct{})
 	s := Summary{LineSize: lineSize}
-	tr.Each(func(a memtrace.Access) {
+	memtrace.Each(src, func(a memtrace.Access) {
 		s.Accesses++
 		la := uint64(a.Addr) >> shift
 		switch a.Kind {
@@ -116,13 +116,13 @@ func (h *Histogram) CumulativeFraction() []float64 {
 	return out
 }
 
-// MissRunLengths replays one side of the trace through a direct-mapped
+// MissRunLengths replays one side of the access stream through a direct-mapped
 // cache of the given geometry and histograms the lengths of sequential
 // line runs in its miss stream: a run of length k means k consecutive
 // misses each one line after its predecessor. This is exactly the
 // property a sequential stream buffer exploits; the histogram's mass
 // tells how deep buffers need to be (paper §4.1).
-func MissRunLengths(tr *memtrace.Trace, instrSide bool, cacheSize, lineSize, maxRun int) (*Histogram, error) {
+func MissRunLengths(src memtrace.Source, instrSide bool, cacheSize, lineSize, maxRun int) (*Histogram, error) {
 	cfg := cache.Config{Name: "probe", Size: cacheSize, LineSize: lineSize, Assoc: 1}
 	if err := cfg.Validate(); err != nil {
 		return nil, err
@@ -142,7 +142,7 @@ func MissRunLengths(tr *memtrace.Trace, instrSide bool, cacheSize, lineSize, max
 			runLen = 0
 		}
 	}
-	tr.Each(func(a memtrace.Access) {
+	memtrace.Each(src, func(a memtrace.Access) {
 		if (a.Kind == memtrace.Ifetch) != instrSide {
 			return
 		}
@@ -167,7 +167,7 @@ func MissRunLengths(tr *memtrace.Trace, instrSide bool, cacheSize, lineSize, max
 // WorkingSetCurve returns, for each consecutive window of windowSize
 // accesses (of either side), the number of distinct lines referenced in
 // that window — the classic working-set measurement.
-func WorkingSetCurve(tr *memtrace.Trace, lineSize, windowSize int) ([]int, error) {
+func WorkingSetCurve(src memtrace.Source, lineSize, windowSize int) ([]int, error) {
 	if lineSize <= 0 || bits.OnesCount(uint(lineSize)) != 1 {
 		return nil, fmt.Errorf("analysis: line size %d is not a positive power of two", lineSize)
 	}
@@ -178,7 +178,7 @@ func WorkingSetCurve(tr *memtrace.Trace, lineSize, windowSize int) ([]int, error
 	var curve []int
 	seen := make(map[uint64]struct{}, windowSize)
 	n := 0
-	tr.Each(func(a memtrace.Access) {
+	memtrace.Each(src, func(a memtrace.Access) {
 		seen[uint64(a.Addr)>>shift] = struct{}{}
 		n++
 		if n == windowSize {

@@ -22,7 +22,7 @@ func TestSummarize(t *testing.T) {
 		memtrace.Access{Addr: 0x2000, Kind: memtrace.Load},
 		memtrace.Access{Addr: 0x2010, Kind: memtrace.Store}, // new line
 	)
-	s, err := Summarize(tr, 16)
+	s, err := Summarize(tr.Source(), 16)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -38,10 +38,10 @@ func TestSummarize(t *testing.T) {
 }
 
 func TestSummarizeBadLineSize(t *testing.T) {
-	if _, err := Summarize(memtrace.NewTrace(0), 0); err == nil {
+	if _, err := Summarize(memtrace.NewTrace(0).Source(), 0); err == nil {
 		t.Error("accepted zero line size")
 	}
-	if _, err := Summarize(memtrace.NewTrace(0), 24); err == nil {
+	if _, err := Summarize(memtrace.NewTrace(0).Source(), 24); err == nil {
 		t.Error("accepted non-power-of-two line size")
 	}
 }
@@ -84,7 +84,7 @@ func TestMissRunLengthsPureSequential(t *testing.T) {
 	for i := 0; i < 100; i++ {
 		tr.Append(memtrace.Access{Addr: memtrace.Addr(0x10000 + i*16), Kind: memtrace.Load})
 	}
-	h, err := MissRunLengths(tr, false, 256, 16, 64)
+	h, err := MissRunLengths(tr.Source(), false, 256, 16, 64)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -104,7 +104,7 @@ func TestMissRunLengthsAlternating(t *testing.T) {
 		tr.Append(memtrace.Access{Addr: 0x0000, Kind: memtrace.Load})
 		tr.Append(memtrace.Access{Addr: 0x1000, Kind: memtrace.Load})
 	}
-	h, err := MissRunLengths(tr, false, 256, 16, 16)
+	h, err := MissRunLengths(tr.Source(), false, 256, 16, 16)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -121,11 +121,11 @@ func TestMissRunLengthsSideFilter(t *testing.T) {
 		memtrace.Access{Addr: 0x1000, Kind: memtrace.Ifetch},
 		memtrace.Access{Addr: 0x9000, Kind: memtrace.Load},
 	)
-	hi, err := MissRunLengths(tr, true, 256, 16, 8)
+	hi, err := MissRunLengths(tr.Source(), true, 256, 16, 8)
 	if err != nil {
 		t.Fatal(err)
 	}
-	hd, err := MissRunLengths(tr, false, 256, 16, 8)
+	hd, err := MissRunLengths(tr.Source(), false, 256, 16, 8)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -135,7 +135,7 @@ func TestMissRunLengthsSideFilter(t *testing.T) {
 }
 
 func TestMissRunLengthsBadGeometry(t *testing.T) {
-	if _, err := MissRunLengths(memtrace.NewTrace(0), false, 100, 16, 8); err == nil {
+	if _, err := MissRunLengths(memtrace.NewTrace(0).Source(), false, 100, 16, 8); err == nil {
 		t.Error("accepted invalid cache size")
 	}
 }
@@ -149,7 +149,7 @@ func TestWorkingSetCurve(t *testing.T) {
 	for i := 0; i < 4; i++ {
 		tr.Append(memtrace.Access{Addr: memtrace.Addr(0x1000 + i*16), Kind: memtrace.Load})
 	}
-	curve, err := WorkingSetCurve(tr, 16, 4)
+	curve, err := WorkingSetCurve(tr.Source(), 16, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -158,7 +158,7 @@ func TestWorkingSetCurve(t *testing.T) {
 	}
 	// Partial final window.
 	tr.Append(memtrace.Access{Addr: 0x9000, Kind: memtrace.Load})
-	curve, err = WorkingSetCurve(tr, 16, 4)
+	curve, err = WorkingSetCurve(tr.Source(), 16, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -168,10 +168,10 @@ func TestWorkingSetCurve(t *testing.T) {
 }
 
 func TestWorkingSetCurveValidation(t *testing.T) {
-	if _, err := WorkingSetCurve(memtrace.NewTrace(0), 13, 4); err == nil {
+	if _, err := WorkingSetCurve(memtrace.NewTrace(0).Source(), 13, 4); err == nil {
 		t.Error("accepted bad line size")
 	}
-	if _, err := WorkingSetCurve(memtrace.NewTrace(0), 16, 0); err == nil {
+	if _, err := WorkingSetCurve(memtrace.NewTrace(0).Source(), 16, 0); err == nil {
 		t.Error("accepted zero window")
 	}
 }
@@ -181,11 +181,11 @@ func TestWorkingSetCurveValidation(t *testing.T) {
 func TestWorkloadRunLengthCharacter(t *testing.T) {
 	lin := workload.GenerateTrace(workload.MustByName("linpack"), 0.05)
 	met := workload.GenerateTrace(workload.MustByName("met"), 0.05)
-	hLin, err := MissRunLengths(lin, false, 4096, 16, 64)
+	hLin, err := MissRunLengths(lin.Source(), false, 4096, 16, 64)
 	if err != nil {
 		t.Fatal(err)
 	}
-	hMet, err := MissRunLengths(met, false, 4096, 16, 64)
+	hMet, err := MissRunLengths(met.Source(), false, 4096, 16, 64)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -24,10 +24,10 @@ type Hotspot struct {
 	TopLines []uint64
 }
 
-// ConflictHotspots replays one side of the trace through a direct-mapped
-// cache and returns the topK sets ranked by miss count, with the lines
-// contending for each.
-func ConflictHotspots(tr *memtrace.Trace, instrSide bool, cacheSize, lineSize, topK int) ([]Hotspot, error) {
+// ConflictHotspots replays one side of the access stream through a
+// direct-mapped cache and returns the topK sets ranked by miss count, with
+// the lines contending for each.
+func ConflictHotspots(src memtrace.Source, instrSide bool, cacheSize, lineSize, topK int) ([]Hotspot, error) {
 	cfg := cache.Config{Name: "probe", Size: cacheSize, LineSize: lineSize, Assoc: 1}
 	if err := cfg.Validate(); err != nil {
 		return nil, err
@@ -38,7 +38,7 @@ func ConflictHotspots(tr *memtrace.Trace, instrSide bool, cacheSize, lineSize, t
 	setMisses := make([]uint64, numSets)
 	lineMisses := make([]map[uint64]uint64, numSets)
 
-	tr.Each(func(a memtrace.Access) {
+	memtrace.Each(src, func(a memtrace.Access) {
 		if (a.Kind == memtrace.Ifetch) != instrSide {
 			return
 		}

@@ -15,7 +15,7 @@ func TestConflictHotspotsAlternatingPair(t *testing.T) {
 		tr.Append(memtrace.Access{Addr: 0x0200, Kind: memtrace.Load})
 		tr.Append(memtrace.Access{Addr: 0x1200, Kind: memtrace.Load})
 	}
-	hs, err := ConflictHotspots(tr, false, 4096, 16, 5)
+	hs, err := ConflictHotspots(tr.Source(), false, 4096, 16, 5)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -41,10 +41,10 @@ func TestConflictHotspotsAlternatingPair(t *testing.T) {
 }
 
 func TestConflictHotspotsEmptyAndValidation(t *testing.T) {
-	if _, err := ConflictHotspots(memtrace.NewTrace(0), false, 100, 16, 3); err == nil {
+	if _, err := ConflictHotspots(memtrace.NewTrace(0).Source(), false, 100, 16, 3); err == nil {
 		t.Error("accepted bad geometry")
 	}
-	hs, err := ConflictHotspots(memtrace.NewTrace(0), false, 4096, 16, 3)
+	hs, err := ConflictHotspots(memtrace.NewTrace(0).Source(), false, 4096, 16, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -57,11 +57,11 @@ func TestConflictHotspotsSideSeparation(t *testing.T) {
 	tr := memtrace.NewTrace(0)
 	tr.Append(memtrace.Access{Addr: 0x0100, Kind: memtrace.Ifetch})
 	tr.Append(memtrace.Access{Addr: 0x9100, Kind: memtrace.Load})
-	hi, err := ConflictHotspots(tr, true, 4096, 16, 8)
+	hi, err := ConflictHotspots(tr.Source(), true, 4096, 16, 8)
 	if err != nil {
 		t.Fatal(err)
 	}
-	hd, err := ConflictHotspots(tr, false, 4096, 16, 8)
+	hd, err := ConflictHotspots(tr.Source(), false, 4096, 16, 8)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -75,7 +75,7 @@ func TestMetHotspotsMatchItsDesign(t *testing.T) {
 	// mod 4096: its hottest data sets should have exactly 2 dominant
 	// contending lines each.
 	tr := workload.GenerateTrace(workload.Met(), 0.05)
-	hs, err := ConflictHotspots(tr, false, 4096, 16, 4)
+	hs, err := ConflictHotspots(tr.Source(), false, 4096, 16, 4)
 	if err != nil {
 		t.Fatal(err)
 	}

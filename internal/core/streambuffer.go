@@ -71,6 +71,20 @@ type streamWay struct {
 	run      int    // lines prefetched since allocation
 	lastUse  uint64 // clock of last allocation or hit, for LRU selection
 	active   bool
+	edge     bool // stream reached the address-space boundary; stop prefetching
+}
+
+// nextLineAddr advances cur by stride in line-address space. ok is false
+// when the step would leave the 64-bit space — a descending stream
+// reaching line 0, or an ascending one wrapping past the top — in which
+// case the stream must stop rather than prefetch a wrapped address.
+func nextLineAddr(cur uint64, stride int64) (next uint64, ok bool) {
+	if stride >= 0 {
+		next = cur + uint64(stride)
+		return next, next >= cur
+	}
+	mag := uint64(0) - uint64(stride) // magnitude; exact even for MinInt64
+	return cur - mag, cur >= mag
 }
 
 // streamSet is a group of stream buffers sharing the pipelined next-level
@@ -183,11 +197,20 @@ func (s *streamSet) allocate(missLine uint64, now uint64) {
 		}
 	}
 	way.n = 0
-	way.active = true
 	way.stride = stride
-	way.nextLine = uint64(int64(missLine) + stride)
 	way.run = 0
 	way.lastUse = now
+	next, ok := nextLineAddr(missLine, stride)
+	if !ok {
+		// Even the first prefetch would wrap the address space (e.g. a
+		// descending stream that just missed on line 0): leave the way
+		// idle rather than chase a wrapped address.
+		way.active = false
+		return
+	}
+	way.active = true
+	way.edge = false
+	way.nextLine = next
 	s.refill(way, now)
 }
 
@@ -196,6 +219,9 @@ func (s *streamSet) allocate(missLine uint64, now uint64) {
 // FillInterval cycles, each completing FillLatency later).
 func (s *streamSet) refill(way *streamWay, now uint64) {
 	for way.n < s.cfg.Depth {
+		if way.edge {
+			return
+		}
 		if s.cfg.RunLimit > 0 && way.run >= s.cfg.RunLimit {
 			return
 		}
@@ -211,7 +237,14 @@ func (s *streamSet) refill(way *streamWay, now uint64) {
 		if s.fetch != nil {
 			s.fetch(way.nextLine, true)
 		}
-		way.nextLine = uint64(int64(way.nextLine) + way.stride)
+		next, ok := nextLineAddr(way.nextLine, way.stride)
+		if !ok {
+			// The stream hit the edge of the address space: the entries
+			// already buffered stay usable, but it extends no further.
+			way.edge = true
+			return
+		}
+		way.nextLine = next
 	}
 }
 

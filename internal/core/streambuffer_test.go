@@ -305,6 +305,82 @@ func TestNegativeStrideDetection(t *testing.T) {
 	}
 }
 
+func TestNegativeStrideStopsAtAddressZero(t *testing.T) {
+	// A descending stream that runs into address 0 must stop prefetching
+	// at the edge instead of wrapping nextLine around the 64-bit space
+	// and issuing prefetches for bogus top-of-memory lines.
+	var fetched []uint64
+	fetch := func(lineAddr uint64, prefetch bool) {
+		if prefetch {
+			fetched = append(fetched, lineAddr)
+		}
+	}
+	fe := NewStreamBuffer(newL1(64),
+		StreamConfig{Ways: 1, Depth: 4, DetectStride: true}, fetch, fastFill())
+	for addr := int64(0x60); addr >= 0; addr -= 16 {
+		fe.Access(uint64(addr), false)
+	}
+	for _, la := range fetched {
+		if la > 0x10 {
+			t.Fatalf("prefetched wrapped line address %#x", la)
+		}
+	}
+	// The lines ahead of the stream (3, 2, 1, 0) must still have been
+	// buffered and hit once the descent reaches them.
+	if hits := fe.Stats().StreamHits; hits < 3 {
+		t.Errorf("stream hits = %d, want ≥ 3", hits)
+	}
+}
+
+func TestNegativeStrideAllocationAtLineZero(t *testing.T) {
+	// A confirmed descending stride whose triggering miss is already at
+	// line 0 has nowhere to prefetch: the way must stay idle rather than
+	// wrap below zero.
+	var fetched []uint64
+	fetch := func(lineAddr uint64, prefetch bool) {
+		if prefetch {
+			fetched = append(fetched, lineAddr)
+		}
+	}
+	fe := NewStreamBuffer(newL1(64),
+		StreamConfig{Ways: 1, Depth: 4, DetectStride: true}, fetch, fastFill())
+	for _, addr := range []uint64{0x20, 0x10, 0x00} {
+		fe.Access(addr, false)
+	}
+	for _, la := range fetched {
+		if la > 0x10 {
+			t.Fatalf("prefetched wrapped line address %#x", la)
+		}
+	}
+}
+
+func TestNextLineAddrEdges(t *testing.T) {
+	const top = ^uint64(0)
+	cases := []struct {
+		cur    uint64
+		stride int64
+		want   uint64
+		ok     bool
+	}{
+		{10, 1, 11, true},
+		{10, -1, 9, true},
+		{1, -1, 0, true},
+		{0, -1, 0, false},
+		{5, -8, 0, false},
+		{top, 1, 0, false},
+		{top - 1, 1, top, true},
+		{0, -1 << 63, 0, false},
+		{top, 1<<63 - 1, 0, false},
+	}
+	for _, c := range cases {
+		next, ok := nextLineAddr(c.cur, c.stride)
+		if ok != c.ok || (ok && next != c.want) {
+			t.Errorf("nextLineAddr(%#x, %d) = %#x, %v; want %#x, %v",
+				c.cur, c.stride, next, ok, c.want, c.ok)
+		}
+	}
+}
+
 func TestStreamBufferName(t *testing.T) {
 	if got := NewStreamBuffer(newL1(64), StreamConfig{Ways: 4, Depth: 4}, nil, Timing{}).Name(); got != "stream-4way-4deep" {
 		t.Errorf("name = %q", got)

@@ -26,9 +26,9 @@ func AblationQuasi() Experiment {
 			out := make([]row, len(names))
 			parallelFor(len(names), func(i int) {
 				tr := cfg.Traces.Get(names[i])
-				bc := runBaselineClassified(tr, dSide, 4096, 16)
+				bc := runBaselineClassified(tr.Source(), dSide, 4096, 16)
 				mk := func(quasi bool) core.Stats {
-					return runFront(tr, dSide, func() core.FrontEnd {
+					return runFront(tr.Source(), dSide, func() core.FrontEnd {
 						return core.NewStreamBuffer(cache.MustNew(l1Config(4096, 16)),
 							core.StreamConfig{Ways: 4, Depth: 4, Quasi: quasi},
 							nil, core.DefaultTiming())
@@ -79,10 +79,13 @@ func AblationStride() Experiment {
 				"sequential 4-way", "stride-detecting 4-way"}
 			var rows [][]string
 			for _, p := range patterns {
-				tr := workload.GenerateTrace(p.bench, cfg.Scale)
-				bc := runBaselineClassified(tr, dSide, 4096, 16)
+				src := workload.NewSource(p.bench, cfg.Scale)
+				bc := runBaselineClassified(src, dSide, 4096, 16)
+				src.Close()
 				run := func(detect bool) float64 {
-					st := runFront(tr, dSide, func() core.FrontEnd {
+					src := workload.NewSource(p.bench, cfg.Scale)
+					defer src.Close()
+					st := runFront(src, dSide, func() core.FrontEnd {
 						return core.NewStreamBuffer(cache.MustNew(l1Config(4096, 16)),
 							core.StreamConfig{Ways: 4, Depth: 4, DetectStride: detect},
 							nil, core.DefaultTiming())
@@ -182,13 +185,13 @@ func AblationMissCmp() Experiment {
 			}
 			parallelFor(len(names), func(i int) {
 				tr := cfg.Traces.Get(names[i])
-				bc := runBaselineClassified(tr, dSide, 4096, 16)
+				bc := runBaselineClassified(tr.Source(), dSide, 4096, 16)
 				base[i] = bc.misses
 				for ei, e := range entries {
-					mc := runFront(tr, dSide, func() core.FrontEnd {
+					mc := runFront(tr.Source(), dSide, func() core.FrontEnd {
 						return core.NewMissCache(cache.MustNew(l1Config(4096, 16)), e, nil, core.DefaultTiming())
 					})
-					vc := runFront(tr, dSide, func() core.FrontEnd {
+					vc := runFront(tr.Source(), dSide, func() core.FrontEnd {
 						return core.NewVictimCache(cache.MustNew(l1Config(4096, 16)), e, nil, core.DefaultTiming())
 					})
 					grid[i][ei] = cell{mc.FullMisses(), vc.FullMisses()}
@@ -244,8 +247,7 @@ func AblationReplacement() Experiment {
 				b, p := k/len(policies), k%len(policies)
 				l1 := cache.MustNew(cache.Config{Size: 4096, LineSize: 16, Assoc: 4,
 					Replacement: policies[p], RandomSeed: 12345})
-				tr := cfg.Traces.Get(names[b])
-				st := runFront(tr, dSide, func() core.FrontEnd {
+				st := runFront(cfg.Traces.Source(names[b]), dSide, func() core.FrontEnd {
 					return core.NewBaseline(l1, nil, core.DefaultTiming())
 				})
 				miss[b][p] = st.MissRate()

@@ -37,7 +37,7 @@ func AblationAssoc() Experiment {
 					} else {
 						fe = core.NewBaseline(l1, nil, core.DefaultTiming())
 					}
-					return runFrontOn(tr, dSide, fe).MissRate()
+					return runFrontOn(tr.Source(), dSide, fe).MissRate()
 				}
 				out[i] = row{
 					run(1, 0),
@@ -69,9 +69,10 @@ func AblationAssoc() Experiment {
 	}
 }
 
-// runFrontOn replays one side of a trace through an existing front-end.
-func runFrontOn(tr *memtrace.Trace, s side, fe core.FrontEnd) core.Stats {
-	tr.Each(func(a memtrace.Access) {
+// runFrontOn replays one side of an access stream through an existing
+// front-end.
+func runFrontOn(src memtrace.Source, s side, fe core.FrontEnd) core.Stats {
+	memtrace.Each(src, func(a memtrace.Access) {
 		if s.keep(a) {
 			fe.Access(uint64(a.Addr), a.Kind == memtrace.Store)
 		}
@@ -103,12 +104,12 @@ func AblationPrefetchCmp() Experiment {
 			parallelFor(len(names)*2, func(k int) {
 				b, sd := k/2, side(k%2)
 				tr := cfg.Traces.Get(names[b])
-				bc := runBaselineClassified(tr, sd, 4096, 16)
+				bc := runBaselineClassified(tr.Source(), sd, 4096, 16)
 
 				for pi, pol := range []prefetch.Policy{prefetch.OnMiss, prefetch.Tagged, prefetch.Always} {
 					fe := prefetch.New(cache.MustNew(l1Config(4096, 16)), pol,
 						prefetch.Timing{MissPenalty: 24, FillLatency: 24}, nil)
-					tr.Each(func(a memtrace.Access) {
+					memtrace.Each(tr.Source(), func(a memtrace.Access) {
 						if sd.keep(a) {
 							fe.Access(uint64(a.Addr), a.Kind == memtrace.Store)
 						}
@@ -120,7 +121,7 @@ func AblationPrefetchCmp() Experiment {
 					}
 				}
 				for wi, ways := range []int{1, 4} {
-					st := runFront(tr, sd, func() core.FrontEnd {
+					st := runFront(tr.Source(), sd, func() core.FrontEnd {
 						return core.NewStreamBuffer(cache.MustNew(l1Config(4096, 16)),
 							core.StreamConfig{Ways: ways, Depth: 4}, nil, core.DefaultTiming())
 					})
@@ -187,9 +188,9 @@ func AblationDepth() Experiment {
 			}
 			parallelFor(len(names), func(i int) {
 				tr := cfg.Traces.Get(names[i])
-				bc := runBaselineClassified(tr, dSide, 4096, 16)
+				bc := runBaselineClassified(tr.Source(), dSide, 4096, 16)
 				for di, d := range depths {
-					st := runFront(tr, dSide, func() core.FrontEnd {
+					st := runFront(tr.Source(), dSide, func() core.FrontEnd {
 						return core.NewStreamBuffer(cache.MustNew(l1Config(4096, 16)),
 							core.StreamConfig{Ways: 4, Depth: d}, nil, core.DefaultTiming())
 					})
@@ -254,7 +255,7 @@ func AblationWritePolicy() Experiment {
 				run := func(pol cache.WritePolicy) cache.Stats {
 					l1 := cache.MustNew(cache.Config{Size: 4096, LineSize: 16, Assoc: 1,
 						WritePolicy: pol})
-					tr.Each(func(a memtrace.Access) {
+					memtrace.Each(tr.Source(), func(a memtrace.Access) {
 						if a.Kind.IsData() {
 							l1.Access(uint64(a.Addr), a.Kind == memtrace.Store)
 						}
@@ -317,12 +318,13 @@ func AblationMultiprog() Experiment {
 			parallelFor(len(quanta), func(qi int) {
 				bench := workload.Multiprogram(quanta[qi],
 					workload.Ccom(), workload.Grr(), workload.Yacc())
-				tr := workload.GenerateTrace(bench, cfg.Scale)
-
 				runCfg := func(sysCfg hierarchy.Config) hierarchy.Results {
 					sys := hierarchy.MustNew(sysCfg)
-					sys.Run(tr)
-					return sys.Results(tr.Instructions())
+					src := workload.NewSource(bench, cfg.Scale)
+					defer src.Close()
+					cs := memtrace.NewCountingSource(src)
+					sys.RunSource(cs)
+					return sys.Results(cs.Instructions())
 				}
 				base := runCfg(hierarchy.Config{})
 				imp := runCfg(improvedConfig())

@@ -28,7 +28,7 @@ func AblationBandwidth() Experiment {
 			parallelFor(len(names), func(i int) {
 				tr := cfg.Traces.Get(names[i])
 				var stores uint64
-				tr.Each(func(a memtrace.Access) {
+				memtrace.Each(tr.Source(), func(a memtrace.Access) {
 					if a.Kind == memtrace.Store {
 						stores++
 					}

@@ -145,6 +145,11 @@ func (ts *TraceSet) Get(name string) *memtrace.Trace {
 	return t
 }
 
+// Source returns a fresh streaming cursor over the named benchmark's
+// cached trace. Every call yields an independent cursor, so concurrent
+// sweep workers can replay the shared read-only trace simultaneously.
+func (ts *TraceSet) Source(name string) memtrace.Source { return ts.Get(name).Source() }
+
 // benchNames is the paper-order benchmark list.
 func benchNames() []string { return workload.Names() }
 
@@ -176,11 +181,11 @@ func l1Config(size, lineSize int) cache.Config {
 	return cache.Config{Name: "L1", Size: size, LineSize: lineSize, Assoc: 1}
 }
 
-// runFront replays one side of a trace through the front-end built by
-// mk and returns its stats.
-func runFront(tr *memtrace.Trace, s side, mk func() core.FrontEnd) core.Stats {
+// runFront replays one side of an access stream through the front-end
+// built by mk and returns its stats.
+func runFront(src memtrace.Source, s side, mk func() core.FrontEnd) core.Stats {
 	fe := mk()
-	tr.Each(func(a memtrace.Access) {
+	memtrace.Each(src, func(a memtrace.Access) {
 		if s.keep(a) {
 			fe.Access(uint64(a.Addr), a.Kind == memtrace.Store)
 		}
@@ -196,11 +201,11 @@ type baseCounts struct {
 	classes  classify.Counts
 }
 
-func runBaselineClassified(tr *memtrace.Trace, s side, size, lineSize int) baseCounts {
+func runBaselineClassified(src memtrace.Source, s side, size, lineSize int) baseCounts {
 	l1 := cache.MustNew(l1Config(size, lineSize))
 	cl := classify.MustNew(size, lineSize)
 	var out baseCounts
-	tr.Each(func(a memtrace.Access) {
+	memtrace.Each(src, func(a memtrace.Access) {
 		if !s.keep(a) {
 			return
 		}

@@ -13,7 +13,7 @@ import (
 func runSystem(cfg Config, name string, sysCfg hierarchy.Config) hierarchy.Results {
 	tr := cfg.Traces.Get(name)
 	sys := hierarchy.MustNew(sysCfg)
-	sys.Run(tr)
+	sys.RunSource(tr.Source())
 	return sys.Results(tr.Instructions())
 }
 

@@ -18,7 +18,7 @@ func Fig31() Experiment {
 			out := make([]pcts, len(names))
 			parallelFor(len(names)*2, func(k int) {
 				idx, s := k/2, side(k%2)
-				bc := runBaselineClassified(cfg.Traces.Get(names[idx]), s, 4096, 16)
+				bc := runBaselineClassified(cfg.Traces.Source(names[idx]), s, 4096, 16)
 				p := stats.Percent(float64(bc.classes.Conflict), float64(bc.misses))
 				if s == iSide {
 					out[idx].i = p

@@ -45,7 +45,7 @@ func conflictRemovalSweep(cfg Config, kind auxKind, entries []int, cacheSize, li
 	baseArr := make([]baseCounts, len(names)*2)
 	parallelFor(len(names)*2, func(k int) {
 		idx, s := k/2, side(k%2)
-		baseArr[k] = runBaselineClassified(cfg.Traces.Get(names[idx]), s, cacheSize, lineSize)
+		baseArr[k] = runBaselineClassified(cfg.Traces.Source(names[idx]), s, cacheSize, lineSize)
 	})
 
 	// Sweep: per (benchmark, side, entry count) → percent of conflict
@@ -71,7 +71,7 @@ func conflictRemovalSweep(cfg Config, kind auxKind, entries []int, cacheSize, li
 		jb := jobs[j]
 		tr := cfg.Traces.Get(names[jb.bench])
 		s := side(jb.sideIdx)
-		st := runFront(tr, s, func() core.FrontEnd {
+		st := runFront(tr.Source(), s, func() core.FrontEnd {
 			return kind.build(cache.MustNew(l1Config(cacheSize, lineSize)), entries[jb.entryIdx])
 		})
 		b := baseArr[jb.bench*2+jb.sideIdx]

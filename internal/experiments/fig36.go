@@ -30,7 +30,7 @@ func victimVsParamSweep(cfg Config, id, title, xLabel string,
 		size, line := mkGeom(params[pi])
 		baseArr := make([]baseCounts, len(names))
 		for b := range names {
-			baseArr[b] = runBaselineClassified(cfg.Traces.Get(names[b]), dSide, size, line)
+			baseArr[b] = runBaselineClassified(cfg.Traces.Source(names[b]), dSide, size, line)
 		}
 		include := make([]bool, len(names))
 		var conflictPcts []float64
@@ -43,7 +43,7 @@ func victimVsParamSweep(cfg Config, id, title, xLabel string,
 		for ei, e := range entries {
 			vals := make([]float64, len(names))
 			for b := range names {
-				st := runFront(cfg.Traces.Get(names[b]), dSide, func() core.FrontEnd {
+				st := runFront(cfg.Traces.Source(names[b]), dSide, func() core.FrontEnd {
 					return core.NewVictimCache(cache.MustNew(l1Config(size, line)), e,
 						nil, core.DefaultTiming())
 				})

@@ -30,7 +30,7 @@ func Fig41() Experiment {
 				hist := prefetch.NewTimeToUse(buckets)
 				fe := prefetch.New(cache.MustNew(l1Config(4096, 16)), policies[i],
 					prefetch.Timing{MissPenalty: 24, FillLatency: 24}, hist)
-				tr.Each(func(a memtrace.Access) {
+				memtrace.Each(tr.Source(), func(a memtrace.Access) {
 					if a.Kind == memtrace.Ifetch {
 						fe.Access(uint64(a.Addr), false)
 					}

@@ -30,7 +30,7 @@ func streamRunSweep(cfg Config, id, title string, ways int) *Result {
 	}
 	parallelFor(len(names)*2, func(k int) {
 		idx, s := k/2, k%2
-		bc := runBaselineClassified(cfg.Traces.Get(names[idx]), side(s), 4096, 16)
+		bc := runBaselineClassified(cfg.Traces.Source(names[idx]), side(s), 4096, 16)
 		baseMisses[s][idx] = bc.misses
 	})
 
@@ -48,7 +48,7 @@ func streamRunSweep(cfg Config, id, title string, ways int) *Result {
 		if runLimit == 0 {
 			misses = baseMisses[jb.sideIdx][jb.bench] // no prefetching at all
 		} else {
-			st := runFront(cfg.Traces.Get(names[jb.bench]), side(jb.sideIdx), func() core.FrontEnd {
+			st := runFront(cfg.Traces.Source(names[jb.bench]), side(jb.sideIdx), func() core.FrontEnd {
 				return core.NewStreamBuffer(cache.MustNew(l1Config(4096, 16)),
 					core.StreamConfig{Ways: ways, Depth: 4, RunLimit: runLimit},
 					nil, core.DefaultTiming())

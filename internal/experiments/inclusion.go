@@ -47,7 +47,7 @@ func AblationInclusion() Experiment {
 					sysCfg = mkVictim()
 				}
 				sys := hierarchy.MustNew(sysCfg)
-				sys.Run(tr)
+				sys.RunSource(tr.Source())
 				if v == 0 {
 					out[i].plain = sys.Inclusion()
 				} else {

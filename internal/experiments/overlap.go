@@ -28,7 +28,7 @@ func Overlap() Experiment {
 			}
 			out := make([]row, len(names))
 			parallelFor(len(names), func(i int) {
-				st := runFront(cfg.Traces.Get(names[i]), dSide, func() core.FrontEnd {
+				st := runFront(cfg.Traces.Source(names[i]), dSide, func() core.FrontEnd {
 					return core.NewCombined(cache.MustNew(l1Config(4096, 16)), 4,
 						core.StreamConfig{Ways: 4, Depth: 4}, nil, core.DefaultTiming())
 				})

@@ -29,8 +29,8 @@ func TestPaperStreamBufferHeadlines(t *testing.T) {
 		include := make([]bool, len(names))
 		parallelFor(len(names), func(i int) {
 			tr := cfg.Traces.Get(names[i])
-			bc := runBaselineClassified(tr, s, 4096, 16)
-			st := runFront(tr, s, func() core.FrontEnd {
+			bc := runBaselineClassified(tr.Source(), s, 4096, 16)
+			st := runFront(tr.Source(), s, func() core.FrontEnd {
 				return core.NewStreamBuffer(cache.MustNew(l1Config(4096, 16)),
 					core.StreamConfig{Ways: ways, Depth: 4}, nil, core.DefaultTiming())
 			})
@@ -70,9 +70,9 @@ func TestPaperLiverMultiWayShowcase(t *testing.T) {
 	}
 	cfg := smallCfg()
 	tr := cfg.Traces.Get("liver")
-	bc := runBaselineClassified(tr, dSide, 4096, 16)
+	bc := runBaselineClassified(tr.Source(), dSide, 4096, 16)
 	removed := func(ways int) float64 {
-		st := runFront(tr, dSide, func() core.FrontEnd {
+		st := runFront(tr.Source(), dSide, func() core.FrontEnd {
 			return core.NewStreamBuffer(cache.MustNew(l1Config(4096, 16)),
 				core.StreamConfig{Ways: ways, Depth: 4}, nil, core.DefaultTiming())
 		})

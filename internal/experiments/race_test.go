@@ -1,0 +1,57 @@
+package experiments
+
+import (
+	"sync"
+	"testing"
+
+	"jouppi/internal/cache"
+	"jouppi/internal/core"
+	"jouppi/internal/memtrace"
+)
+
+// TraceSet.Get and Source must be safe when sweep workers hit them
+// concurrently: first-use generation races against readers of the cached
+// trace. Run with -race (the Makefile's test target does).
+func TestTraceSetConcurrentAccess(t *testing.T) {
+	ts := NewTraceSet(0.02)
+	names := benchNames()
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i, name := range names {
+				n := 0
+				memtrace.Each(ts.Source(name), func(memtrace.Access) { n++ })
+				if n == 0 {
+					t.Errorf("worker %d: empty stream for %s (iter %d)", w, name, i)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// parallelFor sweeps replaying independent cursors over the shared cached
+// traces — the pattern every experiment uses — must be race-free and give
+// every worker the complete stream.
+func TestParallelSweepOverSharedTraces(t *testing.T) {
+	ts := NewTraceSet(0.02)
+	names := benchNames()
+	stats := make([]core.Stats, 2*len(names))
+	parallelFor(len(stats), func(i int) {
+		name := names[i%len(names)]
+		stats[i] = runFront(ts.Source(name), dSide, func() core.FrontEnd {
+			return core.NewBaseline(cache.MustNew(l1Config(4096, 16)), nil, core.DefaultTiming())
+		})
+	})
+	for i := range names {
+		if stats[i] != stats[i+len(names)] {
+			t.Errorf("%s: runs over the same trace disagree: %+v vs %+v",
+				names[i], stats[i], stats[i+len(names)])
+		}
+		if stats[i].Accesses == 0 {
+			t.Errorf("%s: no accesses replayed", names[i])
+		}
+	}
+}

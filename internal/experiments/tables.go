@@ -106,7 +106,7 @@ func Table22() Experiment {
 				tr := cfg.Traces.Get(names[idx])
 				l1i := cache.MustNew(l1Config(4096, 16))
 				l1d := cache.MustNew(l1Config(4096, 16))
-				tr.Each(func(a memtrace.Access) {
+				memtrace.Each(tr.Source(), func(a memtrace.Access) {
 					if a.Kind == memtrace.Ifetch {
 						l1i.Access(uint64(a.Addr), false)
 					} else {

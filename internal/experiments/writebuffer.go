@@ -41,10 +41,10 @@ func AblationWriteBuffer() Experiment {
 							cache.MustNew(l1Config(4096, 16)), nil, core.DefaultTiming())
 						fe := core.NewWithWriteBuffer(inner,
 							core.NewWriteBuffer(depth, interval))
-						st := runFrontOn(tr, dSide, fe)
+						st := runFrontOn(tr.Source(), dSide, fe)
 						// Isolate the buffer's contribution: stalls beyond
 						// the plain front-end's.
-						base := runFront(tr, dSide, func() core.FrontEnd {
+						base := runFront(tr.Source(), dSide, func() core.FrontEnd {
 							return core.NewBaseline(cache.MustNew(l1Config(4096, 16)),
 								nil, core.DefaultTiming())
 						})

@@ -294,8 +294,19 @@ func (s *System) Access(a memtrace.Access) {
 	}
 }
 
-// Run replays an entire trace.
+// Run replays an entire in-memory trace.
 func (s *System) Run(t *memtrace.Trace) { t.Each(s.Access) }
+
+// RunSource pulls src dry through the system. Replay memory is O(1) in
+// stream length, so arbitrarily long traces (file readers, live workload
+// generators) can be replayed without materializing them.
+func (s *System) RunSource(src memtrace.Source) {
+	memtrace.Each(src, s.Access)
+}
+
+// Access also satisfies memtrace.Sink, so a *System can be the direct
+// target of a workload generator.
+var _ memtrace.Sink = (*System)(nil)
 
 // Results collects the run's counters and performance breakdown.
 type Results struct {

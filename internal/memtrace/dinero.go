@@ -57,31 +57,57 @@ func (t *Trace) WriteDinero(w io.Writer) (int, error) {
 	return n, bw.Flush()
 }
 
-// ReadDinero reads a din-format trace from r. Blank lines are skipped;
-// trailing fields after the address are ignored; malformed lines are
-// reported with their line number.
-func ReadDinero(r io.Reader) (*Trace, error) {
+// DineroReader is a streaming Source over din-format text. Blank lines
+// are skipped; trailing fields after the address are ignored; malformed
+// lines terminate the stream with an error reported by Err, including the
+// line number.
+type DineroReader struct {
+	sc     *bufio.Scanner
+	lineNo int
+	err    error
+	done   bool
+}
+
+// NewDineroReader returns a streaming reader over din records in r.
+func NewDineroReader(r io.Reader) *DineroReader {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<16), 1<<20)
-	t := NewTrace(1 << 12)
-	lineNo := 0
-	for sc.Scan() {
-		lineNo++
-		line := strings.TrimSpace(sc.Text())
+	return &DineroReader{sc: sc}
+}
+
+// Err returns the error that terminated the stream, or nil after a clean
+// end of input.
+func (dr *DineroReader) Err() error { return dr.err }
+
+// Next implements Source.
+func (dr *DineroReader) Next() (Access, bool) {
+	if dr.err != nil || dr.done {
+		return Access{}, false
+	}
+	for dr.sc.Scan() {
+		dr.lineNo++
+		line := strings.TrimSpace(dr.sc.Text())
 		if line == "" {
 			continue
 		}
 		fields := strings.Fields(line)
 		if len(fields) < 2 {
-			return nil, fmt.Errorf("memtrace: din line %d: want \"<label> <addr>\", got %q", lineNo, line)
+			dr.err = fmt.Errorf("memtrace: din line %d: want \"<label> <addr>\", got %q", dr.lineNo, line)
+			return Access{}, false
 		}
 		label, err := strconv.Atoi(fields[0])
 		if err != nil {
-			return nil, fmt.Errorf("memtrace: din line %d: bad label %q", lineNo, fields[0])
+			dr.err = fmt.Errorf("memtrace: din line %d: bad label %q", dr.lineNo, fields[0])
+			return Access{}, false
 		}
 		addr, err := strconv.ParseUint(fields[1], 16, 64)
 		if err != nil {
-			return nil, fmt.Errorf("memtrace: din line %d: bad address %q", lineNo, fields[1])
+			dr.err = fmt.Errorf("memtrace: din line %d: bad address %q", dr.lineNo, fields[1])
+			return Access{}, false
+		}
+		if Addr(addr) > MaxAddr {
+			dr.err = fmt.Errorf("memtrace: din line %d: address 0x%x exceeds the 62-bit range", dr.lineNo, addr)
+			return Access{}, false
 		}
 		var kind Kind
 		switch label {
@@ -92,12 +118,28 @@ func ReadDinero(r io.Reader) (*Trace, error) {
 		case dinIfetch:
 			kind = Ifetch
 		default:
-			return nil, fmt.Errorf("memtrace: din line %d: unknown label %d", lineNo, label)
+			dr.err = fmt.Errorf("memtrace: din line %d: unknown label %d", dr.lineNo, label)
+			return Access{}, false
 		}
-		t.Append(Access{Addr: Addr(addr), Kind: kind})
+		return Access{Addr: Addr(addr), Kind: kind}, true
 	}
-	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("memtrace: reading din trace: %w", err)
+	dr.done = true
+	if err := dr.sc.Err(); err != nil {
+		dr.err = fmt.Errorf("memtrace: reading din trace: %w", err)
+	}
+	return Access{}, false
+}
+
+var _ Source = (*DineroReader)(nil)
+
+// ReadDinero reads a complete din-format trace from r, materializing it in
+// memory. For large files prefer NewDineroReader, which streams.
+func ReadDinero(r io.Reader) (*Trace, error) {
+	dr := NewDineroReader(r)
+	t := NewTrace(1 << 12)
+	Drain(dr, t)
+	if err := dr.Err(); err != nil {
+		return nil, err
 	}
 	return t, nil
 }

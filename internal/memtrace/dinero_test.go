@@ -58,10 +58,11 @@ func TestReadDineroTolerance(t *testing.T) {
 
 func TestReadDineroErrors(t *testing.T) {
 	cases := []string{
-		"0\n",      // missing address
-		"x 1000\n", // bad label
-		"0 zz\n",   // bad address
-		"7 1000\n", // unknown label
+		"0\n",                  // missing address
+		"x 1000\n",             // bad label
+		"0 zz\n",               // bad address
+		"7 1000\n",             // unknown label
+		"0 4000000000000000\n", // address above the 62-bit packed range
 	}
 	for _, in := range cases {
 		if _, err := ReadDinero(strings.NewReader(in)); err == nil {

@@ -53,8 +53,22 @@ func (t *Trace) WriteTo(w io.Writer) (int64, error) {
 	return n, bw.Flush()
 }
 
-// ReadTrace reads a complete trace in the binary trace format from r.
-func ReadTrace(r io.Reader) (*Trace, error) {
+// Reader is a streaming Source over the binary trace format. It decodes
+// records in buffered chunks, so replay memory stays O(1) in trace length
+// — multi-gigabyte trace files never need to fit in memory. Check Err
+// after Next reports false: a clean end of trace leaves it nil.
+type Reader struct {
+	br    *bufio.Reader
+	buf   []byte // undecoded tail of the current chunk
+	chunk [8 << 10]byte
+	read  uint64 // records delivered so far
+	count uint64 // records the header promised
+	err   error
+}
+
+// NewReader parses the header and returns a streaming reader positioned at
+// the first record.
+func NewReader(r io.Reader) (*Reader, error) {
 	br := bufio.NewReaderSize(r, 1<<16)
 
 	var header [16]byte
@@ -65,23 +79,69 @@ func ReadTrace(r io.Reader) (*Trace, error) {
 		return nil, ErrBadFormat
 	}
 	count := binary.LittleEndian.Uint64(header[8:16])
-	const maxReasonable = 1 << 33 // 8 G records ≈ 64 GB; reject clearly corrupt counts
+	const maxReasonable = 1 << 40 // 1 T records ≈ 8 TB; reject clearly corrupt counts
 	if count > maxReasonable {
 		return nil, fmt.Errorf("%w: implausible record count %d", ErrBadFormat, count)
 	}
+	return &Reader{br: br, count: count}, nil
+}
 
-	t := NewTrace(int(count))
-	var buf [8]byte
-	for i := uint64(0); i < count; i++ {
-		if _, err := io.ReadFull(br, buf[:]); err != nil {
-			return nil, fmt.Errorf("%w: truncated at record %d: %v", ErrBadFormat, i, err)
+// Count returns the record count promised by the file header.
+func (r *Reader) Count() uint64 { return r.count }
+
+// Err returns the error that terminated the stream, or nil after a clean
+// end of trace.
+func (r *Reader) Err() error { return r.err }
+
+// Next implements Source. It returns ok == false at the end of the trace
+// or on a decoding error (reported by Err).
+func (r *Reader) Next() (Access, bool) {
+	if r.err != nil || r.read == r.count {
+		return Access{}, false
+	}
+	if len(r.buf) < 8 {
+		want := (r.count - r.read) * 8
+		if want > uint64(len(r.chunk)) {
+			want = uint64(len(r.chunk))
 		}
-		rec := record(binary.LittleEndian.Uint64(buf[:]))
-		a := rec.unpack()
-		if a.Kind >= numKinds {
-			return nil, fmt.Errorf("%w: record %d has invalid kind %d", ErrBadFormat, i, a.Kind)
+		// Carry the partial record (if any) to the front of the chunk.
+		n := copy(r.chunk[:], r.buf)
+		m, err := io.ReadAtLeast(r.br, r.chunk[n:want], 8-n)
+		if err != nil {
+			r.err = fmt.Errorf("%w: truncated at record %d: %v", ErrBadFormat, r.read, err)
+			return Access{}, false
 		}
-		t.Append(a)
+		r.buf = r.chunk[:n+m]
+	}
+	rec := record(binary.LittleEndian.Uint64(r.buf[:8]))
+	r.buf = r.buf[8:]
+	a := rec.unpack()
+	if a.Kind >= numKinds {
+		r.err = fmt.Errorf("%w: record %d has invalid kind %d", ErrBadFormat, r.read, a.Kind)
+		return Access{}, false
+	}
+	r.read++
+	return a, true
+}
+
+var _ Source = (*Reader)(nil)
+
+// ReadTrace reads a complete trace in the binary trace format from r,
+// materializing it in memory. For large files prefer NewReader, which
+// streams.
+func ReadTrace(r io.Reader) (*Trace, error) {
+	sr, err := NewReader(r)
+	if err != nil {
+		return nil, err
+	}
+	if sr.Count() > 1<<33 { // 8 G records ≈ 64 GB in memory
+		return nil, fmt.Errorf("%w: record count %d too large to materialize (use NewReader)",
+			ErrBadFormat, sr.Count())
+	}
+	t := NewTrace(int(sr.Count()))
+	Drain(sr, t)
+	if err := sr.Err(); err != nil {
+		return nil, err
 	}
 	return t, nil
 }

@@ -43,8 +43,14 @@ func (k Kind) String() string {
 func (k Kind) IsData() bool { return k == Load || k == Store }
 
 // Addr is a byte address in the simulated flat address space.
-// Addresses must fit in 62 bits so that a Kind can be packed alongside.
+// Addresses must fit in 62 bits so that a Kind can be packed alongside;
+// MaxAddr is the largest representable address.
 type Addr uint64
+
+// MaxAddr is the largest address the packed trace representation can
+// carry: 2^62 − 1. Appending an access beyond it panics rather than
+// silently truncating the address (and, with it, corrupting round-trips).
+const MaxAddr Addr = 1<<kindShift - 1
 
 // Access is a single memory reference.
 type Access struct {
@@ -66,6 +72,13 @@ const (
 )
 
 func pack(a Access) record {
+	if a.Addr > MaxAddr {
+		panic(fmt.Sprintf("memtrace: address 0x%x exceeds the 62-bit packed range (MaxAddr 0x%x)",
+			uint64(a.Addr), uint64(MaxAddr)))
+	}
+	if a.Kind >= numKinds {
+		panic(fmt.Sprintf("memtrace: invalid access kind %d", uint8(a.Kind)))
+	}
 	return record(a.Addr)&addrMask | record(a.Kind)<<kindShift
 }
 
@@ -85,7 +98,9 @@ func NewTrace(n int) *Trace {
 	return &Trace{recs: make([]record, 0, n)}
 }
 
-// Append adds one access to the end of the trace.
+// Append adds one access to the end of the trace. It panics if a.Addr
+// exceeds MaxAddr or a.Kind is invalid — the packed 8-byte representation
+// cannot carry them, and truncating silently would corrupt round-trips.
 func (t *Trace) Append(a Access) {
 	t.recs = append(t.recs, pack(a))
 	t.counts[a.Kind]++

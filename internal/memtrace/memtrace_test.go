@@ -49,16 +49,35 @@ func TestPackUnpackRoundTrip(t *testing.T) {
 	}
 }
 
-func TestPackMasksHighBits(t *testing.T) {
-	// Addresses wider than 62 bits must not corrupt the kind field.
-	a := Access{Addr: Addr(^uint64(0)), Kind: Store}
-	got := pack(a).unpack()
-	if got.Kind != Store {
-		t.Errorf("kind corrupted: got %v, want %v", got.Kind, Store)
+func TestPackBoundaryAddress(t *testing.T) {
+	// The largest representable address must round-trip exactly through
+	// the packed record.
+	a := Access{Addr: MaxAddr, Kind: Store}
+	if got := pack(a).unpack(); got != a {
+		t.Errorf("round trip = %+v, want %+v", got, a)
 	}
-	if got.Addr != Addr(uint64(addrMask)) {
-		t.Errorf("addr = %#x, want masked %#x", uint64(got.Addr), uint64(addrMask))
-	}
+}
+
+func TestPackRejectsWideAddresses(t *testing.T) {
+	// Addresses wider than 62 bits used to be silently truncated into a
+	// different address; they must now be rejected before they can
+	// corrupt a trace.
+	defer func() {
+		if recover() == nil {
+			t.Fatal("pack accepted an address above MaxAddr")
+		}
+	}()
+	pack(Access{Addr: MaxAddr + 1, Kind: Store})
+}
+
+func TestAppendRejectsWideAddresses(t *testing.T) {
+	tr := NewTrace(0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Append accepted an address above MaxAddr")
+		}
+	}()
+	tr.Append(Access{Addr: Addr(^uint64(0)), Kind: Load})
 }
 
 func TestTraceCounts(t *testing.T) {

@@ -1,0 +1,118 @@
+package memtrace
+
+// Source is a pull-based stream of accesses — the streaming counterpart of
+// Sink. Consumers call Next until it reports ok == false; after that every
+// further call must keep returning ok == false. Sources are single-use and
+// not safe for concurrent use; obtain a fresh Source per replay.
+//
+// Source is the interface the simulators consume, so replay memory stays
+// O(1) in trace length: a *Trace cursor, the binary and dinero file
+// readers, and live workload generators all implement it.
+type Source interface {
+	Next() (Access, bool)
+}
+
+// Each pulls src dry, calling fn for every access in order. It is the bulk
+// consumption path shared by the simulators and analyses.
+func Each(src Source, fn func(Access)) {
+	for {
+		a, ok := src.Next()
+		if !ok {
+			return
+		}
+		fn(a)
+	}
+}
+
+// Drain pulls src dry, pushing every access into sink. It bridges the
+// pull-based Source world into the push-based Sink world (trace writers,
+// in-memory traces).
+func Drain(src Source, sink Sink) {
+	for {
+		a, ok := src.Next()
+		if !ok {
+			return
+		}
+		sink.Access(a)
+	}
+}
+
+// Cursor is a Source iterating over an in-memory Trace. The trace must not
+// be appended to while the cursor is live.
+type Cursor struct {
+	t *Trace
+	i int
+}
+
+// Source returns a fresh cursor positioned at the start of the trace.
+// Multiple cursors over one trace are independent, so concurrent replays
+// of a shared read-only trace each take their own.
+func (t *Trace) Source() *Cursor { return &Cursor{t: t} }
+
+// Next implements Source.
+func (c *Cursor) Next() (Access, bool) {
+	if c.i >= len(c.t.recs) {
+		return Access{}, false
+	}
+	a := c.t.recs[c.i].unpack()
+	c.i++
+	return a, true
+}
+
+// Remaining returns how many accesses the cursor has yet to deliver.
+func (c *Cursor) Remaining() int { return len(c.t.recs) - c.i }
+
+var _ Source = (*Cursor)(nil)
+
+// Counts tallies accesses per kind as they stream past.
+type Counts struct {
+	counts [numKinds]uint64
+}
+
+// Observe records one access.
+func (c *Counts) Observe(a Access) {
+	if a.Kind < numKinds {
+		c.counts[a.Kind]++
+	}
+}
+
+// Instructions returns the ifetch count — the dynamic instruction count
+// under the paper's convention.
+func (c *Counts) Instructions() uint64 { return c.counts[Ifetch] }
+
+// Loads returns the load count.
+func (c *Counts) Loads() uint64 { return c.counts[Load] }
+
+// Stores returns the store count.
+func (c *Counts) Stores() uint64 { return c.counts[Store] }
+
+// Total returns the total access count.
+func (c *Counts) Total() uint64 {
+	var t uint64
+	for _, n := range c.counts {
+		t += n
+	}
+	return t
+}
+
+// CountingSource wraps a Source and tallies what flows through it, so a
+// streaming replay can recover instruction counts without materializing
+// the trace.
+type CountingSource struct {
+	Src Source
+	Counts
+}
+
+// NewCountingSource wraps src.
+func NewCountingSource(src Source) *CountingSource { return &CountingSource{Src: src} }
+
+// Next implements Source.
+func (cs *CountingSource) Next() (Access, bool) {
+	a, ok := cs.Src.Next()
+	if ok {
+		cs.Observe(a)
+	}
+	return a, ok
+}
+
+var _ Source = (*CountingSource)(nil)

@@ -48,31 +48,36 @@ func (m multiprog) Description() string {
 func (m multiprog) Generate(scale float64, sink memtrace.Sink) {
 	const processStride = 1 << 40 // 1TB per process; preserves index bits
 
-	traces := make([]*memtrace.Trace, len(m.benches))
+	// Each process streams from its own generator goroutine; nothing is
+	// materialized, so a multiprogrammed trace costs the same memory as
+	// its longest-running constituent's chunk buffers.
+	srcs := make([]*Source, len(m.benches))
 	for i, b := range m.benches {
-		traces[i] = GenerateTrace(b, scale)
+		srcs[i] = NewSource(b, scale)
+		defer srcs[i].Close()
 	}
 
-	pos := make([]int, len(traces))
-	remaining := len(traces)
+	done := make([]bool, len(srcs))
+	remaining := len(srcs)
 	for remaining > 0 {
-		for p, tr := range traces {
-			if pos[p] >= tr.Len() {
+		for p, src := range srcs {
+			if done[p] {
 				continue
 			}
 			offset := memtrace.Addr(uint64(p) * processStride)
 			instrs := 0
-			for pos[p] < tr.Len() && instrs < m.quantum {
-				a := tr.At(pos[p])
-				pos[p]++
+			for instrs < m.quantum {
+				a, ok := src.Next()
+				if !ok {
+					done[p] = true
+					remaining--
+					break
+				}
 				if a.Kind == memtrace.Ifetch {
 					instrs++
 				}
 				a.Addr += offset
 				sink.Access(a)
-			}
-			if pos[p] >= tr.Len() {
-				remaining--
 			}
 		}
 	}

@@ -1,0 +1,103 @@
+package workload
+
+import (
+	"sync"
+
+	"jouppi/internal/memtrace"
+)
+
+// sourceChunk is the hand-off granularity between the generator goroutine
+// and the consumer: large enough to amortize channel operations, small
+// enough to keep streaming memory O(1) (a few chunks of 4096 accesses).
+const sourceChunk = 4096
+
+// stopGeneration is the sentinel panic value used to unwind a generator
+// whose consumer closed the Source early; Benchmark.Generate has no
+// cancellation hook of its own.
+type stopGeneration struct{}
+
+// Source streams a benchmark's reference trace as a pull-based
+// memtrace.Source without ever materializing it: the generator runs in a
+// goroutine and hands chunks of accesses to the consumer. Close releases
+// the goroutine; it must be called if the consumer stops before the
+// stream is exhausted (draining to the end also releases it, but Close is
+// always safe and idempotent).
+type Source struct {
+	ch     chan []memtrace.Access
+	cur    []memtrace.Access
+	stop   chan struct{}
+	once   sync.Once
+	closed bool
+}
+
+// NewSource starts generating b at the given scale and returns the
+// streaming view of its trace.
+func NewSource(b Benchmark, scale float64) *Source {
+	s := &Source{
+		ch:   make(chan []memtrace.Access, 4),
+		stop: make(chan struct{}),
+	}
+	go func() {
+		defer close(s.ch)
+		defer func() {
+			if r := recover(); r != nil {
+				if _, stopped := r.(stopGeneration); !stopped {
+					panic(r)
+				}
+			}
+		}()
+		chunk := make([]memtrace.Access, 0, sourceChunk)
+		flush := func() {
+			if len(chunk) == 0 {
+				return
+			}
+			select {
+			case s.ch <- chunk:
+				chunk = make([]memtrace.Access, 0, sourceChunk)
+			case <-s.stop:
+				panic(stopGeneration{})
+			}
+		}
+		b.Generate(scale, memtrace.SinkFunc(func(a memtrace.Access) {
+			chunk = append(chunk, a)
+			if len(chunk) == sourceChunk {
+				flush()
+			}
+		}))
+		flush()
+	}()
+	return s
+}
+
+// Next implements memtrace.Source.
+func (s *Source) Next() (memtrace.Access, bool) {
+	if s.closed {
+		return memtrace.Access{}, false
+	}
+	for len(s.cur) == 0 {
+		chunk, ok := <-s.ch
+		if !ok {
+			return memtrace.Access{}, false
+		}
+		s.cur = chunk
+	}
+	a := s.cur[0]
+	s.cur = s.cur[1:]
+	return a, true
+}
+
+// Close stops the generator goroutine and ends the stream. It is safe to
+// call at any time, multiple times.
+func (s *Source) Close() error {
+	s.once.Do(func() {
+		s.closed = true
+		close(s.stop)
+		// Unblock the generator if it is parked on a full channel, and
+		// discard anything already buffered.
+		for range s.ch {
+		}
+	})
+	return nil
+}
+
+var _ memtrace.Source = (*Source)(nil)

@@ -1,0 +1,65 @@
+package workload
+
+import (
+	"testing"
+
+	"jouppi/internal/memtrace"
+)
+
+// NewSource must deliver exactly the sequence Generate pushes, for every
+// benchmark: same records, same order.
+func TestSourceMatchesGenerate(t *testing.T) {
+	for _, name := range Names() {
+		b := MustByName(name)
+		pushed := GenerateTrace(b, 0.05)
+		src := NewSource(b, 0.05)
+		i := 0
+		memtrace.Each(src, func(a memtrace.Access) {
+			if i < pushed.Len() && a != pushed.At(i) {
+				t.Fatalf("%s record %d: %v vs %v", name, i, a, pushed.At(i))
+			}
+			i++
+		})
+		if err := src.Close(); err != nil {
+			t.Fatalf("%s: Close: %v", name, err)
+		}
+		if i != pushed.Len() {
+			t.Fatalf("%s: pulled %d records, generator pushed %d", name, i, pushed.Len())
+		}
+	}
+}
+
+// Closing a source mid-stream must stop the generator goroutine without
+// deadlocking, and Next must report exhaustion afterwards.
+func TestSourceCloseMidStream(t *testing.T) {
+	src := NewSource(MustByName("linpack"), 0.5)
+	for i := 0; i < 10; i++ {
+		if _, ok := src.Next(); !ok {
+			t.Fatal("source dried up after", i, "records")
+		}
+	}
+	if err := src.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := src.Next(); ok {
+		t.Error("Next returned a record after Close")
+	}
+	if err := src.Close(); err != nil {
+		t.Error("second Close:", err)
+	}
+}
+
+func TestSourceExhaustionThenClose(t *testing.T) {
+	src := NewSource(MustByName("met"), 0.01)
+	n := 0
+	memtrace.Each(src, func(memtrace.Access) { n++ })
+	if n == 0 {
+		t.Fatal("empty stream")
+	}
+	if _, ok := src.Next(); ok {
+		t.Error("Next returned a record past exhaustion")
+	}
+	if err := src.Close(); err != nil {
+		t.Error(err)
+	}
+}

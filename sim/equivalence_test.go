@@ -1,0 +1,45 @@
+package sim
+
+import (
+	"testing"
+
+	"jouppi/internal/memtrace"
+	"jouppi/internal/workload"
+)
+
+// The streaming replay path must be bit-identical to materializing the
+// trace first and replaying it access by access: same access order, same
+// counts, same derived rates, for every benchmark.
+func TestStreamingMatchesMaterializedReplay(t *testing.T) {
+	for _, name := range Benchmarks() {
+		streamed, err := RunBenchmark(name, 0.1, ImprovedSystem())
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+
+		b, err := benchmark(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr := workload.GenerateTrace(b, 0.1)
+		sys, err := NewSystem(ImprovedSystem())
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr.Each(func(a memtrace.Access) {
+			switch a.Kind {
+			case memtrace.Ifetch:
+				sys.Ifetch(uint64(a.Addr))
+			case memtrace.Load:
+				sys.Load(uint64(a.Addr))
+			case memtrace.Store:
+				sys.Store(uint64(a.Addr))
+			}
+		})
+		materialized := sys.Results()
+
+		if streamed != materialized {
+			t.Errorf("%s: streamed %+v\n  != materialized %+v", name, streamed, materialized)
+		}
+	}
+}

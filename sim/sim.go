@@ -19,6 +19,7 @@ package sim
 
 import (
 	"fmt"
+	"math"
 
 	"jouppi/internal/cache"
 	"jouppi/internal/core"
@@ -320,8 +321,15 @@ func benchmark(name string) (workload.Benchmark, error) {
 
 // RunBenchmark generates the named workload at the given scale and replays
 // it through a system built from cfg. Scale 1.0 is roughly 1–4M
-// instructions depending on the benchmark.
+// instructions depending on the benchmark; it must be positive and finite.
+//
+// The workload streams directly into the simulated hierarchy — the trace
+// is never materialized — so replay memory is O(1) in trace length and
+// arbitrarily large scales are feasible.
 func RunBenchmark(name string, scale float64, cfg Config) (Results, error) {
+	if !(scale > 0) || math.IsInf(scale, 0) {
+		return Results{}, fmt.Errorf("sim: scale must be a positive finite number, got %v", scale)
+	}
 	b, err := benchmark(name)
 	if err != nil {
 		return Results{}, err
@@ -330,9 +338,12 @@ func RunBenchmark(name string, scale float64, cfg Config) (Results, error) {
 	if err != nil {
 		return Results{}, err
 	}
-	tr := workload.GenerateTrace(b, scale)
-	sys.sys.Run(tr)
-	sys.instructions = tr.Instructions()
+	var counts memtrace.Counts
+	b.Generate(scale, memtrace.SinkFunc(func(a memtrace.Access) {
+		counts.Observe(a)
+		sys.sys.Access(a)
+	}))
+	sys.instructions = counts.Instructions()
 	return sys.Results(), nil
 }
 

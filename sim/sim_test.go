@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"math"
 	"strings"
 	"testing"
 )
@@ -86,6 +87,17 @@ func TestRunBenchmarkBaselineVsImproved(t *testing.T) {
 func TestRunBenchmarkUnknown(t *testing.T) {
 	if _, err := RunBenchmark("nope", 1, BaselineSystem()); err == nil {
 		t.Error("unknown benchmark accepted")
+	}
+}
+
+func TestRunBenchmarkRejectsBadScale(t *testing.T) {
+	// Zero, negative, NaN, and infinite scales previously produced an
+	// empty trace and all-zero Results with no error; they must now be
+	// rejected so the zeros cannot be mistaken for measurements.
+	for _, scale := range []float64{0, -1, math.NaN(), math.Inf(1), math.Inf(-1)} {
+		if _, err := RunBenchmark("liver", scale, BaselineSystem()); err == nil {
+			t.Errorf("scale %v accepted", scale)
+		}
 	}
 }
 

@@ -99,7 +99,9 @@ func WriteTraceFile(name string, scale float64, path, format string) (uint64, er
 
 // ReplayTraceFile reads a trace file (format "jtr" or "din") and replays
 // it through a system built from cfg, returning the results. Instruction
-// counts are taken from the trace's ifetch records.
+// counts are taken from the trace's ifetch records. The file is decoded
+// in buffered chunks and streamed through the system, so replay memory is
+// O(1) in file size.
 func ReplayTraceFile(path, format string, cfg Config) (Results, error) {
 	f, err := os.Open(path)
 	if err != nil {
@@ -107,24 +109,33 @@ func ReplayTraceFile(path, format string, cfg Config) (Results, error) {
 	}
 	defer f.Close()
 
-	var tr *memtrace.Trace
+	var (
+		src    memtrace.Source
+		srcErr func() error
+	)
 	switch format {
 	case "jtr":
-		tr, err = memtrace.ReadTrace(f)
+		r, err := memtrace.NewReader(f)
+		if err != nil {
+			return Results{}, err
+		}
+		src, srcErr = r, r.Err
 	case "din":
-		tr, err = memtrace.ReadDinero(f)
+		dr := memtrace.NewDineroReader(f)
+		src, srcErr = dr, dr.Err
 	default:
 		return Results{}, fmt.Errorf("sim: unknown trace format %q (want jtr or din)", format)
-	}
-	if err != nil {
-		return Results{}, err
 	}
 
 	sys, err := NewSystem(cfg)
 	if err != nil {
 		return Results{}, err
 	}
-	sys.sys.Run(tr)
-	sys.instructions = tr.Instructions()
+	cs := memtrace.NewCountingSource(src)
+	sys.sys.RunSource(cs)
+	if err := srcErr(); err != nil {
+		return Results{}, err
+	}
+	sys.instructions = cs.Instructions()
 	return sys.Results(), nil
 }
