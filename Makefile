@@ -1,12 +1,13 @@
 GO ?= go
 
-.PHONY: all check fmt vet build test bench
+.PHONY: all check fmt vet build test bench fuzz
 
 all: check
 
 # check chains every gate in order: formatting, vet, build, the full test
-# suite under the race detector, then a short benchmark pass.
-check: fmt vet build test bench
+# suite under the race detector, a fuzz smoke pass, then a short benchmark
+# pass.
+check: fmt vet build test fuzz bench
 
 fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
@@ -20,6 +21,14 @@ build:
 
 test:
 	$(GO) test -race ./...
+
+# fuzz gives each trace-decoder fuzz target a short budget — a smoke pass
+# that exercises the corpus plus a few seconds of mutation, not a soak.
+FUZZTIME ?= 5s
+fuzz:
+	$(GO) test ./internal/memtrace -run '^$$' -fuzz FuzzReadTrace -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/memtrace -run '^$$' -fuzz FuzzReadDinero -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/memtrace -run '^$$' -fuzz FuzzLenientReaders -fuzztime $(FUZZTIME)
 
 # bench runs the micro-benchmarks briefly — enough to catch a throughput
 # cliff, not a full measurement run.

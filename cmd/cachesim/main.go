@@ -41,6 +41,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		quasi     = fs.Bool("quasi", false, "quasi-sequential stream buffer lookup")
 		stride    = fs.Bool("stride", false, "stride-detecting stream buffers")
 		classify3 = fs.Bool("classify", false, "also report the 3C miss classification of the plain cache")
+		lenient   = fs.Bool("lenient", false, "skip malformed trace records (up to -maxdrops) and report the degradation instead of failing")
+		maxDrops  = fs.Uint64("maxdrops", 1<<20, "malformed-record cap in -lenient mode (0 = unlimited)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -67,6 +69,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	var (
 		src    memtrace.Source
 		srcErr func() error
+		degr   func() memtrace.Degradation
 	)
 	switch *format {
 	case "jtr":
@@ -75,10 +78,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintln(stderr, "cachesim:", err)
 			return 1
 		}
-		src, srcErr = r, r.Err
+		if *lenient {
+			r.Lenient(*maxDrops)
+		}
+		src, srcErr, degr = r, r.Err, r.Degradation
 	case "din":
 		dr := memtrace.NewDineroReader(f)
-		src, srcErr = dr, dr.Err
+		if *lenient {
+			dr.Lenient(*maxDrops)
+		}
+		src, srcErr, degr = dr, dr.Err, dr.Degradation
 	default:
 		fmt.Fprintln(stderr, "cachesim: -format must be jtr or din")
 		return 2
@@ -140,6 +149,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 	st := fe.Stats()
 	fmt.Fprintf(stdout, "configuration:   %s over %dB/%dB/%d-way cache\n", fe.Name(), *size, *line, *assoc)
+	if *lenient {
+		// The degradation report rides alongside the results so damaged
+		// inputs are visible, never silent.
+		fmt.Fprintf(stdout, "degradation:     %s\n", degr())
+	}
 	fmt.Fprintf(stdout, "accesses:        %d\n", st.Accesses)
 	fmt.Fprintf(stdout, "L1 hits:         %d\n", st.L1Hits)
 	fmt.Fprintf(stdout, "L1 misses:       %d (raw rate %.4f)\n", st.L1Misses, st.RawMissRate())

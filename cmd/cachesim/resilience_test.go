@@ -1,0 +1,88 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeCorruptDin writes a din trace with good records bracketing a few
+// malformed lines and returns its path.
+func writeCorruptDin(t *testing.T) string {
+	t.Helper()
+	var sb strings.Builder
+	for i := 0; i < 100; i++ {
+		fmt.Fprintf(&sb, "2 %x\n", i*4)
+		if i%25 == 10 {
+			sb.WriteString("garbage line here\n")
+		}
+	}
+	path := filepath.Join(t.TempDir(), "corrupt.din")
+	if err := os.WriteFile(path, []byte(sb.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// Strict mode must fail fast and non-zero on a damaged trace; lenient
+// mode must complete and surface the damage in a degradation report.
+func TestCorruptDinStrictVsLenient(t *testing.T) {
+	path := writeCorruptDin(t)
+
+	code, _, errOut := runCmd(t, "-trace", path, "-format", "din", "-side", "instr")
+	if code != 1 {
+		t.Fatalf("strict mode on corrupt trace: exit %d, want 1", code)
+	}
+	if errOut == "" {
+		t.Error("strict failure produced no stderr diagnostic")
+	}
+
+	code, out, errOut := runCmd(t, "-trace", path, "-format", "din", "-side", "instr", "-lenient")
+	if code != 0 {
+		t.Fatalf("lenient mode: exit %d, stderr %q", code, errOut)
+	}
+	if !strings.Contains(out, "degradation:") || !strings.Contains(out, "records dropped") {
+		t.Errorf("lenient output missing degradation report:\n%s", out)
+	}
+	if !strings.Contains(out, "accesses:        100") {
+		t.Errorf("lenient mode did not deliver the 100 good records:\n%s", out)
+	}
+}
+
+// The -maxdrops cap converts unbounded damage back into a hard failure.
+func TestLenientCapExceededFails(t *testing.T) {
+	path := writeCorruptDin(t)
+	code, _, errOut := runCmd(t, "-trace", path, "-format", "din", "-lenient", "-maxdrops", "1")
+	if code != 1 {
+		t.Fatalf("exit %d, want 1 when drops exceed the cap", code)
+	}
+	if !strings.Contains(errOut, "lenient cap") {
+		t.Errorf("stderr %q, want a cap diagnostic", errOut)
+	}
+}
+
+// A clean trace in lenient mode reports no degradation and produces the
+// same statistics as strict mode.
+func TestLenientCleanTraceIdentical(t *testing.T) {
+	path := writeTestTrace(t)
+	codeS, outS, _ := runCmd(t, "-trace", path, "-side", "data")
+	codeL, outL, _ := runCmd(t, "-trace", path, "-side", "data", "-lenient")
+	if codeS != 0 || codeL != 0 {
+		t.Fatalf("exits %d/%d", codeS, codeL)
+	}
+	if !strings.Contains(outL, "no records dropped") {
+		t.Errorf("clean trace reported degradation:\n%s", outL)
+	}
+	// Strip the degradation line; everything else must match strict.
+	var kept []string
+	for _, line := range strings.Split(outL, "\n") {
+		if !strings.HasPrefix(line, "degradation:") {
+			kept = append(kept, line)
+		}
+	}
+	if strings.Join(kept, "\n") != outS {
+		t.Errorf("lenient stats differ from strict on a clean trace:\n--- strict ---\n%s\n--- lenient ---\n%s", outS, outL)
+	}
+}

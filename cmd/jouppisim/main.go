@@ -7,39 +7,67 @@
 //	jouppisim -run all              # run everything, in paper order
 //	jouppisim -run fig5-1 -scale 1  # bigger workloads (slower, smoother)
 //
+// Long sweeps are resilient: each experiment runs isolated (a crash in
+// one reports a failure and the suite continues), -timeout bounds each
+// experiment, and -checkpoint/-resume persist completed results so an
+// interrupted sweep — Ctrl-C included — picks up where it left off:
+//
+//	jouppisim -run all -checkpoint sweep.json            # ^C midway…
+//	jouppisim -run all -checkpoint sweep.json -resume    # …finishes the rest
+//
 // Output is plain text: tables and ASCII charts matching the paper's
 // exhibits. Results for the default scale are recorded in EXPERIMENTS.md.
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"os"
+	"os/signal"
 	"runtime"
 	"strings"
+	"syscall"
 	"time"
 
 	"jouppi/internal/experiments"
 )
 
 func main() {
-	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	os.Exit(run(ctx, os.Args[1:], os.Stdout, os.Stderr))
 }
 
-func run(args []string, stdout, stderr io.Writer) int {
+// Exit codes: 0 success, 1 runtime failure (an experiment crashed or
+// output could not be written), 2 usage error, 130 interrupted by signal
+// (the shell convention for SIGINT).
+const (
+	exitOK          = 0
+	exitFailure     = 1
+	exitUsage       = 2
+	exitInterrupted = 130
+)
+
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("jouppisim", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		list    = fs.Bool("list", false, "list available experiments and exit")
-		runID   = fs.String("run", "", "experiment id to run, or 'all'")
-		scale   = fs.Float64("scale", 0.25, "workload scale (1.0 ≈ 1–4M instructions per benchmark)")
-		timings = fs.Bool("time", false, "print per-experiment wall time")
-		asJSON  = fs.Bool("json", false, "emit structured JSON instead of rendered text")
+		list       = fs.Bool("list", false, "list available experiments and exit")
+		runID      = fs.String("run", "", "experiment id to run, or 'all'")
+		scale      = fs.Float64("scale", 0.25, "workload scale (1.0 ≈ 1–4M instructions per benchmark)")
+		timings    = fs.Bool("time", false, "print per-experiment wall time")
+		asJSON     = fs.Bool("json", false, "emit structured JSON instead of rendered text")
+		timeout    = fs.Duration("timeout", 0, "per-experiment deadline, e.g. 90s (0 = none)")
+		checkpoint = fs.String("checkpoint", "", "flush completed results to this JSON file after every experiment")
+		resume     = fs.Bool("resume", false, "skip experiments already completed in the -checkpoint file")
 	)
 	if err := fs.Parse(args); err != nil {
-		return 2
+		return exitUsage
 	}
 
 	if *list || *runID == "" {
@@ -50,7 +78,20 @@ func run(args []string, stdout, stderr io.Writer) int {
 		if *runID == "" && !*list {
 			fmt.Fprintln(stdout, "\nrun one with: jouppisim -run <id>   (or -run all)")
 		}
-		return 0
+		return exitOK
+	}
+
+	if !(*scale > 0) || math.IsInf(*scale, 0) {
+		fmt.Fprintf(stderr, "jouppisim: -scale must be a positive finite number, got %v\n", *scale)
+		return exitUsage
+	}
+	if *resume && *checkpoint == "" {
+		fmt.Fprintln(stderr, "jouppisim: -resume requires -checkpoint")
+		return exitUsage
+	}
+	if *timeout < 0 {
+		fmt.Fprintln(stderr, "jouppisim: -timeout must not be negative")
+		return exitUsage
 	}
 
 	cfg := experiments.Config{Scale: *scale, Traces: experiments.NewTraceSet(*scale)}
@@ -63,45 +104,106 @@ func run(args []string, stdout, stderr io.Writer) int {
 			e, ok := experiments.ByID(strings.TrimSpace(id))
 			if !ok {
 				fmt.Fprintf(stderr, "jouppisim: unknown experiment %q; try -list\n", id)
-				return 2
+				return exitUsage
 			}
 			toRun = append(toRun, e)
 		}
 	}
 
-	if *asJSON {
-		type jsonResult struct {
-			ID      string     `json:"id"`
-			Title   string     `json:"title"`
-			Scale   float64    `json:"scale"`
-			Headers []string   `json:"headers,omitempty"`
-			Rows    [][]string `json:"rows,omitempty"`
+	// The checkpoint accumulates completed results and is flushed after
+	// every experiment, so a SIGINT (or crash) loses at most the
+	// experiment that was in flight.
+	var ckpt *experiments.Checkpoint
+	if *checkpoint != "" {
+		if *resume {
+			var err error
+			if ckpt, err = experiments.LoadCheckpoint(*checkpoint, *scale); err != nil {
+				if !errors.Is(err, os.ErrNotExist) {
+					fmt.Fprintln(stderr, "jouppisim:", err)
+					return exitFailure
+				}
+				ckpt = experiments.NewCheckpoint(*scale) // nothing to resume from yet
+			}
+		} else {
+			ckpt = experiments.NewCheckpoint(*scale)
 		}
-		var results []jsonResult
-		for _, e := range toRun {
-			res := e.Run(cfg)
-			results = append(results, jsonResult{
-				ID: res.ID, Title: res.Title, Scale: *scale,
-				Headers: res.Headers, Rows: res.Rows,
-			})
-		}
-		enc := json.NewEncoder(stdout)
-		enc.SetIndent("", "  ")
-		if err := enc.Encode(results); err != nil {
-			fmt.Fprintln(stderr, "jouppisim:", err)
-			return 1
-		}
-		return 0
 	}
 
-	fmt.Fprintf(stdout, "jouppisim: scale %.2f, %d CPUs\n\n", *scale, runtime.GOMAXPROCS(0))
-	for _, e := range toRun {
-		start := time.Now()
-		res := e.Run(cfg)
-		fmt.Fprintf(stdout, "===== %s =====\n%s\n", res.Title, res.Text)
-		if *timings {
-			fmt.Fprintf(stdout, "[%s took %v]\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+	type jsonResult struct {
+		ID      string     `json:"id"`
+		Title   string     `json:"title"`
+		Scale   float64    `json:"scale"`
+		Headers []string   `json:"headers,omitempty"`
+		Rows    [][]string `json:"rows,omitempty"`
+		Err     string     `json:"err,omitempty"`
+	}
+	var jsonResults []jsonResult
+
+	if !*asJSON {
+		fmt.Fprintf(stdout, "jouppisim: scale %.2f, %d CPUs\n\n", *scale, runtime.GOMAXPROCS(0))
+	}
+
+	failures := 0
+	last := time.Now()
+	opts := experiments.RunOptions{
+		Timeout:     *timeout,
+		Experiments: toRun,
+		OnResult: func(res *experiments.Result, cached bool) {
+			elapsed := time.Since(last)
+			last = time.Now()
+			if ckpt != nil && !cached {
+				ckpt.Add(res)
+				if err := ckpt.Save(*checkpoint); err != nil {
+					fmt.Fprintln(stderr, "jouppisim:", err)
+				}
+			}
+			if res.Failed() {
+				failures++
+				fmt.Fprintf(stderr, "jouppisim: experiment %s failed: %s\n", res.ID, res.Err)
+				if res.Stack != "" {
+					fmt.Fprintln(stderr, res.Stack)
+				}
+			}
+			if *asJSON {
+				jsonResults = append(jsonResults, jsonResult{
+					ID: res.ID, Title: res.Title, Scale: *scale,
+					Headers: res.Headers, Rows: res.Rows, Err: res.Err,
+				})
+				return
+			}
+			if !res.Failed() {
+				fmt.Fprintf(stdout, "===== %s =====\n%s\n", res.Title, res.Text)
+			}
+			if *timings {
+				fmt.Fprintf(stdout, "[%s took %v]\n\n", res.ID, elapsed.Round(time.Millisecond))
+			}
+		},
+	}
+	if ckpt != nil && *resume {
+		opts.Cached = ckpt.Lookup
+	}
+
+	_, runErr := experiments.RunAll(ctx, cfg, opts)
+
+	if *asJSON {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(jsonResults); err != nil {
+			fmt.Fprintln(stderr, "jouppisim:", err)
+			return exitFailure
 		}
 	}
-	return 0
+	if runErr != nil {
+		fmt.Fprintf(stderr, "jouppisim: interrupted: %v", runErr)
+		if ckpt != nil {
+			fmt.Fprintf(stderr, " (completed results saved to %s; rerun with -resume)", *checkpoint)
+		}
+		fmt.Fprintln(stderr)
+		return exitInterrupted
+	}
+	if failures > 0 {
+		fmt.Fprintf(stderr, "jouppisim: %d of %d experiments failed\n", failures, len(toRun))
+		return exitFailure
+	}
+	return exitOK
 }

@@ -1,0 +1,121 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"jouppi/internal/experiments"
+)
+
+func runCmdCtx(t *testing.T, ctx context.Context, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errOut bytes.Buffer
+	code = run(ctx, args, &out, &errOut)
+	return code, out.String(), errOut.String()
+}
+
+func TestBadScaleIsUsageError(t *testing.T) {
+	for _, scale := range []string{"0", "-1", "+Inf", "NaN"} {
+		code, _, errOut := runCmd(t, "-run", "table1-1", "-scale", scale)
+		if code != 2 || !strings.Contains(errOut, "scale") {
+			t.Errorf("scale %s: code %d, stderr %q", scale, code, errOut)
+		}
+	}
+}
+
+func TestResumeRequiresCheckpoint(t *testing.T) {
+	code, _, errOut := runCmd(t, "-run", "table1-1", "-resume")
+	if code != 2 || !strings.Contains(errOut, "-resume requires -checkpoint") {
+		t.Errorf("code %d, stderr %q", code, errOut)
+	}
+}
+
+func TestNegativeTimeoutIsUsageError(t *testing.T) {
+	if code, _, _ := runCmd(t, "-run", "table1-1", "-timeout", "-3s"); code != 2 {
+		t.Errorf("negative timeout: code %d, want 2", code)
+	}
+}
+
+// A cancelled context (what SIGINT produces via signal.NotifyContext)
+// must exit 130, the shell convention for an interrupted process, and
+// point at the checkpoint so the user knows how to resume.
+func TestInterruptedExitCode(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ck := filepath.Join(t.TempDir(), "sweep.json")
+	code, _, errOut := runCmdCtx(t, ctx, "-run", "table1-1", "-scale", "0.02", "-checkpoint", ck)
+	if code != 130 {
+		t.Fatalf("code %d, want 130", code)
+	}
+	if !strings.Contains(errOut, "interrupted") || !strings.Contains(errOut, "-resume") {
+		t.Errorf("stderr %q, want an interruption notice with resume hint", errOut)
+	}
+}
+
+// The acceptance scenario: a sweep killed partway through, resumed from
+// its checkpoint, must produce output identical to an uninterrupted run.
+func TestCheckpointResumeMatchesUninterruptedRun(t *testing.T) {
+	const ids = "table1-1,table2-1"
+	const scale = "0.02"
+
+	code, full, errOut := runCmd(t, "-run", ids, "-scale", scale)
+	if code != 0 {
+		t.Fatalf("uninterrupted run: exit %d, stderr %q", code, errOut)
+	}
+
+	// "Interrupted" sweep: only the first experiment completed before the
+	// kill, its result checkpointed.
+	ck := filepath.Join(t.TempDir(), "sweep.json")
+	if code, _, errOut := runCmd(t, "-run", "table1-1", "-scale", scale, "-checkpoint", ck); code != 0 {
+		t.Fatalf("partial run: exit %d, stderr %q", code, errOut)
+	}
+
+	code, resumed, errOut := runCmd(t, "-run", ids, "-scale", scale, "-checkpoint", ck, "-resume")
+	if code != 0 {
+		t.Fatalf("resumed run: exit %d, stderr %q", code, errOut)
+	}
+	if resumed != full {
+		t.Errorf("resumed output differs from uninterrupted run:\n--- uninterrupted ---\n%s\n--- resumed ---\n%s", full, resumed)
+	}
+
+	// The checkpoint must now hold both completed results.
+	c, err := experiments.LoadCheckpoint(ck, 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Lookup("table1-1") == nil || c.Lookup("table2-1") == nil {
+		t.Errorf("checkpoint incomplete after resumed run: %+v", c.Results)
+	}
+}
+
+// Resuming against a checkpoint taken at a different scale must fail
+// rather than mix incomparable results.
+func TestResumeRejectsScaleMismatch(t *testing.T) {
+	ck := filepath.Join(t.TempDir(), "sweep.json")
+	if code, _, _ := runCmd(t, "-run", "table1-1", "-scale", "0.02", "-checkpoint", ck); code != 0 {
+		t.Fatal("seed run failed")
+	}
+	code, _, errOut := runCmd(t, "-run", "table1-1", "-scale", "0.05", "-checkpoint", ck, "-resume")
+	if code != 1 || !strings.Contains(errOut, "scale") {
+		t.Errorf("code %d, stderr %q, want scale-mismatch failure", code, errOut)
+	}
+}
+
+// -resume with a checkpoint path that does not exist yet is a fresh
+// start, not an error — so scripts can pass the same flags every run.
+func TestResumeWithMissingCheckpointStartsFresh(t *testing.T) {
+	ck := filepath.Join(t.TempDir(), "nonexistent.json")
+	code, out, errOut := runCmd(t, "-run", "table1-1", "-scale", "0.02", "-checkpoint", ck, "-resume")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr %q", code, errOut)
+	}
+	if !strings.Contains(out, "WRL Titan") {
+		t.Error("experiment did not run")
+	}
+	if _, err := experiments.LoadCheckpoint(ck, 0.02); err != nil {
+		t.Errorf("checkpoint not written: %v", err)
+	}
+}

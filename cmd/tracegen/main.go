@@ -14,6 +14,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"os"
 
 	"jouppi/internal/memtrace"
@@ -46,6 +47,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	if *bench == "" || *out == "" {
 		fmt.Fprintln(stderr, "tracegen: -bench and -o are required; see -list")
+		return 2
+	}
+	if !(*scale > 0) || math.IsInf(*scale, 0) {
+		fmt.Fprintf(stderr, "tracegen: -scale must be a positive finite number, got %v\n", *scale)
 		return 2
 	}
 

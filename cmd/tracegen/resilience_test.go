@@ -1,0 +1,24 @@
+package main
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestBadScaleIsUsageError(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "x.jtr")
+	for _, scale := range []string{"0", "-0.5", "+Inf", "NaN"} {
+		code, _, errOut := runCmd(t, "-bench", "met", "-scale", scale, "-o", out)
+		if code != 2 || !strings.Contains(errOut, "scale") {
+			t.Errorf("scale %s: code %d, stderr %q", scale, code, errOut)
+		}
+	}
+}
+
+func TestUnwritableOutputFails(t *testing.T) {
+	code, _, errOut := runCmd(t, "-bench", "met", "-scale", "0.01", "-o", "/nonexistent-dir/x.jtr")
+	if code != 1 || errOut == "" {
+		t.Errorf("code %d, stderr %q, want runtime failure on stderr", code, errOut)
+	}
+}

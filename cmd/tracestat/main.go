@@ -29,13 +29,20 @@ func main() {
 // traceSource is one streaming pass over a trace file.
 type traceSource struct {
 	memtrace.Source
-	f   *os.File
-	err func() error
+	f    *os.File
+	err  func() error
+	degr func() memtrace.Degradation
+}
+
+// lenientOpts carries the count-and-skip decode settings into
+// openTraceSource; a nil value means strict decoding.
+type lenientOpts struct {
+	maxDrops uint64
 }
 
 // openTraceSource opens path and positions a streaming reader at the first
 // record. Callers must Close it and should check Err after consuming.
-func openTraceSource(path, format string) (*traceSource, error) {
+func openTraceSource(path, format string, lenient *lenientOpts) (*traceSource, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
@@ -47,10 +54,16 @@ func openTraceSource(path, format string) (*traceSource, error) {
 			f.Close()
 			return nil, err
 		}
-		return &traceSource{Source: r, f: f, err: r.Err}, nil
+		if lenient != nil {
+			r.Lenient(lenient.maxDrops)
+		}
+		return &traceSource{Source: r, f: f, err: r.Err, degr: r.Degradation}, nil
 	case "din":
 		dr := memtrace.NewDineroReader(f)
-		return &traceSource{Source: dr, f: f, err: dr.Err}, nil
+		if lenient != nil {
+			dr.Lenient(lenient.maxDrops)
+		}
+		return &traceSource{Source: dr, f: f, err: dr.Err, degr: dr.Degradation}, nil
 	default:
 		f.Close()
 		return nil, fmt.Errorf("-format must be jtr or din")
@@ -75,6 +88,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		maxRun    = fs.Int("maxrun", 32, "run-length histogram bound")
 		curve     = fs.Bool("curve", false, "also print the LRU miss-ratio curve (Mattson stack-distance analysis)")
 		hotspots  = fs.Int("hotspots", 0, "print the N most conflicting cache sets and their contending lines")
+		lenient   = fs.Bool("lenient", false, "skip malformed trace records (up to -maxdrops) and report the degradation instead of failing")
+		maxDrops  = fs.Uint64("maxdrops", 1<<20, "malformed-record cap in -lenient mode (0 = unlimited)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -89,10 +104,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
+	var lopts *lenientOpts
+	if *lenient {
+		lopts = &lenientOpts{maxDrops: *maxDrops}
+	}
+
 	// pass runs one streaming analysis over the file and folds decoding
-	// errors into the analysis error.
+	// errors into the analysis error. Every pass decodes independently, so
+	// in lenient mode each sees (and skips) the same damage; the
+	// degradation report of the first pass is printed once.
+	var degradation *memtrace.Degradation
 	pass := func(analyze func(src memtrace.Source) error) error {
-		src, err := openTraceSource(*tracePath, *format)
+		src, err := openTraceSource(*tracePath, *format, lopts)
 		if err != nil {
 			return err
 		}
@@ -100,7 +123,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 		if err := analyze(src); err != nil {
 			return err
 		}
-		return src.Err()
+		if err := src.Err(); err != nil {
+			return err
+		}
+		if degradation == nil {
+			d := src.degr()
+			degradation = &d
+		}
+		return nil
 	}
 
 	var s analysis.Summary
@@ -113,6 +143,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 	fmt.Fprintf(stdout, "trace:            %s (%s)\n", *tracePath, *format)
+	if *lenient {
+		fmt.Fprintf(stdout, "degradation:      %s\n", degradation)
+	}
 	fmt.Fprintf(stdout, "accesses:         %d (%d ifetch, %d load, %d store)\n",
 		s.Accesses, s.Instructions, s.Loads, s.Stores)
 	fmt.Fprintf(stdout, "footprint (%dB):  I %d lines / %d KB, D %d lines / %d KB\n",

@@ -1,0 +1,66 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeCorruptDin(t *testing.T) string {
+	t.Helper()
+	var sb strings.Builder
+	for i := 0; i < 200; i++ {
+		kind := i % 3
+		fmt.Fprintf(&sb, "%d %x\n", kind, 0x1000+i*16)
+		if i%50 == 7 {
+			sb.WriteString("## not a din record ##\n")
+		}
+	}
+	path := filepath.Join(t.TempDir(), "corrupt.din")
+	if err := os.WriteFile(path, []byte(sb.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestCorruptDinStrictVsLenient(t *testing.T) {
+	path := writeCorruptDin(t)
+
+	if code, _, _ := runCmd(t, "-trace", path, "-format", "din"); code != 1 {
+		t.Fatalf("strict mode on corrupt trace: exit %d, want 1", code)
+	}
+
+	code, out, errOut := runCmd(t, "-trace", path, "-format", "din", "-lenient")
+	if code != 0 {
+		t.Fatalf("lenient mode: exit %d, stderr %q", code, errOut)
+	}
+	if !strings.Contains(out, "degradation:") || !strings.Contains(out, "records dropped") {
+		t.Errorf("missing degradation report:\n%s", out)
+	}
+	if !strings.Contains(out, "accesses:         200") {
+		t.Errorf("lenient mode did not deliver the 200 good records:\n%s", out)
+	}
+}
+
+func TestLenientCapExceededFails(t *testing.T) {
+	path := writeCorruptDin(t)
+	code, _, errOut := runCmd(t, "-trace", path, "-format", "din", "-lenient", "-maxdrops", "2")
+	if code != 1 || !strings.Contains(errOut, "lenient cap") {
+		t.Errorf("code %d, stderr %q, want a cap failure", code, errOut)
+	}
+}
+
+// Every analysis pass re-decodes the file; in lenient mode each pass must
+// see the same damage and the tool must report it only once.
+func TestLenientReportPrintedOnce(t *testing.T) {
+	path := writeCorruptDin(t)
+	code, out, _ := runCmd(t, "-trace", path, "-format", "din", "-lenient", "-curve")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if n := strings.Count(out, "degradation:"); n != 1 {
+		t.Errorf("degradation line printed %d times, want 1", n)
+	}
+}

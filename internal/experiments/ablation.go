@@ -24,11 +24,11 @@ func AblationQuasi() Experiment {
 
 			type row struct{ base, head, quasi uint64 }
 			out := make([]row, len(names))
-			parallelFor(len(names), func(i int) {
+			cfg.parallelFor(len(names), func(i int) {
 				tr := cfg.Traces.Get(names[i])
-				bc := runBaselineClassified(tr.Source(), dSide, 4096, 16)
+				bc := runBaselineClassified(cfg, tr.Source(), dSide, 4096, 16)
 				mk := func(quasi bool) core.Stats {
-					return runFront(tr.Source(), dSide, func() core.FrontEnd {
+					return runFront(cfg, tr.Source(), dSide, func() core.FrontEnd {
 						return core.NewStreamBuffer(cache.MustNew(l1Config(4096, 16)),
 							core.StreamConfig{Ways: 4, Depth: 4, Quasi: quasi},
 							nil, core.DefaultTiming())
@@ -80,12 +80,12 @@ func AblationStride() Experiment {
 			var rows [][]string
 			for _, p := range patterns {
 				src := workload.NewSource(p.bench, cfg.Scale)
-				bc := runBaselineClassified(src, dSide, 4096, 16)
+				bc := runBaselineClassified(cfg, src, dSide, 4096, 16)
 				src.Close()
 				run := func(detect bool) float64 {
 					src := workload.NewSource(p.bench, cfg.Scale)
 					defer src.Close()
-					st := runFront(src, dSide, func() core.FrontEnd {
+					st := runFront(cfg, src, dSide, func() core.FrontEnd {
 						return core.NewStreamBuffer(cache.MustNew(l1Config(4096, 16)),
 							core.StreamConfig{Ways: 4, Depth: 4, DetectStride: detect},
 							nil, core.DefaultTiming())
@@ -134,7 +134,7 @@ func AblationL2Victim() Experiment {
 			for i := range results {
 				results[i] = make([][2]hierarchy.Results, len(sizes))
 			}
-			parallelFor(len(names)*len(sizes)*2, func(k int) {
+			cfg.parallelFor(len(names)*len(sizes)*2, func(k int) {
 				b := k / (len(sizes) * 2)
 				s := (k / 2) % len(sizes)
 				v := k % 2
@@ -183,15 +183,15 @@ func AblationMissCmp() Experiment {
 			for i := range grid {
 				grid[i] = make([]cell, len(entries))
 			}
-			parallelFor(len(names), func(i int) {
+			cfg.parallelFor(len(names), func(i int) {
 				tr := cfg.Traces.Get(names[i])
-				bc := runBaselineClassified(tr.Source(), dSide, 4096, 16)
+				bc := runBaselineClassified(cfg, tr.Source(), dSide, 4096, 16)
 				base[i] = bc.misses
 				for ei, e := range entries {
-					mc := runFront(tr.Source(), dSide, func() core.FrontEnd {
+					mc := runFront(cfg, tr.Source(), dSide, func() core.FrontEnd {
 						return core.NewMissCache(cache.MustNew(l1Config(4096, 16)), e, nil, core.DefaultTiming())
 					})
-					vc := runFront(tr.Source(), dSide, func() core.FrontEnd {
+					vc := runFront(cfg, tr.Source(), dSide, func() core.FrontEnd {
 						return core.NewVictimCache(cache.MustNew(l1Config(4096, 16)), e, nil, core.DefaultTiming())
 					})
 					grid[i][ei] = cell{mc.FullMisses(), vc.FullMisses()}
@@ -243,11 +243,11 @@ func AblationReplacement() Experiment {
 			for i := range miss {
 				miss[i] = make([]float64, len(policies))
 			}
-			parallelFor(len(names)*len(policies), func(k int) {
+			cfg.parallelFor(len(names)*len(policies), func(k int) {
 				b, p := k/len(policies), k%len(policies)
 				l1 := cache.MustNew(cache.Config{Size: 4096, LineSize: 16, Assoc: 4,
 					Replacement: policies[p], RandomSeed: 12345})
-				st := runFront(cfg.Traces.Source(names[b]), dSide, func() core.FrontEnd {
+				st := runFront(cfg, cfg.Traces.Source(names[b]), dSide, func() core.FrontEnd {
 					return core.NewBaseline(l1, nil, core.DefaultTiming())
 				})
 				miss[b][p] = st.MissRate()

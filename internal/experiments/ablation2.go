@@ -27,7 +27,7 @@ func AblationAssoc() Experiment {
 
 			type row [5]float64 // dm, dm+vc4, 2-way, 4-way, fully-assoc
 			out := make([]row, len(names))
-			parallelFor(len(names), func(i int) {
+			cfg.parallelFor(len(names), func(i int) {
 				tr := cfg.Traces.Get(names[i])
 				run := func(assoc, victim int) float64 {
 					l1 := cache.MustNew(cache.Config{Size: 4096, LineSize: 16, Assoc: assoc})
@@ -101,10 +101,10 @@ func AblationPrefetchCmp() Experiment {
 			// [bench][side][0..2 prefetch policies, 3 = single stream
 			// buffer, 4 = 4-way stream buffers]
 			out := make([][2][5]cell, len(names))
-			parallelFor(len(names)*2, func(k int) {
+			cfg.parallelFor(len(names)*2, func(k int) {
 				b, sd := k/2, side(k%2)
 				tr := cfg.Traces.Get(names[b])
-				bc := runBaselineClassified(tr.Source(), sd, 4096, 16)
+				bc := runBaselineClassified(cfg, tr.Source(), sd, 4096, 16)
 
 				for pi, pol := range []prefetch.Policy{prefetch.OnMiss, prefetch.Tagged, prefetch.Always} {
 					fe := prefetch.New(cache.MustNew(l1Config(4096, 16)), pol,
@@ -121,7 +121,7 @@ func AblationPrefetchCmp() Experiment {
 					}
 				}
 				for wi, ways := range []int{1, 4} {
-					st := runFront(tr.Source(), sd, func() core.FrontEnd {
+					st := runFront(cfg, tr.Source(), sd, func() core.FrontEnd {
 						return core.NewStreamBuffer(cache.MustNew(l1Config(4096, 16)),
 							core.StreamConfig{Ways: ways, Depth: 4}, nil, core.DefaultTiming())
 					})
@@ -186,11 +186,11 @@ func AblationDepth() Experiment {
 			for i := range out {
 				out[i] = make([]cell, len(depths))
 			}
-			parallelFor(len(names), func(i int) {
+			cfg.parallelFor(len(names), func(i int) {
 				tr := cfg.Traces.Get(names[i])
-				bc := runBaselineClassified(tr.Source(), dSide, 4096, 16)
+				bc := runBaselineClassified(cfg, tr.Source(), dSide, 4096, 16)
 				for di, d := range depths {
-					st := runFront(tr.Source(), dSide, func() core.FrontEnd {
+					st := runFront(cfg, tr.Source(), dSide, func() core.FrontEnd {
 						return core.NewStreamBuffer(cache.MustNew(l1Config(4096, 16)),
 							core.StreamConfig{Ways: 4, Depth: d}, nil, core.DefaultTiming())
 					})
@@ -250,7 +250,7 @@ func AblationWritePolicy() Experiment {
 				missesWB   uint64
 			}
 			out := make([]row, len(names))
-			parallelFor(len(names), func(i int) {
+			cfg.parallelFor(len(names), func(i int) {
 				tr := cfg.Traces.Get(names[i])
 				run := func(pol cache.WritePolicy) cache.Stats {
 					l1 := cache.MustNew(cache.Config{Size: 4096, LineSize: 16, Assoc: 1,
@@ -315,7 +315,7 @@ func AblationMultiprog() Experiment {
 				speedup      float64
 			}
 			out := make([]row, len(quanta))
-			parallelFor(len(quanta), func(qi int) {
+			cfg.parallelFor(len(quanta), func(qi int) {
 				bench := workload.Multiprogram(quanta[qi],
 					workload.Ccom(), workload.Grr(), workload.Yacc())
 				runCfg := func(sysCfg hierarchy.Config) hierarchy.Results {

@@ -25,7 +25,7 @@ func AblationBandwidth() Experiment {
 			accessTimes := []int{2, 4, 7, 16, 30} // the paper's 4–30 instr-time L2 range
 
 			rates := make([]float64, len(names))
-			parallelFor(len(names), func(i int) {
+			cfg.parallelFor(len(names), func(i int) {
 				tr := cfg.Traces.Get(names[i])
 				var stores uint64
 				memtrace.Each(tr.Source(), func(a memtrace.Access) {

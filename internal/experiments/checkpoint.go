@@ -1,0 +1,105 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// CheckpointVersion is the checkpoint file format version Save writes
+// and Load accepts.
+const CheckpointVersion = 1
+
+// Checkpoint is the on-disk record of a partially-completed experiment
+// sweep: the completed Results, keyed by experiment ID, plus enough
+// metadata to refuse a resume that would mix incompatible runs. A
+// multi-hour sweep killed by a signal, a deadline, or a crash resumes
+// from its checkpoint instead of starting over.
+type Checkpoint struct {
+	Version int `json:"version"`
+	// Scale is the workload scale the results were computed at. Load
+	// rejects a checkpoint at a different scale: results from different
+	// scales are not comparable and must not be mixed in one sweep.
+	Scale   float64   `json:"scale"`
+	Results []*Result `json:"results"`
+}
+
+// NewCheckpoint returns an empty checkpoint for a sweep at scale.
+func NewCheckpoint(scale float64) *Checkpoint {
+	return &Checkpoint{Version: CheckpointVersion, Scale: scale}
+}
+
+// Lookup returns the completed result with the given ID, or nil. Failed
+// results are never returned — a resumed sweep retries them.
+func (c *Checkpoint) Lookup(id string) *Result {
+	for _, r := range c.Results {
+		if r.ID == id && !r.Failed() {
+			return r
+		}
+	}
+	return nil
+}
+
+// Add records r, replacing any earlier result with the same ID.
+func (c *Checkpoint) Add(r *Result) {
+	for i, old := range c.Results {
+		if old.ID == r.ID {
+			c.Results[i] = r
+			return
+		}
+	}
+	c.Results = append(c.Results, r)
+}
+
+// Save writes the checkpoint atomically: the JSON goes to a temporary
+// file in the destination directory which is then renamed over path, so
+// a crash mid-save leaves the previous checkpoint intact rather than a
+// torn file.
+func (c *Checkpoint) Save(path string) error {
+	data, err := json.MarshalIndent(c, "", "  ")
+	if err != nil {
+		return fmt.Errorf("experiments: encoding checkpoint: %w", err)
+	}
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".checkpoint-*.json")
+	if err != nil {
+		return fmt.Errorf("experiments: saving checkpoint: %w", err)
+	}
+	if _, err := tmp.Write(append(data, '\n')); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("experiments: saving checkpoint: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("experiments: saving checkpoint: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("experiments: saving checkpoint: %w", err)
+	}
+	return nil
+}
+
+// LoadCheckpoint reads a checkpoint written by Save and validates that it
+// can seed a sweep at wantScale.
+func LoadCheckpoint(path string, wantScale float64) (*Checkpoint, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: loading checkpoint: %w", err)
+	}
+	var c Checkpoint
+	if err := json.Unmarshal(data, &c); err != nil {
+		return nil, fmt.Errorf("experiments: loading checkpoint %s: %w", path, err)
+	}
+	if c.Version != CheckpointVersion {
+		return nil, fmt.Errorf("experiments: checkpoint %s has version %d, want %d",
+			path, c.Version, CheckpointVersion)
+	}
+	if c.Scale != wantScale {
+		return nil, fmt.Errorf("experiments: checkpoint %s was taken at scale %v, cannot resume at scale %v",
+			path, c.Scale, wantScale)
+	}
+	return &c, nil
+}

@@ -1,0 +1,118 @@
+package experiments
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sweep.checkpoint.json")
+	c := NewCheckpoint(0.25)
+	c.Add(&Result{ID: "fig22", Title: "Figure 2-2", Text: "table\n"})
+	c.Add(&Result{ID: "fig31", Title: "Figure 3-1", Err: "panic: boom", Stack: "stack"})
+	if err := c.Save(path); err != nil {
+		t.Fatal(err)
+	}
+
+	got, err := LoadCheckpoint(path, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Results) != 2 {
+		t.Fatalf("loaded %d results, want 2", len(got.Results))
+	}
+	if r := got.Lookup("fig22"); r == nil || r.Text != "table\n" {
+		t.Errorf("Lookup(fig22) = %+v", r)
+	}
+	// Failed results round-trip (for post-mortems) but are never handed
+	// back by Lookup: a resumed sweep must retry them.
+	if r := got.Lookup("fig31"); r != nil {
+		t.Errorf("Lookup returned the failed result %+v", r)
+	}
+	if got.Lookup("nonesuch") != nil {
+		t.Error("Lookup invented a result")
+	}
+}
+
+func TestCheckpointAddReplacesByID(t *testing.T) {
+	c := NewCheckpoint(1)
+	c.Add(&Result{ID: "x", Err: "panic: first try"})
+	c.Add(&Result{ID: "x", Text: "second try worked\n"})
+	if len(c.Results) != 1 {
+		t.Fatalf("Add duplicated the entry: %d results", len(c.Results))
+	}
+	if r := c.Lookup("x"); r == nil || r.Text != "second try worked\n" {
+		t.Errorf("Lookup(x) = %+v, want the replacement", r)
+	}
+}
+
+func TestLoadCheckpointRejectsScaleMismatch(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ck.json")
+	if err := NewCheckpoint(0.25).Save(path); err != nil {
+		t.Fatal(err)
+	}
+	_, err := LoadCheckpoint(path, 0.5)
+	if err == nil {
+		t.Fatal("scale mismatch accepted")
+	}
+	if !strings.Contains(err.Error(), "scale") {
+		t.Errorf("err = %v, want a scale complaint", err)
+	}
+}
+
+func TestLoadCheckpointRejectsVersionMismatch(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ck.json")
+	if err := os.WriteFile(path, []byte(`{"version": 999, "scale": 0.25, "results": []}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadCheckpoint(path, 0.25); err == nil {
+		t.Fatal("version mismatch accepted")
+	}
+}
+
+func TestLoadCheckpointRejectsGarbage(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ck.json")
+	if err := os.WriteFile(path, []byte("{torn write"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadCheckpoint(path, 0.25); err == nil {
+		t.Fatal("corrupt checkpoint accepted")
+	}
+}
+
+// Save must not leave temp droppings or a torn file behind.
+func TestCheckpointSaveIsAtomic(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "ck.json")
+	c := NewCheckpoint(0.25)
+	c.Add(&Result{ID: "a", Text: "one\n"})
+	if err := c.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	// Overwrite with a bigger checkpoint; the file must stay loadable and
+	// the directory must contain only the checkpoint itself.
+	c.Add(&Result{ID: "b", Text: "two\n"})
+	if err := c.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadCheckpoint(path, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Results) != 2 {
+		t.Errorf("loaded %d results, want 2", len(got.Results))
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].Name() != "ck.json" {
+		names := make([]string, len(entries))
+		for i, e := range entries {
+			names[i] = e.Name()
+		}
+		t.Errorf("directory contains %v, want only ck.json", names)
+	}
+}

@@ -6,8 +6,10 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sort"
 	"sync"
 
@@ -26,6 +28,29 @@ type Config struct {
 	Scale float64
 	// Traces supplies the benchmark traces; NewTraceSet(Scale) if nil.
 	Traces *TraceSet
+
+	// ctx carries the run's cancellation signal into the shared exhibit
+	// helpers (replay loops and parameter sweeps poll it). It lives in
+	// Config because the Experiment.Run signature predates cancellation
+	// and every exhibit already threads cfg; nil means context.Background.
+	ctx context.Context
+}
+
+// WithContext returns a copy of c whose helpers observe ctx: replay
+// loops and parameter sweeps stop early once it is cancelled. An
+// experiment cut short this way returns untrustworthy partial numbers —
+// RunAll discards them and reports the cancellation instead.
+func (c Config) WithContext(ctx context.Context) Config {
+	c.ctx = ctx
+	return c
+}
+
+// context returns the run's context, never nil.
+func (c Config) context() context.Context {
+	if c.ctx == nil {
+		return context.Background()
+	}
+	return c.ctx
 }
 
 func (c Config) withDefaults() Config {
@@ -38,18 +63,29 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// Result is an experiment's output.
+// Result is an experiment's output. It serializes to JSON as the unit of
+// checkpointing, so an interrupted sweep can resume from its completed
+// exhibits.
 type Result struct {
-	ID    string
-	Title string
+	ID    string `json:"id"`
+	Title string `json:"title"`
 	// Text is the rendered tables and charts.
-	Text string
+	Text string `json:"text,omitempty"`
 	// Series holds the structured sweep data, where applicable.
-	Series []textplot.Series
+	Series []textplot.Series `json:"series,omitempty"`
 	// Headers/Rows hold the structured table, where applicable.
-	Headers []string
-	Rows    [][]string
+	Headers []string   `json:"headers,omitempty"`
+	Rows    [][]string `json:"rows,omitempty"`
+	// Err is why the experiment produced no usable output — a recovered
+	// panic, a cancelled run, or an expired deadline. Empty on success.
+	// It is a string, not an error, so results checkpoint to JSON.
+	Err string `json:"err,omitempty"`
+	// Stack is the recovered panic's stack trace, when Err records one.
+	Stack string `json:"stack,omitempty"`
 }
+
+// Failed reports whether the experiment produced no usable output.
+func (r *Result) Failed() bool { return r.Err != "" }
 
 // Experiment is one reproducible paper exhibit.
 type Experiment struct {
@@ -182,10 +218,12 @@ func l1Config(size, lineSize int) cache.Config {
 }
 
 // runFront replays one side of an access stream through the front-end
-// built by mk and returns its stats.
-func runFront(src memtrace.Source, s side, mk func() core.FrontEnd) core.Stats {
+// built by mk and returns its stats. Cancellation of cfg's context stops
+// the replay early; the partial stats only surface if the caller ignores
+// the cancellation, which RunAll never does.
+func runFront(cfg Config, src memtrace.Source, s side, mk func() core.FrontEnd) core.Stats {
 	fe := mk()
-	memtrace.Each(src, func(a memtrace.Access) {
+	_ = memtrace.EachContext(cfg.context(), src, func(a memtrace.Access) {
 		if s.keep(a) {
 			fe.Access(uint64(a.Addr), a.Kind == memtrace.Store)
 		}
@@ -201,11 +239,11 @@ type baseCounts struct {
 	classes  classify.Counts
 }
 
-func runBaselineClassified(src memtrace.Source, s side, size, lineSize int) baseCounts {
+func runBaselineClassified(cfg Config, src memtrace.Source, s side, size, lineSize int) baseCounts {
 	l1 := cache.MustNew(l1Config(size, lineSize))
 	cl := classify.MustNew(size, lineSize)
 	var out baseCounts
-	memtrace.Each(src, func(a memtrace.Access) {
+	_ = memtrace.EachContext(cfg.context(), src, func(a memtrace.Access) {
 		if !s.keep(a) {
 			return
 		}
@@ -220,35 +258,70 @@ func runBaselineClassified(src memtrace.Source, s side, size, lineSize int) base
 	return out
 }
 
+// workerPanic carries a panic out of a parallelFor worker goroutine into
+// the caller's goroutine with the worker's stack — a bare panic in a
+// worker would kill the whole process, bypassing the suite's isolation.
+type workerPanic struct {
+	val   any
+	stack []byte
+}
+
 // parallelFor runs fn(i) for i in [0, n) across GOMAXPROCS workers and
 // waits. Used for parameter sweeps; each invocation must be independent.
-func parallelFor(n int, fn func(i int)) {
+// Cancellation of cfg's context stops the sweep after in-flight items; a
+// panicking item re-panics in the caller's goroutine as *workerPanic.
+func (cfg Config) parallelFor(n int, fn func(i int)) {
+	ctx := cfg.context()
 	workers := runtime.GOMAXPROCS(0)
 	if workers > n {
 		workers = n
 	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
+			if ctx.Err() != nil {
+				return
+			}
 			fn(i)
 		}
 		return
 	}
-	var wg sync.WaitGroup
-	next := make(chan int)
+	var (
+		wg        sync.WaitGroup
+		next      = make(chan int)
+		panicOnce sync.Once
+		panicked  *workerPanic
+	)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					panicOnce.Do(func() {
+						panicked = &workerPanic{val: r, stack: debug.Stack()}
+					})
+					// Keep draining so the feeder never blocks on a
+					// channel nobody reads.
+					for range next {
+					}
+				}
+			}()
 			for i := range next {
 				fn(i)
 			}
 		}()
 	}
 	for i := 0; i < n; i++ {
+		if ctx.Err() != nil {
+			break
+		}
 		next <- i
 	}
 	close(next)
 	wg.Wait()
+	if panicked != nil {
+		panic(panicked)
+	}
 }
 
 // fmtPct formats a percentage with one decimal.

@@ -101,7 +101,7 @@ func TestTable11IsStatic(t *testing.T) {
 func TestParallelForCoversAllIndices(t *testing.T) {
 	for _, n := range []int{0, 1, 7, 100} {
 		hit := make([]bool, n)
-		parallelFor(n, func(i int) { hit[i] = true })
+		(Config{}).parallelFor(n, func(i int) { hit[i] = true })
 		for i, h := range hit {
 			if !h {
 				t.Fatalf("n=%d: index %d not visited", n, i)

@@ -9,11 +9,12 @@ import (
 )
 
 // runSystem replays a benchmark through a full two-level system and
-// returns the results.
+// returns the results. Cancellation of cfg's context stops the replay
+// early; RunAll discards the partial results it would yield.
 func runSystem(cfg Config, name string, sysCfg hierarchy.Config) hierarchy.Results {
 	tr := cfg.Traces.Get(name)
 	sys := hierarchy.MustNew(sysCfg)
-	sys.RunSource(tr.Source())
+	_ = sys.RunSourceContext(cfg.context(), tr.Source())
 	return sys.Results(tr.Instructions())
 }
 
@@ -43,7 +44,7 @@ func Fig22() Experiment {
 			cfg = cfg.withDefaults()
 			names := benchNames()
 			bands := make([]perfmodel.Bands, len(names))
-			parallelFor(len(names), func(i int) {
+			cfg.parallelFor(len(names), func(i int) {
 				r := runSystem(cfg, names[i], hierarchy.Config{})
 				bands[i] = r.Breakdown.LossBands()
 			})

@@ -16,9 +16,9 @@ func Fig31() Experiment {
 			names := benchNames()
 			type pcts struct{ i, d float64 }
 			out := make([]pcts, len(names))
-			parallelFor(len(names)*2, func(k int) {
+			cfg.parallelFor(len(names)*2, func(k int) {
 				idx, s := k/2, side(k%2)
-				bc := runBaselineClassified(cfg.Traces.Source(names[idx]), s, 4096, 16)
+				bc := runBaselineClassified(cfg, cfg.Traces.Source(names[idx]), s, 4096, 16)
 				p := stats.Percent(float64(bc.classes.Conflict), float64(bc.misses))
 				if s == iSide {
 					out[idx].i = p

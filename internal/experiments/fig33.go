@@ -43,9 +43,9 @@ func conflictRemovalSweep(cfg Config, kind auxKind, entries []int, cacheSize, li
 
 	// Baselines per benchmark and side, indexed bench*2 + side.
 	baseArr := make([]baseCounts, len(names)*2)
-	parallelFor(len(names)*2, func(k int) {
+	cfg.parallelFor(len(names)*2, func(k int) {
 		idx, s := k/2, side(k%2)
-		baseArr[k] = runBaselineClassified(cfg.Traces.Source(names[idx]), s, cacheSize, lineSize)
+		baseArr[k] = runBaselineClassified(cfg, cfg.Traces.Source(names[idx]), s, cacheSize, lineSize)
 	})
 
 	// Sweep: per (benchmark, side, entry count) → percent of conflict
@@ -67,11 +67,11 @@ func conflictRemovalSweep(cfg Config, kind auxKind, entries []int, cacheSize, li
 			jobs = append(jobs, job{b, e, 0}, job{b, e, 1})
 		}
 	}
-	parallelFor(len(jobs), func(j int) {
+	cfg.parallelFor(len(jobs), func(j int) {
 		jb := jobs[j]
 		tr := cfg.Traces.Get(names[jb.bench])
 		s := side(jb.sideIdx)
-		st := runFront(tr.Source(), s, func() core.FrontEnd {
+		st := runFront(cfg, tr.Source(), s, func() core.FrontEnd {
 			return kind.build(cache.MustNew(l1Config(cacheSize, lineSize)), entries[jb.entryIdx])
 		})
 		b := baseArr[jb.bench*2+jb.sideIdx]

@@ -26,11 +26,11 @@ func victimVsParamSweep(cfg Config, id, title, xLabel string,
 	}
 	points := make([]point, len(params))
 
-	parallelFor(len(params), func(pi int) {
+	cfg.parallelFor(len(params), func(pi int) {
 		size, line := mkGeom(params[pi])
 		baseArr := make([]baseCounts, len(names))
 		for b := range names {
-			baseArr[b] = runBaselineClassified(cfg.Traces.Source(names[b]), dSide, size, line)
+			baseArr[b] = runBaselineClassified(cfg, cfg.Traces.Source(names[b]), dSide, size, line)
 		}
 		include := make([]bool, len(names))
 		var conflictPcts []float64
@@ -43,7 +43,7 @@ func victimVsParamSweep(cfg Config, id, title, xLabel string,
 		for ei, e := range entries {
 			vals := make([]float64, len(names))
 			for b := range names {
-				st := runFront(cfg.Traces.Source(names[b]), dSide, func() core.FrontEnd {
+				st := runFront(cfg, cfg.Traces.Source(names[b]), dSide, func() core.FrontEnd {
 					return core.NewVictimCache(cache.MustNew(l1Config(size, line)), e,
 						nil, core.DefaultTiming())
 				})

@@ -26,7 +26,7 @@ func Fig41() Experiment {
 
 			policies := []prefetch.Policy{prefetch.OnMiss, prefetch.Tagged, prefetch.Always}
 			hists := make([]*prefetch.TimeToUse, len(policies))
-			parallelFor(len(policies), func(i int) {
+			cfg.parallelFor(len(policies), func(i int) {
 				hist := prefetch.NewTimeToUse(buckets)
 				fe := prefetch.New(cache.MustNew(l1Config(4096, 16)), policies[i],
 					prefetch.Timing{MissPenalty: 24, FillLatency: 24}, hist)

@@ -28,9 +28,9 @@ func streamRunSweep(cfg Config, id, title string, ways int) *Result {
 		}
 		baseMisses[s] = make([]uint64, len(names))
 	}
-	parallelFor(len(names)*2, func(k int) {
+	cfg.parallelFor(len(names)*2, func(k int) {
 		idx, s := k/2, k%2
-		bc := runBaselineClassified(cfg.Traces.Source(names[idx]), side(s), 4096, 16)
+		bc := runBaselineClassified(cfg, cfg.Traces.Source(names[idx]), side(s), 4096, 16)
 		baseMisses[s][idx] = bc.misses
 	})
 
@@ -41,14 +41,14 @@ func streamRunSweep(cfg Config, id, title string, ways int) *Result {
 			jobs = append(jobs, job{b, r, 0}, job{b, r, 1})
 		}
 	}
-	parallelFor(len(jobs), func(j int) {
+	cfg.parallelFor(len(jobs), func(j int) {
 		jb := jobs[j]
 		runLimit := runs[jb.runIdx]
 		var misses uint64
 		if runLimit == 0 {
 			misses = baseMisses[jb.sideIdx][jb.bench] // no prefetching at all
 		} else {
-			st := runFront(cfg.Traces.Source(names[jb.bench]), side(jb.sideIdx), func() core.FrontEnd {
+			st := runFront(cfg, cfg.Traces.Source(names[jb.bench]), side(jb.sideIdx), func() core.FrontEnd {
 				return core.NewStreamBuffer(cache.MustNew(l1Config(4096, 16)),
 					core.StreamConfig{Ways: ways, Depth: 4, RunLimit: runLimit},
 					nil, core.DefaultTiming())

@@ -27,20 +27,20 @@ func streamParamSweep(cfg Config, id, title, xLabel string,
 		}
 	}
 
-	parallelFor(len(params), func(pi int) {
+	cfg.parallelFor(len(params), func(pi int) {
 		size, line := mkGeom(params[pi])
 		for s := 0; s < 2; s++ {
 			base := make([]uint64, len(names))
 			include := make([]bool, len(names))
 			for b := range names {
-				bc := runBaselineClassified(cfg.Traces.Source(names[b]), side(s), size, line)
+				bc := runBaselineClassified(cfg, cfg.Traces.Source(names[b]), side(s), size, line)
 				base[b] = bc.misses
 				include[b] = bc.misses >= minConflictsForAverage
 			}
 			for wi, w := range ways {
 				vals := make([]float64, len(names))
 				for b := range names {
-					st := runFront(cfg.Traces.Source(names[b]), side(s), func() core.FrontEnd {
+					st := runFront(cfg, cfg.Traces.Source(names[b]), side(s), func() core.FrontEnd {
 						return core.NewStreamBuffer(cache.MustNew(l1Config(size, line)),
 							core.StreamConfig{Ways: w, Depth: 4}, nil, core.DefaultTiming())
 					})

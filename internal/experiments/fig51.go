@@ -42,7 +42,7 @@ func Fig51() Experiment {
 				base, improved hierarchy.Results
 			}
 			out := make([]pair, len(names))
-			parallelFor(len(names)*2, func(k int) {
+			cfg.parallelFor(len(names)*2, func(k int) {
 				idx := k / 2
 				if k%2 == 0 {
 					out[idx].base = runSystem(cfg, names[idx], hierarchy.Config{})

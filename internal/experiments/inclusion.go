@@ -39,7 +39,7 @@ func AblationInclusion() Experiment {
 				plain, victim hierarchy.InclusionReport
 			}
 			out := make([]row, len(names))
-			parallelFor(len(names)*2, func(k int) {
+			cfg.parallelFor(len(names)*2, func(k int) {
 				i, v := k/2, k%2
 				tr := cfg.Traces.Get(names[i])
 				sysCfg := mkPlain()

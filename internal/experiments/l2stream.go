@@ -41,7 +41,7 @@ func AblationL2Stream() Experiment {
 			for i := range results {
 				results[i] = make([][2]hierarchy.Results, len(sizes))
 			}
-			parallelFor(len(names)*len(sizes)*2, func(k int) {
+			cfg.parallelFor(len(names)*len(sizes)*2, func(k int) {
 				b := k / (len(sizes) * 2)
 				si := (k / 2) % len(sizes)
 				v := k % 2

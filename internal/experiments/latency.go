@@ -39,7 +39,7 @@ func AblationLatency() Experiment {
 				speedup float64 // mean speedup
 			}
 			out := make([]cell, len(points))
-			parallelFor(len(points), func(pi int) {
+			cfg.parallelFor(len(points), func(pi int) {
 				pt := points[pi]
 				var basePcts, impPcts, speedups []float64
 				for _, name := range names {

@@ -27,8 +27,8 @@ func Overlap() Experiment {
 				victimHits, overlap, misses uint64
 			}
 			out := make([]row, len(names))
-			parallelFor(len(names), func(i int) {
-				st := runFront(cfg.Traces.Source(names[i]), dSide, func() core.FrontEnd {
+			cfg.parallelFor(len(names), func(i int) {
+				st := runFront(cfg, cfg.Traces.Source(names[i]), dSide, func() core.FrontEnd {
 					return core.NewCombined(cache.MustNew(l1Config(4096, 16)), 4,
 						core.StreamConfig{Ways: 4, Depth: 4}, nil, core.DefaultTiming())
 				})

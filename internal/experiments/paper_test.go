@@ -27,10 +27,10 @@ func TestPaperStreamBufferHeadlines(t *testing.T) {
 	avgRemoved := func(ways int, s side) float64 {
 		vals := make([]float64, len(names))
 		include := make([]bool, len(names))
-		parallelFor(len(names), func(i int) {
+		cfg.parallelFor(len(names), func(i int) {
 			tr := cfg.Traces.Get(names[i])
-			bc := runBaselineClassified(tr.Source(), s, 4096, 16)
-			st := runFront(tr.Source(), s, func() core.FrontEnd {
+			bc := runBaselineClassified(cfg, tr.Source(), s, 4096, 16)
+			st := runFront(cfg, tr.Source(), s, func() core.FrontEnd {
 				return core.NewStreamBuffer(cache.MustNew(l1Config(4096, 16)),
 					core.StreamConfig{Ways: ways, Depth: 4}, nil, core.DefaultTiming())
 			})
@@ -70,9 +70,9 @@ func TestPaperLiverMultiWayShowcase(t *testing.T) {
 	}
 	cfg := smallCfg()
 	tr := cfg.Traces.Get("liver")
-	bc := runBaselineClassified(tr.Source(), dSide, 4096, 16)
+	bc := runBaselineClassified(cfg, tr.Source(), dSide, 4096, 16)
 	removed := func(ways int) float64 {
-		st := runFront(tr.Source(), dSide, func() core.FrontEnd {
+		st := runFront(cfg, tr.Source(), dSide, func() core.FrontEnd {
 			return core.NewStreamBuffer(cache.MustNew(l1Config(4096, 16)),
 				core.StreamConfig{Ways: ways, Depth: 4}, nil, core.DefaultTiming())
 		})

@@ -39,9 +39,10 @@ func TestParallelSweepOverSharedTraces(t *testing.T) {
 	ts := NewTraceSet(0.02)
 	names := benchNames()
 	stats := make([]core.Stats, 2*len(names))
-	parallelFor(len(stats), func(i int) {
+	cfg := Config{Scale: 0.02, Traces: ts}
+	cfg.parallelFor(len(stats), func(i int) {
 		name := names[i%len(names)]
-		stats[i] = runFront(ts.Source(name), dSide, func() core.FrontEnd {
+		stats[i] = runFront(cfg, ts.Source(name), dSide, func() core.FrontEnd {
 			return core.NewBaseline(cache.MustNew(l1Config(4096, 16)), nil, core.DefaultTiming())
 		})
 	})

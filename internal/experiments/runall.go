@@ -1,0 +1,103 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"runtime/debug"
+	"time"
+)
+
+// RunOptions controls a resilient suite run.
+type RunOptions struct {
+	// Timeout bounds each experiment's wall time (0 = unbounded). An
+	// experiment that overruns is cut off cooperatively and reported as a
+	// failed Result carrying the deadline error.
+	Timeout time.Duration
+	// Cached, when non-nil, supplies a previously-completed result by ID
+	// (e.g. from a checkpoint). A non-nil return is used verbatim instead
+	// of re-running the experiment, which is how an interrupted sweep
+	// resumes without repeating finished work.
+	Cached func(id string) *Result
+	// OnResult, when non-nil, observes every result — cached or fresh —
+	// in suite order as it completes. It is the hook for incremental
+	// checkpointing and streamed rendering; cached reports whether the
+	// result was supplied by Cached rather than computed.
+	OnResult func(r *Result, cached bool)
+	// Experiments is the set to run, in order; nil means All().
+	Experiments []Experiment
+}
+
+// RunAll runs a suite of experiments with the resilience a long sweep
+// needs: each experiment is isolated (a panic yields a failed Result and
+// the suite keeps going), optionally deadline-bounded, and the whole
+// sweep is cancellable through ctx — cancellation returns the partial
+// results gathered so far together with ctx's error.
+func RunAll(ctx context.Context, cfg Config, opts RunOptions) ([]*Result, error) {
+	cfg = cfg.withDefaults()
+	exps := opts.Experiments
+	if exps == nil {
+		exps = All()
+	}
+	var out []*Result
+	for _, e := range exps {
+		if err := ctx.Err(); err != nil {
+			return out, err
+		}
+		var res *Result
+		cached := false
+		if opts.Cached != nil {
+			if r := opts.Cached(e.ID); r != nil {
+				res, cached = r, true
+			}
+		}
+		if res == nil {
+			res = runShielded(ctx, e, cfg, opts.Timeout)
+		}
+		out = append(out, res)
+		if opts.OnResult != nil {
+			opts.OnResult(res, cached)
+		}
+	}
+	return out, ctx.Err()
+}
+
+// runShielded runs one experiment, converting panics, cancellation, and
+// deadline overruns into a failed Result instead of letting them kill
+// the suite.
+func runShielded(ctx context.Context, e Experiment, cfg Config, timeout time.Duration) (res *Result) {
+	runCtx := ctx
+	cancel := func() {}
+	if timeout > 0 {
+		runCtx, cancel = context.WithTimeout(ctx, timeout)
+	}
+	defer cancel()
+	defer func() {
+		if r := recover(); r != nil {
+			res = failedResult(e, r)
+			return
+		}
+		// An experiment cut short by cancellation returns whatever
+		// partial numbers its interrupted sweeps produced; discard them
+		// — a wrong-looking table is worse than a missing one.
+		if err := runCtx.Err(); err != nil {
+			res = &Result{ID: e.ID, Title: e.Title, Err: err.Error()}
+		}
+	}()
+	res = e.Run(cfg.WithContext(runCtx))
+	if res == nil {
+		res = &Result{ID: e.ID, Title: e.Title, Err: "experiment returned no result"}
+	}
+	return res
+}
+
+// failedResult converts a recovered panic into a Result. Panics relayed
+// from parallelFor workers carry the worker's own stack; for direct
+// panics the stack is captured here, still inside the recovering frame.
+func failedResult(e Experiment, r any) *Result {
+	if wp, ok := r.(*workerPanic); ok {
+		return &Result{ID: e.ID, Title: e.Title,
+			Err: fmt.Sprintf("panic: %v", wp.val), Stack: string(wp.stack)}
+	}
+	return &Result{ID: e.ID, Title: e.Title,
+		Err: fmt.Sprintf("panic: %v", r), Stack: string(debug.Stack())}
+}

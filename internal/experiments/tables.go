@@ -102,7 +102,7 @@ func Table22() Experiment {
 			names := benchNames()
 			type rates struct{ i, d float64 }
 			out := make([]rates, len(names))
-			parallelFor(len(names), func(idx int) {
+			cfg.parallelFor(len(names), func(idx int) {
 				tr := cfg.Traces.Get(names[idx])
 				l1i := cache.MustNew(l1Config(4096, 16))
 				l1d := cache.MustNew(l1Config(4096, 16))

@@ -33,7 +33,7 @@ func AblationWriteBuffer() Experiment {
 					out[i][j] = make([]float64, len(depths))
 				}
 			}
-			parallelFor(len(names), func(i int) {
+			cfg.parallelFor(len(names), func(i int) {
 				tr := cfg.Traces.Get(names[i])
 				for ii, interval := range intervals {
 					for di, depth := range depths {
@@ -44,7 +44,7 @@ func AblationWriteBuffer() Experiment {
 						st := runFrontOn(tr.Source(), dSide, fe)
 						// Isolate the buffer's contribution: stalls beyond
 						// the plain front-end's.
-						base := runFront(tr.Source(), dSide, func() core.FrontEnd {
+						base := runFront(cfg, tr.Source(), dSide, func() core.FrontEnd {
 							return core.NewBaseline(cache.MustNew(l1Config(4096, 16)),
 								nil, core.DefaultTiming())
 						})

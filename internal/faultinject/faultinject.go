@@ -1,0 +1,274 @@
+// Package faultinject stress-tests the replay pipeline by corrupting
+// trace streams on purpose. Production trace archives are messy —
+// interrupted copies truncate files, bit rot flips bits, concatenation
+// and retry bugs duplicate or reorder records, slow storage stalls the
+// reader — and a simulator that only meets pristine inputs in testing
+// falls over the first time a real one arrives.
+//
+// The package operates at two levels:
+//
+//   - Injector decorates a memtrace.Source, injecting configurable fault
+//     classes into the decoded access stream. It is deterministic: the
+//     same seed and configuration over the same source produces the same
+//     faulted stream, so failures found under injection reproduce.
+//   - Truncate, FlipBits, and DuplicateSpan corrupt encoded trace bytes
+//     (JTR1 or din), for exercising the file readers' strict and lenient
+//     decode paths and for seeding fuzz corpora.
+//
+// A zero-valued Config injects nothing: the decorated stream is
+// bit-identical to the original, so the decorator can stay in a pipeline
+// unconditionally and be armed only for resilience runs.
+package faultinject
+
+import (
+	"fmt"
+	"math/bits"
+	"math/rand"
+	"sort"
+	"strings"
+	"time"
+
+	"jouppi/internal/memtrace"
+)
+
+// Fault class names as they appear in Report.Injected.
+const (
+	ClassTruncate  = "truncate"
+	ClassBitFlip   = "bit-flip"
+	ClassDuplicate = "duplicate"
+	ClassReorder   = "reorder"
+	ClassStall     = "stall"
+)
+
+// Config selects which fault classes an Injector produces and how often.
+// Rates are per-record probabilities in [0, 1]; a zero rate disables the
+// class entirely (and consumes no randomness, preserving determinism of
+// the remaining classes).
+type Config struct {
+	// Seed fixes the fault sequence. Equal seeds and rates over equal
+	// inputs inject equal faults.
+	Seed int64
+	// BitFlipRate flips one random bit of the record's packed 64-bit
+	// representation — usually scrambling the address, sometimes driving
+	// the kind out of range.
+	BitFlipRate float64
+	// DuplicateRate delivers the record twice in a row.
+	DuplicateRate float64
+	// ReorderRate swaps the record with its successor.
+	ReorderRate float64
+	// StallRate sleeps for StallDuration before delivering the record,
+	// simulating a stalling reader (useful for exercising cancellation).
+	StallRate     float64
+	StallDuration time.Duration
+	// TruncateAfter ends the stream after that many records even if the
+	// underlying source has more (0 = never).
+	TruncateAfter uint64
+}
+
+// Validate rejects rates outside [0, 1].
+func (c Config) Validate() error {
+	for _, r := range []struct {
+		name string
+		rate float64
+	}{
+		{"BitFlipRate", c.BitFlipRate},
+		{"DuplicateRate", c.DuplicateRate},
+		{"ReorderRate", c.ReorderRate},
+		{"StallRate", c.StallRate},
+	} {
+		if r.rate < 0 || r.rate > 1 {
+			return fmt.Errorf("faultinject: %s %v outside [0, 1]", r.name, r.rate)
+		}
+	}
+	return nil
+}
+
+// Report tallies what an Injector did to the stream.
+type Report struct {
+	// Delivered counts records handed to the consumer (including
+	// corrupted and duplicated ones).
+	Delivered uint64 `json:"delivered"`
+	// Injected counts faults per class.
+	Injected map[string]uint64 `json:"injected,omitempty"`
+}
+
+// Total returns the total number of injected faults.
+func (r Report) Total() uint64 {
+	var t uint64
+	for _, n := range r.Injected {
+		t += n
+	}
+	return t
+}
+
+// String renders a one-line summary.
+func (r Report) String() string {
+	if r.Total() == 0 {
+		return fmt.Sprintf("delivered %d records, no faults injected", r.Delivered)
+	}
+	classes := make([]string, 0, len(r.Injected))
+	for c := range r.Injected {
+		classes = append(classes, c)
+	}
+	sort.Strings(classes)
+	parts := make([]string, 0, len(classes))
+	for _, c := range classes {
+		parts = append(parts, fmt.Sprintf("%s %d", c, r.Injected[c]))
+	}
+	return fmt.Sprintf("delivered %d records, injected %d faults (%s)",
+		r.Delivered, r.Total(), strings.Join(parts, ", "))
+}
+
+// Injector is a memtrace.Source decorator that injects faults into the
+// stream flowing through it. It is single-use and not safe for concurrent
+// use, like every Source.
+type Injector struct {
+	src        memtrace.Source
+	cfg        Config
+	rng        *rand.Rand
+	pending    memtrace.Access
+	hasPending bool
+	truncated  bool
+	report     Report
+}
+
+// New decorates src with fault injection per cfg. A nil src panics with
+// memtrace.ErrNilSource; an invalid cfg panics with its Validate error
+// (both are programmer errors, caught at construction rather than
+// surfacing mid-replay).
+func New(src memtrace.Source, cfg Config) *Injector {
+	if src == nil {
+		panic(memtrace.ErrNilSource)
+	}
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	return &Injector{src: src, cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+}
+
+// Report returns the faults injected so far.
+func (in *Injector) Report() Report { return in.report }
+
+// roll draws one Bernoulli trial. A zero rate consumes no randomness, so
+// disabled classes do not perturb the fault sequence of enabled ones.
+func (in *Injector) roll(rate float64) bool {
+	if rate <= 0 {
+		return false
+	}
+	return in.rng.Float64() < rate
+}
+
+func (in *Injector) inject(class string) {
+	if in.report.Injected == nil {
+		in.report.Injected = make(map[string]uint64)
+	}
+	in.report.Injected[class]++
+}
+
+// addrBits is the width of the packed address field (see
+// memtrace.MaxAddr); the kind occupies the bits above it.
+var addrBits = bits.Len64(uint64(memtrace.MaxAddr))
+
+// flipBit flips one bit of the access's packed 64-bit representation.
+func flipBit(a memtrace.Access, bit int) memtrace.Access {
+	rec := uint64(a.Addr)&uint64(memtrace.MaxAddr) | uint64(a.Kind)<<addrBits
+	rec ^= 1 << bit
+	return memtrace.Access{
+		Addr: memtrace.Addr(rec & uint64(memtrace.MaxAddr)),
+		Kind: memtrace.Kind(rec >> addrBits),
+	}
+}
+
+// Next implements memtrace.Source.
+func (in *Injector) Next() (memtrace.Access, bool) {
+	if in.hasPending {
+		in.hasPending = false
+		in.report.Delivered++
+		return in.pending, true
+	}
+	if in.truncated {
+		return memtrace.Access{}, false
+	}
+	a, ok := in.src.Next()
+	if !ok {
+		return memtrace.Access{}, false
+	}
+	if in.cfg.TruncateAfter > 0 && in.report.Delivered >= in.cfg.TruncateAfter {
+		in.truncated = true
+		in.inject(ClassTruncate)
+		return memtrace.Access{}, false
+	}
+	if in.roll(in.cfg.StallRate) {
+		in.inject(ClassStall)
+		if in.cfg.StallDuration > 0 {
+			time.Sleep(in.cfg.StallDuration)
+		}
+	}
+	if in.roll(in.cfg.BitFlipRate) {
+		a = flipBit(a, in.rng.Intn(64))
+		in.inject(ClassBitFlip)
+	}
+	switch {
+	case in.roll(in.cfg.DuplicateRate):
+		in.pending, in.hasPending = a, true
+		in.inject(ClassDuplicate)
+	case in.roll(in.cfg.ReorderRate):
+		// Swap with the successor; at end of stream there is nothing to
+		// swap with and the record passes through unfaulted.
+		if b, ok := in.src.Next(); ok {
+			in.pending, in.hasPending = a, true
+			a = b
+			in.inject(ClassReorder)
+		}
+	}
+	in.report.Delivered++
+	return a, true
+}
+
+var _ memtrace.Source = (*Injector)(nil)
+
+// The byte-level corruptors below damage encoded trace files the way the
+// Injector damages decoded streams. They never modify data in place.
+
+// Truncate returns data cut short at a seeded point in its second half —
+// the shape an interrupted copy leaves behind.
+func Truncate(data []byte, seed int64) []byte {
+	if len(data) == 0 {
+		return nil
+	}
+	rng := rand.New(rand.NewSource(seed))
+	cut := len(data)/2 + rng.Intn(len(data)/2+1)
+	return append([]byte(nil), data[:cut]...)
+}
+
+// FlipBits returns a copy of data with n seeded single-bit flips.
+func FlipBits(data []byte, seed int64, n int) []byte {
+	out := append([]byte(nil), data...)
+	if len(out) == 0 {
+		return out
+	}
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < n; i++ {
+		pos := rng.Intn(len(out))
+		out[pos] ^= 1 << rng.Intn(8)
+	}
+	return out
+}
+
+// DuplicateSpan returns data with a seeded span of up to span bytes
+// repeated in place — the shape a retried append leaves behind.
+func DuplicateSpan(data []byte, seed int64, span int) []byte {
+	if len(data) == 0 || span <= 0 {
+		return append([]byte(nil), data...)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	if span > len(data) {
+		span = len(data)
+	}
+	start := rng.Intn(len(data) - span + 1)
+	out := make([]byte, 0, len(data)+span)
+	out = append(out, data[:start+span]...)
+	out = append(out, data[start:start+span]...)
+	out = append(out, data[start+span:]...)
+	return out
+}

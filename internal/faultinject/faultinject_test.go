@@ -1,0 +1,221 @@
+package faultinject
+
+import (
+	"bytes"
+	"testing"
+
+	"jouppi/internal/memtrace"
+)
+
+func testTrace(n int) *memtrace.Trace {
+	tr := memtrace.NewTrace(n)
+	for i := 0; i < n; i++ {
+		tr.Append(memtrace.Access{Addr: memtrace.Addr(i * 16), Kind: memtrace.Kind(i % 3)})
+	}
+	return tr
+}
+
+func drain(src memtrace.Source) []memtrace.Access {
+	var out []memtrace.Access
+	for {
+		a, ok := src.Next()
+		if !ok {
+			return out
+		}
+		out = append(out, a)
+	}
+}
+
+// A zero-valued Config must be a perfect pass-through: the decorated
+// stream is bit-identical to the undecorated source, so the decorator can
+// sit in a pipeline permanently and be armed only when wanted.
+func TestZeroFaultConfigIsBitIdentical(t *testing.T) {
+	tr := testTrace(10000)
+	plain := drain(tr.Source())
+	in := New(tr.Source(), Config{Seed: 12345})
+	faulted := drain(in)
+	if len(plain) != len(faulted) {
+		t.Fatalf("lengths differ: %d vs %d", len(plain), len(faulted))
+	}
+	for i := range plain {
+		if plain[i] != faulted[i] {
+			t.Fatalf("record %d differs: %v vs %v", i, plain[i], faulted[i])
+		}
+	}
+	r := in.Report()
+	if r.Total() != 0 {
+		t.Errorf("zero config injected %d faults: %v", r.Total(), r.Injected)
+	}
+	if r.Delivered != uint64(len(plain)) {
+		t.Errorf("delivered = %d, want %d", r.Delivered, len(plain))
+	}
+}
+
+// The injector is seeded: equal configurations over equal inputs must
+// produce equal faulted streams, so injection failures reproduce.
+func TestInjectionIsDeterministic(t *testing.T) {
+	cfg := Config{Seed: 42, BitFlipRate: 0.05, DuplicateRate: 0.05, ReorderRate: 0.05}
+	tr := testTrace(5000)
+	a := drain(New(tr.Source(), cfg))
+	b := drain(New(tr.Source(), cfg))
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("record %d differs: %v vs %v", i, a[i], b[i])
+		}
+	}
+	// A different seed must perturb the stream (with 5000 records and 5%
+	// rates the chance of an identical stream is negligible).
+	cfg.Seed = 43
+	c := drain(New(tr.Source(), cfg))
+	same := len(a) == len(c)
+	if same {
+		for i := range a {
+			if a[i] != c[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical faulted streams")
+	}
+}
+
+func TestTruncateAfterEndsStreamEarly(t *testing.T) {
+	tr := testTrace(1000)
+	in := New(tr.Source(), Config{TruncateAfter: 100})
+	got := drain(in)
+	if len(got) != 100 {
+		t.Fatalf("delivered %d records, want 100", len(got))
+	}
+	if in.Report().Injected[ClassTruncate] != 1 {
+		t.Errorf("report = %v, want one truncate", in.Report())
+	}
+	if _, ok := in.Next(); ok {
+		t.Error("stream restarted after truncation")
+	}
+}
+
+func TestDuplicateDeliversRecordTwice(t *testing.T) {
+	tr := testTrace(100)
+	in := New(tr.Source(), Config{Seed: 7, DuplicateRate: 1})
+	got := drain(in)
+	if len(got) != 200 {
+		t.Fatalf("delivered %d records, want 200 (every record doubled)", len(got))
+	}
+	for i := 0; i < len(got); i += 2 {
+		if got[i] != got[i+1] {
+			t.Fatalf("records %d/%d not duplicates: %v vs %v", i, i+1, got[i], got[i+1])
+		}
+	}
+	if in.Report().Injected[ClassDuplicate] != 100 {
+		t.Errorf("report = %v", in.Report())
+	}
+}
+
+func TestReorderSwapsNeighbours(t *testing.T) {
+	tr := testTrace(100)
+	in := New(tr.Source(), Config{Seed: 7, ReorderRate: 1})
+	got := drain(in)
+	if len(got) != 100 {
+		t.Fatalf("delivered %d records, want 100", len(got))
+	}
+	orig := drain(tr.Source())
+	if got[0] != orig[1] || got[1] != orig[0] {
+		t.Errorf("first pair not swapped: %v %v", got[0], got[1])
+	}
+	if n := in.Report().Injected[ClassReorder]; n != 50 {
+		t.Errorf("reorders = %d, want 50 (every delivered pair swapped)", n)
+	}
+}
+
+func TestBitFlipCorruptsRecords(t *testing.T) {
+	tr := testTrace(1000)
+	in := New(tr.Source(), Config{Seed: 7, BitFlipRate: 1})
+	got := drain(in)
+	orig := drain(tr.Source())
+	if len(got) != len(orig) {
+		t.Fatalf("lengths differ: %d vs %d", len(got), len(orig))
+	}
+	diff := 0
+	for i := range got {
+		if got[i] != orig[i] {
+			diff++
+		}
+	}
+	// Every record had one bit of its packed form flipped, so every
+	// record must differ (a single-bit flip cannot be a no-op).
+	if diff != len(orig) {
+		t.Errorf("%d of %d records corrupted, want all", diff, len(orig))
+	}
+	if n := in.Report().Injected[ClassBitFlip]; n != uint64(len(orig)) {
+		t.Errorf("bit-flips = %d, want %d", n, len(orig))
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := (Config{BitFlipRate: 1.5}).Validate(); err == nil {
+		t.Error("rate > 1 accepted")
+	}
+	if err := (Config{ReorderRate: -0.1}).Validate(); err == nil {
+		t.Error("negative rate accepted")
+	}
+	if err := (Config{Seed: 9, StallRate: 1}).Validate(); err != nil {
+		t.Errorf("valid config rejected: %v", err)
+	}
+}
+
+func TestNewNilSourcePanics(t *testing.T) {
+	defer func() {
+		if r := recover(); r != memtrace.ErrNilSource {
+			t.Errorf("panicked with %v, want memtrace.ErrNilSource", r)
+		}
+	}()
+	New(nil, Config{})
+}
+
+func TestByteCorruptors(t *testing.T) {
+	data := bytes.Repeat([]byte{0xab, 0xcd, 0xef, 0x01}, 64)
+
+	tr := Truncate(data, 1)
+	if len(tr) >= len(data) || len(tr) < len(data)/2 {
+		t.Errorf("Truncate len = %d of %d", len(tr), len(data))
+	}
+	if !bytes.Equal(tr, data[:len(tr)]) {
+		t.Error("Truncate changed the surviving prefix")
+	}
+
+	fl := FlipBits(data, 1, 3)
+	if len(fl) != len(data) {
+		t.Fatalf("FlipBits changed length: %d", len(fl))
+	}
+	diffBits := 0
+	for i := range fl {
+		for b := fl[i] ^ data[i]; b != 0; b &= b - 1 {
+			diffBits++
+		}
+	}
+	if diffBits == 0 || diffBits > 3 {
+		t.Errorf("FlipBits flipped %d bits, want 1..3", diffBits)
+	}
+
+	du := DuplicateSpan(data, 1, 8)
+	if len(du) != len(data)+8 {
+		t.Errorf("DuplicateSpan len = %d, want %d", len(du), len(data)+8)
+	}
+
+	// Determinism: same seed, same corruption.
+	if !bytes.Equal(Truncate(data, 5), Truncate(data, 5)) ||
+		!bytes.Equal(FlipBits(data, 5, 4), FlipBits(data, 5, 4)) ||
+		!bytes.Equal(DuplicateSpan(data, 5, 8), DuplicateSpan(data, 5, 8)) {
+		t.Error("byte corruptors are not deterministic")
+	}
+
+	// Originals must never be modified in place.
+	if !bytes.Equal(data, bytes.Repeat([]byte{0xab, 0xcd, 0xef, 0x01}, 64)) {
+		t.Error("corruptor modified its input")
+	}
+}

@@ -1,0 +1,48 @@
+package hierarchy
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"jouppi/internal/memtrace"
+)
+
+func bigTestTrace(n int) *memtrace.Trace {
+	tr := memtrace.NewTrace(n)
+	for i := 0; i < n; i++ {
+		tr.Append(memtrace.Access{Addr: memtrace.Addr(i * 4), Kind: memtrace.Ifetch})
+	}
+	return tr
+}
+
+// RunSourceContext must replay the full stream under a live context and
+// produce the same counts as RunSource.
+func TestRunSourceContextMatchesRunSource(t *testing.T) {
+	tr := bigTestTrace(50000)
+	a := MustNew(Config{})
+	a.RunSource(tr.Source())
+	b := MustNew(Config{})
+	if err := b.RunSourceContext(context.Background(), tr.Source()); err != nil {
+		t.Fatalf("RunSourceContext: %v", err)
+	}
+	sa, sb := a.Results(50000), b.Results(50000)
+	if sa != sb {
+		t.Errorf("results differ:\n plain: %+v\n ctx:   %+v", sa, sb)
+	}
+}
+
+// A cancelled context must cut the replay short with its error.
+func TestRunSourceContextCancelled(t *testing.T) {
+	tr := bigTestTrace(200000)
+	s := MustNew(Config{})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := s.RunSourceContext(ctx, tr.Source())
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if n := s.IFrontEnd().Stats().Accesses; n >= 200000 {
+		t.Errorf("cancelled replay still visited all %d accesses", n)
+	}
+}

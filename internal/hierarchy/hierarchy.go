@@ -12,6 +12,7 @@
 package hierarchy
 
 import (
+	"context"
 	"fmt"
 
 	"jouppi/internal/cache"
@@ -302,6 +303,14 @@ func (s *System) Run(t *memtrace.Trace) { t.Each(s.Access) }
 // generators) can be replayed without materializing them.
 func (s *System) RunSource(src memtrace.Source) {
 	memtrace.Each(src, s.Access)
+}
+
+// RunSourceContext is RunSource with cooperative cancellation: the drain
+// loop polls ctx and stops early with its error once the context is done,
+// so multi-hour replays of huge traces stay interruptible. A completed
+// replay returns nil.
+func (s *System) RunSourceContext(ctx context.Context, src memtrace.Source) error {
+	return memtrace.EachContext(ctx, src, s.Access)
 }
 
 // Access also satisfies memtrace.Sink, so a *System can be the direct

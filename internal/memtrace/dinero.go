@@ -58,14 +58,16 @@ func (t *Trace) WriteDinero(w io.Writer) (int, error) {
 }
 
 // DineroReader is a streaming Source over din-format text. Blank lines
-// are skipped; trailing fields after the address are ignored; malformed
-// lines terminate the stream with an error reported by Err, including the
-// line number.
+// are skipped; trailing fields after the address are ignored. In strict
+// mode (the default) a malformed line terminates the stream with an error
+// reported by Err, including the line number; in lenient mode (see
+// Lenient) malformed lines are counted and skipped instead.
 type DineroReader struct {
 	sc     *bufio.Scanner
 	lineNo int
 	err    error
 	done   bool
+	len    lenient
 }
 
 // NewDineroReader returns a streaming reader over din records in r.
@@ -75,9 +77,55 @@ func NewDineroReader(r io.Reader) *DineroReader {
 	return &DineroReader{sc: sc}
 }
 
+// Lenient switches the reader to count-and-skip mode: malformed lines are
+// recorded in the Degradation report and skipped instead of terminating
+// the stream. maxDrops caps how much damage is tolerated (0 = unlimited);
+// exceeding the cap fails the stream like strict mode would. It returns
+// dr for chaining and must be called before the first Next.
+func (dr *DineroReader) Lenient(maxDrops uint64) *DineroReader {
+	dr.len.enabled = true
+	dr.len.maxDrops = maxDrops
+	return dr
+}
+
+// Degradation returns the report of records skipped in lenient mode.
+func (dr *DineroReader) Degradation() Degradation { return dr.len.report }
+
 // Err returns the error that terminated the stream, or nil after a clean
 // end of input.
 func (dr *DineroReader) Err() error { return dr.err }
+
+// dinLineFault classifies one malformed line: reason is the stable fault
+// class used in Degradation.Reasons, detail the human-readable message.
+func dinLineFault(lineNo int, line string) (reason, detail string, a Access, ok bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 2 {
+		return "short-line", fmt.Sprintf("memtrace: din line %d: want \"<label> <addr>\", got %q", lineNo, line), Access{}, false
+	}
+	label, err := strconv.Atoi(fields[0])
+	if err != nil {
+		return "bad-label", fmt.Sprintf("memtrace: din line %d: bad label %q", lineNo, fields[0]), Access{}, false
+	}
+	addr, err := strconv.ParseUint(fields[1], 16, 64)
+	if err != nil {
+		return "bad-address", fmt.Sprintf("memtrace: din line %d: bad address %q", lineNo, fields[1]), Access{}, false
+	}
+	if Addr(addr) > MaxAddr {
+		return "address-range", fmt.Sprintf("memtrace: din line %d: address 0x%x exceeds the 62-bit range", lineNo, addr), Access{}, false
+	}
+	var kind Kind
+	switch label {
+	case dinRead:
+		kind = Load
+	case dinWrite:
+		kind = Store
+	case dinIfetch:
+		kind = Ifetch
+	default:
+		return "unknown-label", fmt.Sprintf("memtrace: din line %d: unknown label %d", lineNo, label), Access{}, false
+	}
+	return "", "", Access{Addr: Addr(addr), Kind: kind}, true
+}
 
 // Next implements Source.
 func (dr *DineroReader) Next() (Access, bool) {
@@ -90,38 +138,19 @@ func (dr *DineroReader) Next() (Access, bool) {
 		if line == "" {
 			continue
 		}
-		fields := strings.Fields(line)
-		if len(fields) < 2 {
-			dr.err = fmt.Errorf("memtrace: din line %d: want \"<label> <addr>\", got %q", dr.lineNo, line)
+		reason, detail, a, ok := dinLineFault(dr.lineNo, line)
+		if !ok {
+			if dr.len.enabled {
+				if err := dr.len.drop(reason, detail); err != nil {
+					dr.err = err
+					return Access{}, false
+				}
+				continue
+			}
+			dr.err = fmt.Errorf("%s", detail)
 			return Access{}, false
 		}
-		label, err := strconv.Atoi(fields[0])
-		if err != nil {
-			dr.err = fmt.Errorf("memtrace: din line %d: bad label %q", dr.lineNo, fields[0])
-			return Access{}, false
-		}
-		addr, err := strconv.ParseUint(fields[1], 16, 64)
-		if err != nil {
-			dr.err = fmt.Errorf("memtrace: din line %d: bad address %q", dr.lineNo, fields[1])
-			return Access{}, false
-		}
-		if Addr(addr) > MaxAddr {
-			dr.err = fmt.Errorf("memtrace: din line %d: address 0x%x exceeds the 62-bit range", dr.lineNo, addr)
-			return Access{}, false
-		}
-		var kind Kind
-		switch label {
-		case dinRead:
-			kind = Load
-		case dinWrite:
-			kind = Store
-		case dinIfetch:
-			kind = Ifetch
-		default:
-			dr.err = fmt.Errorf("memtrace: din line %d: unknown label %d", dr.lineNo, label)
-			return Access{}, false
-		}
-		return Access{Addr: Addr(addr), Kind: kind}, true
+		return a, true
 	}
 	dr.done = true
 	if err := dr.sc.Err(); err != nil {

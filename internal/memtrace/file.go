@@ -64,6 +64,8 @@ type Reader struct {
 	read  uint64 // records delivered so far
 	count uint64 // records the header promised
 	err   error
+	done  bool
+	len   lenient
 }
 
 // NewReader parses the header and returns a streaming reader positioned at
@@ -93,35 +95,71 @@ func (r *Reader) Count() uint64 { return r.count }
 // end of trace.
 func (r *Reader) Err() error { return r.err }
 
+// Lenient switches the reader to count-and-skip mode: records with an
+// invalid kind are recorded in the Degradation report and skipped, and a
+// truncated tail ends the stream cleanly (noted in the report) instead of
+// failing it. maxDrops caps how much damage is tolerated (0 = unlimited).
+// It returns r for chaining and must be called before the first Next.
+func (r *Reader) Lenient(maxDrops uint64) *Reader {
+	r.len.enabled = true
+	r.len.maxDrops = maxDrops
+	return r
+}
+
+// Degradation returns the report of records skipped in lenient mode.
+func (r *Reader) Degradation() Degradation { return r.len.report }
+
 // Next implements Source. It returns ok == false at the end of the trace
 // or on a decoding error (reported by Err).
 func (r *Reader) Next() (Access, bool) {
-	if r.err != nil || r.read == r.count {
-		return Access{}, false
-	}
-	if len(r.buf) < 8 {
-		want := (r.count - r.read) * 8
-		if want > uint64(len(r.chunk)) {
-			want = uint64(len(r.chunk))
-		}
-		// Carry the partial record (if any) to the front of the chunk.
-		n := copy(r.chunk[:], r.buf)
-		m, err := io.ReadAtLeast(r.br, r.chunk[n:want], 8-n)
-		if err != nil {
-			r.err = fmt.Errorf("%w: truncated at record %d: %v", ErrBadFormat, r.read, err)
+	for {
+		if r.err != nil || r.done || r.read == r.count {
 			return Access{}, false
 		}
-		r.buf = r.chunk[:n+m]
+		if len(r.buf) < 8 {
+			want := (r.count - r.read) * 8
+			if want > uint64(len(r.chunk)) {
+				want = uint64(len(r.chunk))
+			}
+			// Carry the partial record (if any) to the front of the chunk.
+			n := copy(r.chunk[:], r.buf)
+			m, err := io.ReadAtLeast(r.br, r.chunk[n:want], 8-n)
+			if err != nil {
+				if r.len.enabled {
+					// A truncated tail is the classic interrupted-copy
+					// fault: salvage everything before it and end the
+					// stream cleanly, noting the loss.
+					r.done = true
+					if derr := r.len.drop("truncated-tail",
+						fmt.Sprintf("trace truncated at record %d of %d", r.read, r.count)); derr != nil {
+						r.err = derr
+					}
+					return Access{}, false
+				}
+				r.err = fmt.Errorf("%w: truncated at record %d: %v", ErrBadFormat, r.read, err)
+				return Access{}, false
+			}
+			r.buf = r.chunk[:n+m]
+		}
+		rec := record(binary.LittleEndian.Uint64(r.buf[:8]))
+		r.buf = r.buf[8:]
+		a := rec.unpack()
+		if a.Kind >= numKinds {
+			if r.len.enabled {
+				r.read++
+				if err := r.len.drop("invalid-kind",
+					fmt.Sprintf("record %d has invalid kind %d", r.read-1, a.Kind)); err != nil {
+					r.err = err
+					return Access{}, false
+				}
+				continue
+			}
+			r.err = fmt.Errorf("%w: record %d has invalid kind %d", ErrBadFormat, r.read, a.Kind)
+			return Access{}, false
+		}
+		r.read++
+		return a, true
 	}
-	rec := record(binary.LittleEndian.Uint64(r.buf[:8]))
-	r.buf = r.buf[8:]
-	a := rec.unpack()
-	if a.Kind >= numKinds {
-		r.err = fmt.Errorf("%w: record %d has invalid kind %d", ErrBadFormat, r.read, a.Kind)
-		return Access{}, false
-	}
-	r.read++
-	return a, true
 }
 
 var _ Source = (*Reader)(nil)
@@ -138,7 +176,14 @@ func ReadTrace(r io.Reader) (*Trace, error) {
 		return nil, fmt.Errorf("%w: record count %d too large to materialize (use NewReader)",
 			ErrBadFormat, sr.Count())
 	}
-	t := NewTrace(int(sr.Count()))
+	// The header count is untrusted input: preallocate from it only up to
+	// a modest bound, so a corrupt header cannot force a giant allocation
+	// before the (truncated) body is even read.
+	prealloc := sr.Count()
+	if prealloc > 1<<20 {
+		prealloc = 1 << 20
+	}
+	t := NewTrace(int(prealloc))
 	Drain(sr, t)
 	if err := sr.Err(); err != nil {
 		return nil, err

@@ -1,29 +1,51 @@
-package memtrace
+// Fuzz targets live in an external test package so they can seed their
+// corpus from internal/faultinject's byte corruptors without an import
+// cycle.
+package memtrace_test
 
 import (
 	"bytes"
 	"testing"
+
+	"jouppi/internal/faultinject"
+	"jouppi/internal/memtrace"
 )
+
+// validJTR returns a well-formed binary trace encoding.
+func validJTR() []byte {
+	tr := memtrace.NewTrace(0)
+	tr.Append(memtrace.Access{Addr: 0x1000, Kind: memtrace.Load})
+	tr.Append(memtrace.Access{Addr: 0x1004, Kind: memtrace.Ifetch})
+	tr.Append(memtrace.Access{Addr: 0x2000, Kind: memtrace.Store})
+	var buf bytes.Buffer
+	tr.WriteTo(&buf)
+	return buf.Bytes()
+}
+
+// addFaultSeeds seeds f with deterministic corruptions of data, one per
+// fault class the trace fault injector models, so the fuzzer starts from
+// realistic damage instead of pure noise.
+func addFaultSeeds(f *testing.F, data []byte) {
+	for seed := int64(1); seed <= 3; seed++ {
+		f.Add(faultinject.Truncate(data, seed))
+		f.Add(faultinject.FlipBits(data, seed, 4))
+		f.Add(faultinject.DuplicateSpan(data, seed, 8))
+	}
+}
 
 // FuzzReadTrace checks that arbitrary input never panics the binary
 // reader, and that anything it accepts round-trips.
 func FuzzReadTrace(f *testing.F) {
-	// Seeds: a valid trace, truncations, and garbage.
-	valid := func() []byte {
-		tr := NewTrace(0)
-		tr.Append(Access{Addr: 0x1000, Kind: Load})
-		tr.Append(Access{Addr: 0x1004, Kind: Ifetch})
-		var buf bytes.Buffer
-		tr.WriteTo(&buf)
-		return buf.Bytes()
-	}()
+	// Seeds: a valid trace, per-fault-class corruptions, and garbage.
+	valid := validJTR()
 	f.Add(valid)
 	f.Add(valid[:10])
 	f.Add([]byte("JTR1garbage"))
 	f.Add([]byte{})
+	addFaultSeeds(f, valid)
 
 	f.Fuzz(func(t *testing.T, data []byte) {
-		tr, err := ReadTrace(bytes.NewReader(data))
+		tr, err := memtrace.ReadTrace(bytes.NewReader(data))
 		if err != nil {
 			return
 		}
@@ -32,7 +54,7 @@ func FuzzReadTrace(f *testing.F) {
 		if _, err := tr.WriteTo(&buf); err != nil {
 			t.Fatalf("rewrite failed: %v", err)
 		}
-		tr2, err := ReadTrace(&buf)
+		tr2, err := memtrace.ReadTrace(&buf)
 		if err != nil {
 			t.Fatalf("reread failed: %v", err)
 		}
@@ -49,9 +71,15 @@ func FuzzReadDinero(f *testing.F) {
 	f.Add("junk junk junk\n")
 	f.Add("")
 	f.Add("2 ffffffffffffffff\n")
+	din := []byte("0 1000\n1 2000\n2 3000\n0 4000\n")
+	for seed := int64(1); seed <= 3; seed++ {
+		f.Add(string(faultinject.Truncate(din, seed)))
+		f.Add(string(faultinject.FlipBits(din, seed, 4)))
+		f.Add(string(faultinject.DuplicateSpan(din, seed, 7)))
+	}
 
 	f.Fuzz(func(t *testing.T, data string) {
-		tr, err := ReadDinero(bytes.NewReader([]byte(data)))
+		tr, err := memtrace.ReadDinero(bytes.NewReader([]byte(data)))
 		if err != nil {
 			return
 		}
@@ -59,7 +87,7 @@ func FuzzReadDinero(f *testing.F) {
 		if _, err := tr.WriteDinero(&buf); err != nil {
 			t.Fatalf("rewrite failed: %v", err)
 		}
-		tr2, err := ReadDinero(&buf)
+		tr2, err := memtrace.ReadDinero(&buf)
 		if err != nil {
 			t.Fatalf("reread failed: %v", err)
 		}
@@ -74,5 +102,46 @@ func FuzzReadDinero(f *testing.F) {
 				t.Fatalf("record %d changed: %v vs %v", i, tr.At(i), tr2.At(i))
 			}
 		}
+	})
+}
+
+// FuzzLenientReaders checks the count-and-skip decode paths: with an
+// unlimited drop budget a lenient reader must never panic, never error on
+// record-level damage, and keep its degradation report consistent.
+func FuzzLenientReaders(f *testing.F) {
+	valid := validJTR()
+	f.Add(valid)
+	f.Add([]byte("0 1000\n1 2000\nnot a record\n2 3000\n"))
+	addFaultSeeds(f, valid)
+	addFaultSeeds(f, []byte("0 1000\n1 2000\n2 3000\n0 4000\n"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		check := func(name string, src memtrace.Source, errFn func() error, degrFn func() memtrace.Degradation) {
+			delivered := 0
+			memtrace.Each(src, func(memtrace.Access) { delivered++ })
+			if err := errFn(); err != nil {
+				t.Fatalf("%s: lenient reader with unlimited budget errored: %v", name, err)
+			}
+			d := degrFn()
+			var sum uint64
+			for _, n := range d.Reasons {
+				sum += n
+			}
+			if d.Dropped != sum {
+				t.Fatalf("%s: Dropped = %d but reasons sum to %d", name, d.Dropped, sum)
+			}
+			if d.Degraded() && d.First == "" {
+				t.Fatalf("%s: drops recorded but no first-diagnostic", name)
+			}
+		}
+
+		// The binary reader rejects damaged headers before lenient decode
+		// begins; only a successfully-opened stream exercises it.
+		if r, err := memtrace.NewReader(bytes.NewReader(data)); err == nil {
+			r.Lenient(0)
+			check("jtr", r, r.Err, r.Degradation)
+		}
+		dr := memtrace.NewDineroReader(bytes.NewReader(data)).Lenient(0)
+		check("din", dr, dr.Err, dr.Degradation)
 	})
 }

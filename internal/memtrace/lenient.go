@@ -1,0 +1,81 @@
+package memtrace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Degradation reports what a lenient reader dropped while decoding a
+// damaged trace. Trace-driven studies routinely meet messy real-world
+// inputs — truncated downloads, bit-rotted archives, hand-edited din
+// files — and an all-or-nothing decoder turns one bad record into a lost
+// multi-hour replay. Lenient mode instead counts and skips malformed
+// records up to a cap, and this report is surfaced alongside the
+// simulation results so the damage is visible rather than silent.
+type Degradation struct {
+	// Dropped is the total number of records skipped.
+	Dropped uint64 `json:"dropped"`
+	// Reasons breaks Dropped down by malformation kind (e.g. "bad-label",
+	// "address-range", "truncated-tail").
+	Reasons map[string]uint64 `json:"reasons,omitempty"`
+	// First describes the first malformed record encountered, with its
+	// position, to give debugging a starting point.
+	First string `json:"first,omitempty"`
+}
+
+// Degraded reports whether anything was dropped.
+func (d Degradation) Degraded() bool { return d.Dropped > 0 }
+
+// String renders a one-line summary, e.g.
+// "3 records dropped (address-range 1, bad-label 2); first: ...".
+func (d Degradation) String() string {
+	if d.Dropped == 0 {
+		return "no records dropped"
+	}
+	kinds := make([]string, 0, len(d.Reasons))
+	for k := range d.Reasons {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	parts := make([]string, 0, len(kinds))
+	for _, k := range kinds {
+		parts = append(parts, fmt.Sprintf("%s %d", k, d.Reasons[k]))
+	}
+	s := fmt.Sprintf("%d records dropped (%s)", d.Dropped, strings.Join(parts, ", "))
+	if d.First != "" {
+		s += "; first: " + d.First
+	}
+	return s
+}
+
+// record notes one dropped record in the report.
+func (d *Degradation) record(reason, detail string) {
+	if d.Reasons == nil {
+		d.Reasons = make(map[string]uint64)
+	}
+	d.Dropped++
+	d.Reasons[reason]++
+	if d.First == "" {
+		d.First = detail
+	}
+}
+
+// lenient carries the shared count-and-skip state of the file readers.
+type lenient struct {
+	enabled  bool
+	maxDrops uint64 // 0 = unlimited
+	report   Degradation
+}
+
+// drop records one malformed record. It returns an error once the drop
+// cap is exceeded — past that point the input is judged too damaged to
+// trust and the stream fails like strict mode would.
+func (l *lenient) drop(reason, detail string) error {
+	l.report.record(reason, detail)
+	if l.maxDrops > 0 && l.report.Dropped > l.maxDrops {
+		return fmt.Errorf("memtrace: %d malformed records exceed the lenient cap of %d (%s)",
+			l.report.Dropped, l.maxDrops, l.report.String())
+	}
+	return nil
+}

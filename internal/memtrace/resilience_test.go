@@ -1,0 +1,163 @@
+package memtrace
+
+import (
+	"bytes"
+	"context"
+	"encoding/binary"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+func mustPanicWith(t *testing.T, want error, fn func()) {
+	t.Helper()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("no panic")
+		}
+		err, ok := r.(error)
+		if !ok || !errors.Is(err, want) {
+			t.Fatalf("panicked with %v, want %v", r, want)
+		}
+	}()
+	fn()
+}
+
+// The nil guards must name the mistake instead of dereferencing nil deep
+// in a drain loop.
+func TestNilSourceSinkGuards(t *testing.T) {
+	tr := NewTrace(0)
+	tr.Append(Access{Addr: 0x10, Kind: Load})
+
+	mustPanicWith(t, ErrNilSource, func() { Each(nil, func(Access) {}) })
+	mustPanicWith(t, ErrNilSource, func() { Drain(nil, tr) })
+	mustPanicWith(t, ErrNilSink, func() { Drain(tr.Source(), nil) })
+	mustPanicWith(t, ErrNilSource, func() { NewCountingSource(nil) })
+
+	if err := EachContext(context.Background(), nil, func(Access) {}); !errors.Is(err, ErrNilSource) {
+		t.Errorf("EachContext(nil src) = %v, want ErrNilSource", err)
+	}
+	if err := DrainContext(context.Background(), nil, tr); !errors.Is(err, ErrNilSource) {
+		t.Errorf("DrainContext(nil src) = %v, want ErrNilSource", err)
+	}
+	if err := DrainContext(context.Background(), tr.Source(), nil); !errors.Is(err, ErrNilSink) {
+		t.Errorf("DrainContext(nil sink) = %v, want ErrNilSink", err)
+	}
+}
+
+func TestEachContextCompletes(t *testing.T) {
+	tr := NewTrace(0)
+	for i := 0; i < 100; i++ {
+		tr.Append(Access{Addr: Addr(i), Kind: Load})
+	}
+	n := 0
+	if err := EachContext(context.Background(), tr.Source(), func(Access) { n++ }); err != nil {
+		t.Fatalf("EachContext: %v", err)
+	}
+	if n != 100 {
+		t.Errorf("visited %d accesses, want 100", n)
+	}
+}
+
+func TestEachContextCancelled(t *testing.T) {
+	// Far more records than one cancellation-poll interval, so a cancelled
+	// context must cut the replay well short of the end.
+	tr := NewTrace(0)
+	for i := 0; i < 10*cancelCheckEvery; i++ {
+		tr.Append(Access{Addr: Addr(i), Kind: Load})
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	n := 0
+	err := EachContext(ctx, tr.Source(), func(Access) { n++ })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if n != 0 {
+		t.Errorf("pre-cancelled context still replayed %d accesses", n)
+	}
+}
+
+func TestEachContextCancelledMidStream(t *testing.T) {
+	tr := NewTrace(0)
+	total := 10 * cancelCheckEvery
+	for i := 0; i < total; i++ {
+		tr.Append(Access{Addr: Addr(i), Kind: Load})
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	n := 0
+	err := EachContext(ctx, tr.Source(), func(Access) {
+		n++
+		if n == cancelCheckEvery/2 {
+			cancel()
+		}
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if n >= total {
+		t.Errorf("cancellation did not stop the replay early (visited all %d)", n)
+	}
+}
+
+func TestDrainContextRoundTrip(t *testing.T) {
+	tr := NewTrace(0)
+	for i := 0; i < 10; i++ {
+		tr.Append(Access{Addr: Addr(0x100 * i), Kind: Store})
+	}
+	out := NewTrace(0)
+	if err := DrainContext(context.Background(), tr.Source(), out); err != nil {
+		t.Fatalf("DrainContext: %v", err)
+	}
+	if out.Len() != tr.Len() {
+		t.Errorf("drained %d records, want %d", out.Len(), tr.Len())
+	}
+}
+
+func TestDegradationString(t *testing.T) {
+	var d Degradation
+	if got := d.String(); got != "no records dropped" {
+		t.Errorf("clean String() = %q", got)
+	}
+	d.record("bad-label", "line 3: bad label")
+	d.record("address-range", "line 9")
+	d.record("bad-label", "line 12")
+	s := d.String()
+	for _, want := range []string{"3 records dropped", "bad-label 2", "address-range 1", "line 3"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q, missing %q", s, want)
+		}
+	}
+	if !d.Degraded() {
+		t.Error("Degraded() = false after drops")
+	}
+}
+
+// A corrupt header claiming billions of records must not translate into
+// a giant up-front allocation — the body is truncated and decode fails
+// long before those records could exist.
+func TestReadTraceHugeCountHeaderDoesNotPreallocate(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTrace(0)
+	tr.Append(Access{Addr: 0x100, Kind: Load})
+	if _, err := tr.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	binary.LittleEndian.PutUint64(data[8:16], 1<<32) // lie: 4G records
+	done := make(chan error, 1)
+	go func() {
+		_, err := ReadTrace(bytes.NewReader(data))
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("truncated 4G-record trace accepted")
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("ReadTrace stuck on a huge-count header")
+	}
+}

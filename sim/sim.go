@@ -18,6 +18,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -327,6 +328,15 @@ func benchmark(name string) (workload.Benchmark, error) {
 // is never materialized — so replay memory is O(1) in trace length and
 // arbitrarily large scales are feasible.
 func RunBenchmark(name string, scale float64, cfg Config) (Results, error) {
+	return RunBenchmarkContext(context.Background(), name, scale, cfg)
+}
+
+// RunBenchmarkContext is RunBenchmark with cooperative cancellation: the
+// replay polls ctx and stops early with its error once the context is
+// done, so long runs at large scales stay interruptible and can be
+// time-bounded with context.WithTimeout. The access sequence is
+// bit-identical to RunBenchmark's.
+func RunBenchmarkContext(ctx context.Context, name string, scale float64, cfg Config) (Results, error) {
 	if !(scale > 0) || math.IsInf(scale, 0) {
 		return Results{}, fmt.Errorf("sim: scale must be a positive finite number, got %v", scale)
 	}
@@ -338,12 +348,27 @@ func RunBenchmark(name string, scale float64, cfg Config) (Results, error) {
 	if err != nil {
 		return Results{}, err
 	}
-	var counts memtrace.Counts
-	b.Generate(scale, memtrace.SinkFunc(func(a memtrace.Access) {
-		counts.Observe(a)
-		sys.sys.Access(a)
-	}))
-	sys.instructions = counts.Instructions()
+	if ctx.Done() == nil {
+		// The context can never be cancelled (Background/TODO): generate
+		// straight into the hierarchy with no goroutine hand-off.
+		var counts memtrace.Counts
+		b.Generate(scale, memtrace.SinkFunc(func(a memtrace.Access) {
+			counts.Observe(a)
+			sys.sys.Access(a)
+		}))
+		sys.instructions = counts.Instructions()
+		return sys.Results(), nil
+	}
+	// A cancellable context needs a pull-based replay loop that can stop
+	// between accesses; the workload source generates in a goroutine that
+	// Close releases if the replay is cut short.
+	src := workload.NewSource(b, scale)
+	defer src.Close()
+	counting := memtrace.NewCountingSource(src)
+	if err := memtrace.EachContext(ctx, counting, sys.sys.Access); err != nil {
+		return Results{}, err
+	}
+	sys.instructions = counting.Instructions()
 	return sys.Results(), nil
 }
 
@@ -365,10 +390,25 @@ func Experiments() []ExperimentInfo {
 // RunExperiment runs one experiment by ID at the given workload scale and
 // returns its rendered text output.
 func RunExperiment(id string, scale float64) (string, error) {
+	return RunExperimentContext(context.Background(), id, scale)
+}
+
+// RunExperimentContext is RunExperiment with cooperative cancellation and
+// panic isolation: a cancelled context or a crashing experiment returns
+// an error instead of hanging the caller or killing the process.
+func RunExperimentContext(ctx context.Context, id string, scale float64) (string, error) {
 	e, ok := experiments.ByID(id)
 	if !ok {
 		return "", fmt.Errorf("sim: unknown experiment %q (have %v)", id, experiments.IDs())
 	}
-	res := e.Run(experiments.Config{Scale: scale})
+	results, err := experiments.RunAll(ctx, experiments.Config{Scale: scale},
+		experiments.RunOptions{Experiments: []experiments.Experiment{e}})
+	if err != nil {
+		return "", err
+	}
+	res := results[0]
+	if res.Failed() {
+		return "", fmt.Errorf("sim: experiment %s failed: %s", id, res.Err)
+	}
 	return res.Title + "\n\n" + res.Text, nil
 }
