@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all check fmt vet build test bench fuzz
+.PHONY: all check fmt vet build test bench bench-json fuzz
 
 all: check
 
@@ -34,3 +34,9 @@ fuzz:
 # cliff, not a full measurement run.
 bench:
 	$(GO) test . -run '^$$' -bench 'Replay|RunBenchmark|TraceGeneration' -benchtime 1x -benchmem
+
+# bench-json measures the replay loop with telemetry off vs on
+# (ns/op, allocs/op) and writes the comparison to BENCH_telemetry.json.
+BENCH_JSON_OUT ?= BENCH_telemetry.json
+bench-json:
+	BENCH_JSON=$(BENCH_JSON_OUT) $(GO) test . -run TestWriteBenchTelemetryJSON -v

@@ -13,11 +13,14 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"time"
 
 	"jouppi/internal/cache"
 	"jouppi/internal/classify"
 	"jouppi/internal/core"
 	"jouppi/internal/memtrace"
+	"jouppi/internal/telemetry"
+	"jouppi/internal/version"
 )
 
 func main() {
@@ -43,9 +46,17 @@ func run(args []string, stdout, stderr io.Writer) int {
 		classify3 = fs.Bool("classify", false, "also report the 3C miss classification of the plain cache")
 		lenient   = fs.Bool("lenient", false, "skip malformed trace records (up to -maxdrops) and report the degradation instead of failing")
 		maxDrops  = fs.Uint64("maxdrops", 1<<20, "malformed-record cap in -lenient mode (0 = unlimited)")
+		metrics   = fs.String("metrics-addr", "", "serve /metrics, /vars and /debug/pprof on this address for the duration of the replay")
+		progress  = fs.Bool("progress", false, "render a live progress line (records decoded, accesses/sec) on stderr")
+		showVer   = fs.Bool("version", false, "print build information and exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+
+	if *showVer {
+		fmt.Fprintln(stdout, version.String("cachesim"))
+		return 0
 	}
 
 	if *tracePath == "" {
@@ -56,6 +67,25 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "cachesim: -misscache cannot be combined with -victim or -ways")
 		return 2
 	}
+
+	// Observability plumbing. The registry backs both the /metrics
+	// endpoint and the progress line; when neither flag is set reg stays
+	// nil and every counter below is a no-op.
+	var reg *telemetry.Registry
+	if *metrics != "" || *progress {
+		reg = telemetry.NewRegistry()
+	}
+	if *metrics != "" {
+		srv, err := telemetry.Serve(*metrics, reg)
+		if err != nil {
+			fmt.Fprintln(stderr, "cachesim:", err)
+			return 1
+		}
+		defer srv.Close()
+		fmt.Fprintf(stderr, "cachesim: metrics on http://%s/metrics (pprof on /debug/pprof/)\n", srv.Addr())
+	}
+	decoded := reg.Counter("memtrace_records_total", "trace records decoded")
+	dropped := reg.Counter("memtrace_dropped_total", "trace records dropped in lenient mode")
 
 	// The trace streams through the simulator in buffered chunks — it is
 	// never materialized, so file size does not bound what cachesim can
@@ -81,12 +111,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 		if *lenient {
 			r.Lenient(*maxDrops)
 		}
+		r.Instrument(decoded, dropped)
 		src, srcErr, degr = r, r.Err, r.Degradation
 	case "din":
 		dr := memtrace.NewDineroReader(f)
 		if *lenient {
 			dr.Lenient(*maxDrops)
 		}
+		dr.Instrument(decoded, dropped)
 		src, srcErr, degr = dr, dr.Err, dr.Degradation
 	default:
 		fmt.Fprintln(stderr, "cachesim: -format must be jtr or din")
@@ -133,6 +165,38 @@ func run(args []string, stdout, stderr io.Writer) int {
 		cl = classify.MustNew(*size, *line)
 	}
 
+	// Live replay counters, attributed from Result.Served. With reg nil
+	// these are all nil and tel stays nil, keeping the hot loop free of
+	// telemetry work.
+	type feTel struct {
+		accesses, l1Hits, auxHits, missCacheHits, victimHits, streamHits, fullMisses *telemetry.Counter
+	}
+	var tel *feTel
+	if reg != nil {
+		tel = &feTel{
+			accesses:      reg.Counter("sim_replay_accesses_total", "references replayed through the cache under study"),
+			l1Hits:        reg.Counter("sim_l1_hits_total", "first-level cache hits"),
+			auxHits:       reg.Counter("sim_aux_hits_total", "hits in any auxiliary structure"),
+			missCacheHits: reg.Counter("sim_miss_cache_hits_total", "miss-cache hits"),
+			victimHits:    reg.Counter("sim_victim_hits_total", "victim-cache hits"),
+			streamHits:    reg.Counter("sim_stream_hits_total", "stream-buffer hits"),
+			fullMisses:    reg.Counter("sim_full_misses_total", "misses served by the next level"),
+		}
+		l1.Instrument(cache.NewCounters(reg, l1cfg.Name))
+		if cl != nil {
+			cl.Instrument(
+				reg.Counter("sim_3c_compulsory_misses_total", "plain-cache misses classified compulsory"),
+				reg.Counter("sim_3c_capacity_misses_total", "plain-cache misses classified capacity"),
+				reg.Counter("sim_3c_conflict_misses_total", "plain-cache misses classified conflict"))
+		}
+	}
+	var prog *telemetry.Progress
+	if *progress {
+		prog = telemetry.NewProgress(stderr, decoded, nil, nil)
+		prog.Start(200 * time.Millisecond)
+		defer prog.Stop()
+	}
+
 	memtrace.Each(src, func(a memtrace.Access) {
 		if !keep(a) {
 			return
@@ -141,7 +205,31 @@ func run(args []string, stdout, stderr io.Writer) int {
 		if cl != nil {
 			cl.ObserveMiss(uint64(a.Addr), !r.L1Hit)
 		}
+		if tel != nil {
+			tel.accesses.Inc()
+			switch r.Served {
+			case core.ServedL1:
+				tel.l1Hits.Inc()
+			case core.ServedMissCache:
+				tel.auxHits.Inc()
+				tel.missCacheHits.Inc()
+			case core.ServedVictim:
+				tel.auxHits.Inc()
+				tel.victimHits.Inc()
+			case core.ServedStream:
+				tel.auxHits.Inc()
+				tel.streamHits.Inc()
+			case core.ServedMemory:
+				tel.fullMisses.Inc()
+			}
+		}
 	})
+	if prog != nil {
+		prog.Stop()
+	}
+	if *lenient {
+		memtrace.PublishDegradation(reg, degr())
+	}
 	if err := srcErr(); err != nil {
 		fmt.Fprintln(stderr, "cachesim:", err)
 		return 1

@@ -1,0 +1,38 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestVersionFlag(t *testing.T) {
+	code, out, _ := runCmd(t, "-version")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if !strings.HasPrefix(out, "cachesim") {
+		t.Errorf("version output %q does not lead with the tool name", out)
+	}
+}
+
+// TestMetricsAndProgressReplay smoke-tests a replay with the full
+// observability surface on: ephemeral metrics endpoint plus progress
+// line, results identical to a plain run.
+func TestMetricsAndProgressReplay(t *testing.T) {
+	path := writeTestTrace(t)
+	code, plain, _ := runCmd(t, "-trace", path, "-victim", "4", "-ways", "4", "-classify")
+	if code != 0 {
+		t.Fatalf("plain run exit %d", code)
+	}
+	code, instr, errOut := runCmd(t, "-trace", path, "-victim", "4", "-ways", "4", "-classify",
+		"-metrics-addr", "127.0.0.1:0", "-progress")
+	if code != 0 {
+		t.Fatalf("instrumented run exit %d, stderr %q", code, errOut)
+	}
+	if plain != instr {
+		t.Errorf("telemetry changed the replay output:\nplain:\n%s\ninstrumented:\n%s", plain, instr)
+	}
+	if !strings.Contains(errOut, "/metrics") {
+		t.Errorf("stderr does not announce the metrics endpoint: %q", errOut)
+	}
+}

@@ -35,6 +35,8 @@ import (
 	"time"
 
 	"jouppi/internal/experiments"
+	"jouppi/internal/telemetry"
+	"jouppi/internal/version"
 )
 
 func main() {
@@ -65,9 +67,19 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		timeout    = fs.Duration("timeout", 0, "per-experiment deadline, e.g. 90s (0 = none)")
 		checkpoint = fs.String("checkpoint", "", "flush completed results to this JSON file after every experiment")
 		resume     = fs.Bool("resume", false, "skip experiments already completed in the -checkpoint file")
+		retries    = fs.Int("retries", 0, "re-run a failed experiment up to this many extra times")
+		metrics    = fs.String("metrics-addr", "", "serve /metrics, /vars and /debug/pprof on this address (e.g. localhost:9090) for the duration of the run")
+		journalTo  = fs.String("journal", "", "append one JSON line per run event (experiment start/finish/panic/retry, checkpoint saves) to this file")
+		progress   = fs.Bool("progress", false, "render a live progress line (experiments done, accesses/sec, ETA) on stderr")
+		showVer    = fs.Bool("version", false, "print build information and exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return exitUsage
+	}
+
+	if *showVer {
+		fmt.Fprintln(stdout, version.String("jouppisim"))
+		return exitOK
 	}
 
 	if *list || *runID == "" {
@@ -92,6 +104,41 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	if *timeout < 0 {
 		fmt.Fprintln(stderr, "jouppisim: -timeout must not be negative")
 		return exitUsage
+	}
+	if *retries < 0 {
+		fmt.Fprintln(stderr, "jouppisim: -retries must not be negative")
+		return exitUsage
+	}
+
+	// Observability plumbing. The registry backs both the /metrics
+	// endpoint and the progress line, so either flag creates it.
+	var reg *telemetry.Registry
+	if *metrics != "" || *progress {
+		reg = telemetry.NewRegistry()
+	}
+	if *metrics != "" {
+		srv, err := telemetry.Serve(*metrics, reg)
+		if err != nil {
+			fmt.Fprintln(stderr, "jouppisim:", err)
+			return exitFailure
+		}
+		defer srv.Close()
+		fmt.Fprintf(stderr, "jouppisim: metrics on http://%s/metrics (pprof on /debug/pprof/)\n", srv.Addr())
+	}
+	var journal *telemetry.Journal
+	if *journalTo != "" {
+		f, err := os.OpenFile(*journalTo, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			fmt.Fprintln(stderr, "jouppisim:", err)
+			return exitFailure
+		}
+		defer f.Close()
+		journal = telemetry.NewJournal(f)
+		defer func() {
+			if err := journal.Err(); err != nil {
+				fmt.Fprintln(stderr, "jouppisim: journal:", err)
+			}
+		}()
 	}
 
 	cfg := experiments.Config{Scale: *scale, Traces: experiments.NewTraceSet(*scale)}
@@ -145,9 +192,13 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 
 	failures := 0
 	last := time.Now()
+	saved := 0
 	opts := experiments.RunOptions{
 		Timeout:     *timeout,
 		Experiments: toRun,
+		Retries:     *retries,
+		Telemetry:   reg,
+		Journal:     journal,
 		OnResult: func(res *experiments.Result, cached bool) {
 			elapsed := time.Since(last)
 			last = time.Now()
@@ -155,6 +206,10 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 				ckpt.Add(res)
 				if err := ckpt.Save(*checkpoint); err != nil {
 					fmt.Fprintln(stderr, "jouppisim:", err)
+				} else {
+					saved++
+					journal.Emit(telemetry.Event{Event: "checkpoint-saved",
+						ID: res.ID, Title: res.Title, Seq: saved, Total: len(toRun)})
 				}
 			}
 			if res.Failed() {
@@ -183,7 +238,23 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		opts.Cached = ckpt.Lookup
 	}
 
+	var prog *telemetry.Progress
+	if *progress {
+		// The counter and gauges here are the same instances RunAll
+		// registers (the registry is idempotent by name), so the line
+		// tracks the run with no extra plumbing.
+		prog = telemetry.NewProgress(stderr,
+			reg.Counter("sim_replay_accesses_total", "trace references replayed across all experiments"),
+			reg.Gauge("experiments_done", "experiments finished so far this run"),
+			reg.Gauge("experiments_total", "experiments in this run"))
+		prog.Start(200 * time.Millisecond)
+		defer prog.Stop()
+	}
+
 	_, runErr := experiments.RunAll(ctx, cfg, opts)
+	if prog != nil {
+		prog.Stop()
+	}
 
 	if *asJSON {
 		enc := json.NewEncoder(stdout)

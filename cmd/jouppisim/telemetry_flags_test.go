@@ -1,0 +1,92 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"jouppi/internal/telemetry"
+)
+
+func TestVersionFlag(t *testing.T) {
+	code, out, _ := runCmd(t, "-version")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if !strings.HasPrefix(out, "jouppisim") {
+		t.Errorf("version output %q does not lead with the tool name", out)
+	}
+}
+
+func TestNegativeRetriesRejected(t *testing.T) {
+	code, _, errOut := runCmd(t, "-run", "table1-1", "-retries", "-1")
+	if code != 2 || !strings.Contains(errOut, "-retries") {
+		t.Errorf("code %d, stderr %q", code, errOut)
+	}
+}
+
+// TestJournalAndProgressRun drives a real (tiny) experiment with the full
+// observability surface on: JSONL journal to a file, live progress on
+// stderr, metrics endpoint bound to an ephemeral port.
+func TestJournalAndProgressRun(t *testing.T) {
+	journal := filepath.Join(t.TempDir(), "run.jsonl")
+	code, _, errOut := runCmd(t, "-run", "table1-1", "-scale", "0.02",
+		"-journal", journal, "-progress", "-metrics-addr", "127.0.0.1:0")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr %q", code, errOut)
+	}
+	if !strings.Contains(errOut, "/metrics") {
+		t.Errorf("stderr does not announce the metrics endpoint: %q", errOut)
+	}
+
+	f, err := os.Open(journal)
+	if err != nil {
+		t.Fatalf("journal not written: %v", err)
+	}
+	defer f.Close()
+	events, err := telemetry.ReadEvents(f)
+	if err != nil {
+		t.Fatalf("journal does not parse: %v", err)
+	}
+	kinds := make(map[string]int)
+	for _, e := range events {
+		kinds[e.Event]++
+	}
+	for _, want := range []string{"run-start", "experiment-start", "experiment-finish", "run-finish"} {
+		if kinds[want] == 0 {
+			t.Errorf("journal missing %s event (have %v)", want, kinds)
+		}
+	}
+}
+
+// TestJournalRecordsCheckpointSaves runs with -checkpoint and checks the
+// journal carries the checkpoint-saved events.
+func TestJournalRecordsCheckpointSaves(t *testing.T) {
+	dir := t.TempDir()
+	journal := filepath.Join(dir, "run.jsonl")
+	ckpt := filepath.Join(dir, "sweep.json")
+	code, _, errOut := runCmd(t, "-run", "table1-1", "-scale", "0.02",
+		"-journal", journal, "-checkpoint", ckpt)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr %q", code, errOut)
+	}
+	f, err := os.Open(journal)
+	if err != nil {
+		t.Fatalf("journal not written: %v", err)
+	}
+	defer f.Close()
+	events, err := telemetry.ReadEvents(f)
+	if err != nil {
+		t.Fatalf("journal does not parse: %v", err)
+	}
+	found := false
+	for _, e := range events {
+		if e.Event == "checkpoint-saved" && e.ID == "table1-1" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no checkpoint-saved event in journal: %+v", events)
+	}
+}

@@ -18,6 +18,7 @@ import (
 	"os"
 
 	"jouppi/internal/memtrace"
+	"jouppi/internal/version"
 	"jouppi/internal/workload"
 )
 
@@ -34,9 +35,15 @@ func run(args []string, stdout, stderr io.Writer) int {
 		scale  = fs.Float64("scale", 0.25, "workload scale")
 		out    = fs.String("o", "", "output file (required)")
 		format = fs.String("format", "jtr", "output format: jtr (binary) | din (dinero text)")
+		ver    = fs.Bool("version", false, "print build information and exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+
+	if *ver {
+		fmt.Fprintln(stdout, version.String("tracegen"))
+		return 0
 	}
 
 	if *list {

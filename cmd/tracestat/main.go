@@ -20,6 +20,7 @@ import (
 	"jouppi/internal/analysis"
 	"jouppi/internal/memtrace"
 	"jouppi/internal/textplot"
+	"jouppi/internal/version"
 )
 
 func main() {
@@ -90,9 +91,15 @@ func run(args []string, stdout, stderr io.Writer) int {
 		hotspots  = fs.Int("hotspots", 0, "print the N most conflicting cache sets and their contending lines")
 		lenient   = fs.Bool("lenient", false, "skip malformed trace records (up to -maxdrops) and report the degradation instead of failing")
 		maxDrops  = fs.Uint64("maxdrops", 1<<20, "malformed-record cap in -lenient mode (0 = unlimited)")
+		showVer   = fs.Bool("version", false, "print build information and exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+
+	if *showVer {
+		fmt.Fprintln(stdout, version.String("tracestat"))
+		return 0
 	}
 
 	if *tracePath == "" {

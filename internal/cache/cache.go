@@ -11,6 +11,8 @@ package cache
 import (
 	"fmt"
 	"math/bits"
+
+	"jouppi/internal/telemetry"
 )
 
 // Replacement selects the victim-choice policy within a set.
@@ -172,6 +174,32 @@ func (s *Stats) Add(other Stats) {
 	s.Writes += other.Writes
 }
 
+// Counters is the optional live telemetry a Cache feeds in addition to
+// its plain Stats: the same events, but as atomic counters a /metrics
+// scrape can read while a replay is running. Individual fields may be
+// nil (their events are simply not exported).
+type Counters struct {
+	Hits       *telemetry.Counter
+	Misses     *telemetry.Counter
+	Fills      *telemetry.Counter
+	Evictions  *telemetry.Counter
+	Writebacks *telemetry.Counter
+}
+
+// NewCounters registers the standard cache counter set under
+// sim_cache_<label>_* in reg. A nil registry yields all-nil (no-op)
+// counters.
+func NewCounters(reg *telemetry.Registry, label string) *Counters {
+	name := telemetry.SanitizeName(label)
+	return &Counters{
+		Hits:       reg.Counter("sim_cache_"+name+"_hits_total", "cache "+label+": probe hits"),
+		Misses:     reg.Counter("sim_cache_"+name+"_misses_total", "cache "+label+": probe misses"),
+		Fills:      reg.Counter("sim_cache_"+name+"_fills_total", "cache "+label+": lines installed"),
+		Evictions:  reg.Counter("sim_cache_"+name+"_evictions_total", "cache "+label+": valid lines displaced"),
+		Writebacks: reg.Counter("sim_cache_"+name+"_writebacks_total", "cache "+label+": dirty evictions"),
+	}
+}
+
 type way struct {
 	tag   uint64 // line address (full address >> lineShift)
 	used  uint64 // last-touch tick (LRU) — untouched after fill under FIFO
@@ -188,6 +216,7 @@ type Cache struct {
 	tick      uint64
 	rng       uint64
 	stats     Stats
+	tel       *Counters
 }
 
 // New builds a cache from cfg. It returns an error if cfg is invalid.
@@ -230,6 +259,11 @@ func (c *Cache) Config() Config { return c.cfg }
 // Stats returns a copy of the activity counters.
 func (c *Cache) Stats() Stats { return c.stats }
 
+// Instrument attaches live telemetry counters. The cache increments them
+// alongside its Stats; nil detaches. Attach before replay begins — the
+// counters themselves are atomic, but attachment is not synchronized.
+func (c *Cache) Instrument(tel *Counters) { c.tel = tel }
+
 // ResetStats zeroes the activity counters without disturbing contents.
 func (c *Cache) ResetStats() { c.stats = Stats{} }
 
@@ -262,10 +296,16 @@ func (c *Cache) Probe(addr uint64, write bool) bool {
 				w.dirty = true
 			}
 			c.stats.Hits++
+			if c.tel != nil {
+				c.tel.Hits.Inc()
+			}
 			return true
 		}
 	}
 	c.stats.Misses++
+	if c.tel != nil {
+		c.tel.Misses.Inc()
+	}
 	return false
 }
 
@@ -316,9 +356,18 @@ func (c *Cache) Fill(addr uint64, dirty bool) Victim {
 		if out.Dirty {
 			c.stats.Writebacks++
 		}
+		if c.tel != nil {
+			c.tel.Evictions.Inc()
+			if out.Dirty {
+				c.tel.Writebacks.Inc()
+			}
+		}
 	}
 	*w = way{tag: la, used: c.tick, valid: true, dirty: dirty}
 	c.stats.Fills++
+	if c.tel != nil {
+		c.tel.Fills.Inc()
+	}
 	return out
 }
 

@@ -19,6 +19,8 @@ package classify
 import (
 	"fmt"
 	"math/bits"
+
+	"jouppi/internal/telemetry"
 )
 
 // Class labels a cache miss.
@@ -99,6 +101,10 @@ type Classifier struct {
 	counts    Counts
 	free      []faNode // preallocated node pool
 	nextFree  int
+
+	telCompulsory *telemetry.Counter
+	telCapacity   *telemetry.Counter
+	telConflict   *telemetry.Counter
 }
 
 // New creates a classifier shadowing a cache of size bytes with lineSize-
@@ -154,12 +160,29 @@ func (c *Classifier) Observe(addr uint64) Class {
 	}
 }
 
+// Instrument attaches live per-class miss counters incremented alongside
+// the internal Counts. Any counter may be nil (that class is simply not
+// exported). Attach before replay begins.
+func (c *Classifier) Instrument(compulsory, capacity, conflict *telemetry.Counter) {
+	c.telCompulsory = compulsory
+	c.telCapacity = capacity
+	c.telConflict = conflict
+}
+
 // ObserveMiss is Observe plus recording: it updates the classifier's
 // internal per-class totals when missed is true.
 func (c *Classifier) ObserveMiss(addr uint64, missed bool) Class {
 	cl := c.Observe(addr)
 	if missed {
 		c.counts.add(cl)
+		switch cl {
+		case Compulsory:
+			c.telCompulsory.Inc()
+		case Capacity:
+			c.telCapacity.Inc()
+		default:
+			c.telConflict.Inc()
+		}
 	}
 	return cl
 }

@@ -77,7 +77,7 @@ func (c *Combined) Access(addr uint64, write bool) Result {
 		stall := c.timing.AuxPenalty
 		c.stats.StallCycles += uint64(stall)
 		c.now += uint64(stall)
-		return Result{AuxHit: true, Stall: stall}
+		return Result{AuxHit: true, Stall: stall, Served: ServedVictim}
 	}
 
 	// 2. Stream buffers.
@@ -93,7 +93,7 @@ func (c *Combined) Access(addr uint64, write bool) Result {
 			c.stats.StallCycles += uint64(stall)
 			c.now += uint64(stall)
 			c.stats.PrefetchIssued = c.set.issued
-			return Result{AuxHit: true, Stall: stall}
+			return Result{AuxHit: true, Stall: stall, Served: ServedStream}
 		}
 	}
 
@@ -110,7 +110,7 @@ func (c *Combined) Access(addr uint64, write bool) Result {
 		c.set.allocate(la, c.now)
 		c.stats.PrefetchIssued = c.set.issued
 	}
-	return Result{Stall: stall}
+	return Result{Stall: stall, Served: ServedMemory}
 }
 
 // installAndSpill fills addr's line into L1 and pushes the displaced

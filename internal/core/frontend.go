@@ -13,7 +13,11 @@
 // fill latency (stream buffers) can model line availability.
 package core
 
-import "jouppi/internal/cache"
+import (
+	"fmt"
+
+	"jouppi/internal/cache"
+)
 
 // Fetcher receives line-granularity fetch requests destined for the next
 // memory level. prefetch distinguishes stream-buffer prefetches from
@@ -60,6 +64,42 @@ func (t Timing) withDefaults() Timing {
 	return t
 }
 
+// ServedBy identifies which structure satisfied an access, so observers
+// (telemetry, tracing) can attribute hits without re-deriving them from
+// stats deltas.
+type ServedBy uint8
+
+// The possible access servers, in probe order.
+const (
+	// ServedL1 is a plain first-level hit.
+	ServedL1 ServedBy = iota
+	// ServedMissCache / ServedVictim / ServedStream are augmentation hits
+	// in the respective structure.
+	ServedMissCache
+	ServedVictim
+	ServedStream
+	// ServedMemory is a full miss: a demand fetch from the next level.
+	ServedMemory
+)
+
+// String returns the server's name.
+func (s ServedBy) String() string {
+	switch s {
+	case ServedL1:
+		return "l1"
+	case ServedMissCache:
+		return "miss-cache"
+	case ServedVictim:
+		return "victim-cache"
+	case ServedStream:
+		return "stream-buffer"
+	case ServedMemory:
+		return "memory"
+	default:
+		return fmt.Sprintf("ServedBy(%d)", uint8(s))
+	}
+}
+
 // Result describes how a single access resolved.
 type Result struct {
 	// L1Hit is true when the first-level cache itself hit.
@@ -69,6 +109,9 @@ type Result struct {
 	// Stall is the number of stall cycles charged beyond the single
 	// issue cycle (0 on an L1 hit).
 	Stall int
+	// Served names the structure that satisfied the access (the L1
+	// itself, one of the augmentations, or the next memory level).
+	Served ServedBy
 }
 
 // FullMiss reports whether the access required a demand fetch from the
@@ -187,7 +230,7 @@ func (b *Baseline) Access(addr uint64, write bool) Result {
 	stall := b.timing.MissPenalty
 	b.stats.StallCycles += uint64(stall)
 	b.now += uint64(stall)
-	return Result{Stall: stall}
+	return Result{Stall: stall, Served: ServedMemory}
 }
 
 // Stats implements FrontEnd.

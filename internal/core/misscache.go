@@ -56,7 +56,7 @@ func (m *MissCache) Access(addr uint64, write bool) Result {
 		m.fillL1(addr, write)
 		stall := m.timing.AuxPenalty
 		m.stats.StallCycles += uint64(stall)
-		return Result{AuxHit: true, Stall: stall}
+		return Result{AuxHit: true, Stall: stall, Served: ServedMissCache}
 	}
 
 	// Full miss: fetch, then fill both L1 and the miss cache.
@@ -68,7 +68,7 @@ func (m *MissCache) Access(addr uint64, write bool) Result {
 	m.mc.insert(la, false)
 	stall := m.timing.MissPenalty
 	m.stats.StallCycles += uint64(stall)
-	return Result{Stall: stall}
+	return Result{Stall: stall, Served: ServedMemory}
 }
 
 func (m *MissCache) fillL1(addr uint64, write bool) {

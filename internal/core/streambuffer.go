@@ -317,7 +317,7 @@ func (sb *StreamBuffer) Access(addr uint64, write bool) Result {
 		sb.stats.StallCycles += uint64(stall)
 		sb.now += uint64(stall)
 		sb.stats.PrefetchIssued = sb.set.issued
-		return Result{AuxHit: true, Stall: stall}
+		return Result{AuxHit: true, Stall: stall, Served: ServedStream}
 	}
 
 	// Full miss: demand-fetch the line and restart a buffer after it.
@@ -331,7 +331,7 @@ func (sb *StreamBuffer) Access(addr uint64, write bool) Result {
 	sb.now += uint64(stall)
 	sb.set.allocate(la, sb.now)
 	sb.stats.PrefetchIssued = sb.set.issued
-	return Result{Stall: stall}
+	return Result{Stall: stall, Served: ServedMemory}
 }
 
 func (sb *StreamBuffer) fillL1(addr uint64, write bool) {

@@ -55,7 +55,7 @@ func (v *VictimCache) Access(addr uint64, write bool) Result {
 		v.swapIn(addr, write, dirty)
 		stall := v.timing.AuxPenalty
 		v.stats.StallCycles += uint64(stall)
-		return Result{AuxHit: true, Stall: stall}
+		return Result{AuxHit: true, Stall: stall, Served: ServedVictim}
 	}
 
 	// Full miss: fetch the line into L1 only; the L1 victim drops into
@@ -67,7 +67,7 @@ func (v *VictimCache) Access(addr uint64, write bool) Result {
 	v.swapIn(addr, write, false)
 	stall := v.timing.MissPenalty
 	v.stats.StallCycles += uint64(stall)
-	return Result{Stall: stall}
+	return Result{Stall: stall, Served: ServedMemory}
 }
 
 // swapIn installs addr's line in L1 (carrying wasDirty from a swapped

@@ -17,6 +17,7 @@ import (
 	"jouppi/internal/classify"
 	"jouppi/internal/core"
 	"jouppi/internal/memtrace"
+	"jouppi/internal/telemetry"
 	"jouppi/internal/textplot"
 	"jouppi/internal/workload"
 )
@@ -28,6 +29,13 @@ type Config struct {
 	Scale float64
 	// Traces supplies the benchmark traces; NewTraceSet(Scale) if nil.
 	Traces *TraceSet
+
+	// Accesses, when non-nil, is bumped by the number of trace references
+	// each replay loop consumed (added in bulk at end of replay, so
+	// parallel sweep workers do not contend per access). It is what a
+	// live progress display watches. RunAll wires it automatically when
+	// RunOptions.Telemetry is set.
+	Accesses *telemetry.Counter
 
 	// ctx carries the run's cancellation signal into the shared exhibit
 	// helpers (replay loops and parameter sweeps poll it). It lives in
@@ -223,11 +231,14 @@ func l1Config(size, lineSize int) cache.Config {
 // the cancellation, which RunAll never does.
 func runFront(cfg Config, src memtrace.Source, s side, mk func() core.FrontEnd) core.Stats {
 	fe := mk()
+	var replayed uint64
 	_ = memtrace.EachContext(cfg.context(), src, func(a memtrace.Access) {
 		if s.keep(a) {
 			fe.Access(uint64(a.Addr), a.Kind == memtrace.Store)
+			replayed++
 		}
 	})
+	cfg.Accesses.Add(replayed)
 	return fe.Stats()
 }
 
@@ -255,6 +266,7 @@ func runBaselineClassified(cfg Config, src memtrace.Source, s side, size, lineSi
 		}
 	})
 	out.classes = cl.Counts()
+	cfg.Accesses.Add(out.accesses)
 	return out
 }
 

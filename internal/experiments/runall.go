@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"runtime/debug"
 	"time"
+
+	"jouppi/internal/telemetry"
 )
 
 // RunOptions controls a resilient suite run.
@@ -25,40 +27,156 @@ type RunOptions struct {
 	OnResult func(r *Result, cached bool)
 	// Experiments is the set to run, in order; nil means All().
 	Experiments []Experiment
+
+	// Retries re-runs an experiment that failed (panic, timeout) up to
+	// this many extra times before its failure is accepted. Cancellation
+	// of the run's context is never retried — the whole sweep is ending.
+	Retries int
+
+	// Telemetry, when non-nil, receives the suite's live counters (the
+	// experiments_* set and sim_replay_accesses_total) so a /metrics
+	// scrape or progress display can watch a run in flight.
+	Telemetry *telemetry.Registry
+	// Journal, when non-nil, receives one structured event per lifecycle
+	// transition (run-start, experiment-start/finish/panic/retry,
+	// run-finish), forming a machine-readable record of the run.
+	Journal *telemetry.Journal
+}
+
+// suiteTel is the counter set RunAll registers when Telemetry is set.
+type suiteTel struct {
+	completed      *telemetry.Counter
+	failed         *telemetry.Counter
+	panics         *telemetry.Counter
+	retries        *telemetry.Counter
+	checkpointHits *telemetry.Counter
+	done           *telemetry.Gauge
+	total          *telemetry.Gauge
+	queueDepth     *telemetry.Gauge
+	duration       *telemetry.Histogram
+}
+
+func newSuiteTel(reg *telemetry.Registry) *suiteTel {
+	if reg == nil {
+		return nil
+	}
+	return &suiteTel{
+		completed:      reg.Counter("experiments_completed_total", "experiments that produced a usable result"),
+		failed:         reg.Counter("experiments_failed_total", "experiments whose final outcome was a failure"),
+		panics:         reg.Counter("experiments_panics_total", "experiment runs that ended in a recovered panic"),
+		retries:        reg.Counter("experiments_retries_total", "failed experiment runs that were re-attempted"),
+		checkpointHits: reg.Counter("experiments_checkpoint_hits_total", "experiments satisfied from the checkpoint cache"),
+		done:           reg.Gauge("experiments_done", "experiments finished so far this run"),
+		total:          reg.Gauge("experiments_total", "experiments in this run"),
+		queueDepth:     reg.Gauge("experiments_queue_depth", "experiments not yet started"),
+		duration: reg.Histogram("experiments_duration_seconds",
+			"wall time of each fresh experiment run", telemetry.DefaultDurationBuckets()),
+	}
 }
 
 // RunAll runs a suite of experiments with the resilience a long sweep
 // needs: each experiment is isolated (a panic yields a failed Result and
-// the suite keeps going), optionally deadline-bounded, and the whole
-// sweep is cancellable through ctx — cancellation returns the partial
-// results gathered so far together with ctx's error.
+// the suite keeps going), optionally deadline-bounded and retried, and
+// the whole sweep is cancellable through ctx — cancellation returns the
+// partial results gathered so far together with ctx's error. With
+// opts.Telemetry and opts.Journal it additionally streams live counters
+// and a structured event log.
 func RunAll(ctx context.Context, cfg Config, opts RunOptions) ([]*Result, error) {
 	cfg = cfg.withDefaults()
 	exps := opts.Experiments
 	if exps == nil {
 		exps = All()
 	}
+	tel := newSuiteTel(opts.Telemetry)
+	if tel != nil {
+		tel.total.Set(int64(len(exps)))
+		tel.queueDepth.Set(int64(len(exps)))
+		if cfg.Accesses == nil {
+			cfg.Accesses = opts.Telemetry.Counter("sim_replay_accesses_total",
+				"trace references replayed across all experiments")
+		}
+	}
+	jnl := opts.Journal
+	jnl.Emit(telemetry.Event{Event: "run-start", Total: len(exps)})
+
 	var out []*Result
-	for _, e := range exps {
+	for seq, e := range exps {
 		if err := ctx.Err(); err != nil {
+			jnl.Emit(telemetry.Event{Event: "run-finish", Seq: len(out), Total: len(exps), Err: err.Error()})
 			return out, err
 		}
-		var res *Result
-		cached := false
-		if opts.Cached != nil {
-			if r := opts.Cached(e.ID); r != nil {
-				res, cached = r, true
+		if tel != nil {
+			tel.queueDepth.Set(int64(len(exps) - seq))
+		}
+		res, cached := runOne(ctx, e, cfg, opts, tel, seq, len(exps))
+		out = append(out, res)
+		if tel != nil {
+			tel.done.Set(int64(len(out)))
+			if res.Failed() {
+				tel.failed.Inc()
+			} else {
+				tel.completed.Inc()
+			}
+			if cached {
+				tel.checkpointHits.Inc()
 			}
 		}
-		if res == nil {
-			res = runShielded(ctx, e, cfg, opts.Timeout)
-		}
-		out = append(out, res)
 		if opts.OnResult != nil {
 			opts.OnResult(res, cached)
 		}
 	}
-	return out, ctx.Err()
+	if tel != nil {
+		tel.queueDepth.Set(0)
+	}
+	err := ctx.Err()
+	fin := telemetry.Event{Event: "run-finish", Seq: len(out), Total: len(exps)}
+	if err != nil {
+		fin.Err = err.Error()
+	}
+	jnl.Emit(fin)
+	return out, err
+}
+
+// runOne resolves a single experiment: checkpoint lookup, fresh run, and
+// retries, emitting journal events and duration/panic telemetry.
+func runOne(ctx context.Context, e Experiment, cfg Config, opts RunOptions,
+	tel *suiteTel, seq, total int) (*Result, bool) {
+	if opts.Cached != nil {
+		if r := opts.Cached(e.ID); r != nil {
+			opts.Journal.Emit(telemetry.Event{Event: "experiment-finish",
+				ID: e.ID, Title: e.Title, Seq: seq, Total: total, Cached: true, Err: r.Err})
+			return r, true
+		}
+	}
+	var res *Result
+	for attempt := 0; ; attempt++ {
+		opts.Journal.Emit(telemetry.Event{Event: "experiment-start",
+			ID: e.ID, Title: e.Title, Seq: seq, Total: total})
+		start := time.Now()
+		res = runShielded(ctx, e, cfg, opts.Timeout)
+		elapsed := time.Since(start)
+		if tel != nil {
+			tel.duration.Observe(elapsed.Seconds())
+			if res.Stack != "" {
+				tel.panics.Inc()
+			}
+		}
+		if res.Stack != "" {
+			opts.Journal.Emit(telemetry.Event{Event: "experiment-panic",
+				ID: e.ID, Title: e.Title, Seq: seq, Total: total, Err: res.Err})
+		}
+		opts.Journal.Emit(telemetry.Event{Event: "experiment-finish",
+			ID: e.ID, Title: e.Title, Seq: seq, Total: total,
+			ElapsedS: elapsed.Seconds(), Err: res.Err})
+		if !res.Failed() || attempt >= opts.Retries || ctx.Err() != nil {
+			return res, false
+		}
+		if tel != nil {
+			tel.retries.Inc()
+		}
+		opts.Journal.Emit(telemetry.Event{Event: "experiment-retry",
+			ID: e.ID, Title: e.Title, Seq: seq, Total: total, Err: res.Err})
+	}
 }
 
 // runShielded runs one experiment, converting panics, cancellation, and

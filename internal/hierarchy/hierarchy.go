@@ -156,6 +156,8 @@ type System struct {
 
 	l1iShift uint
 	l1dShift uint
+
+	tel *sysTel // live counters, nil unless AttachTelemetry was called
 }
 
 // New builds a system from cfg.
@@ -186,6 +188,13 @@ func New(cfg Config) (*System, error) {
 			s.mem.PrefetchFetches++
 		} else {
 			s.mem.DemandFetches++
+		}
+		if s.tel != nil {
+			if prefetch {
+				s.tel.memPrefetchFetches.Inc()
+			} else {
+				s.tel.memDemandFetches.Inc()
+			}
 		}
 	}
 	s.l2fe, err = buildFrontEnd(l2, l2aug, memFetch, cfg.Timing)
@@ -274,6 +283,19 @@ func (s *System) fetcher(stats *L2Stats, l1Shift uint) core.Fetcher {
 				stats.DemandMisses++
 			}
 		}
+		if s.tel != nil {
+			if prefetch {
+				s.tel.l2PrefetchAccesses.Inc()
+				if r.FullMiss() {
+					s.tel.l2PrefetchMisses.Inc()
+				}
+			} else {
+				s.tel.l2DemandAccesses.Inc()
+				if r.FullMiss() {
+					s.tel.l2DemandMisses.Inc()
+				}
+			}
+		}
 		stats.VictimHits += s.l2VictimHits() - vcBefore
 		stats.StreamHits += s.l2StreamHits() - sbBefore
 	}
@@ -287,11 +309,20 @@ func (s *System) l2StreamHits() uint64 { return s.l2fe.Stats().StreamHits }
 func (s *System) Access(a memtrace.Access) {
 	switch a.Kind {
 	case memtrace.Ifetch:
-		s.ife.Access(uint64(a.Addr), false)
+		r := s.ife.Access(uint64(a.Addr), false)
+		if s.tel != nil {
+			s.tel.i.count(r)
+		}
 	case memtrace.Load:
-		s.dfe.Access(uint64(a.Addr), false)
+		r := s.dfe.Access(uint64(a.Addr), false)
+		if s.tel != nil {
+			s.tel.d.count(r)
+		}
 	case memtrace.Store:
-		s.dfe.Access(uint64(a.Addr), true)
+		r := s.dfe.Access(uint64(a.Addr), true)
+		if s.tel != nil {
+			s.tel.d.count(r)
+		}
 	}
 }
 

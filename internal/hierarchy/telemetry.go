@@ -1,0 +1,97 @@
+package hierarchy
+
+import (
+	"jouppi/internal/cache"
+	"jouppi/internal/core"
+	"jouppi/internal/telemetry"
+)
+
+// sideTel is the per-reference counter set of one first-level side. Every
+// Access routed to that side increments accesses plus exactly one of the
+// outcome counters, attributed from Result.Served.
+type sideTel struct {
+	accesses      *telemetry.Counter
+	l1Hits        *telemetry.Counter
+	auxHits       *telemetry.Counter
+	missCacheHits *telemetry.Counter
+	victimHits    *telemetry.Counter
+	streamHits    *telemetry.Counter
+	fullMisses    *telemetry.Counter
+}
+
+func newSideTel(reg *telemetry.Registry, side string) sideTel {
+	p := "sim_" + side + "_"
+	return sideTel{
+		accesses:      reg.Counter(p+"accesses_total", side+": references routed to this side"),
+		l1Hits:        reg.Counter(p+"l1_hits_total", side+": first-level cache hits"),
+		auxHits:       reg.Counter(p+"aux_hits_total", side+": hits in any auxiliary structure"),
+		missCacheHits: reg.Counter(p+"miss_cache_hits_total", side+": miss-cache hits"),
+		victimHits:    reg.Counter(p+"victim_hits_total", side+": victim-cache hits"),
+		streamHits:    reg.Counter(p+"stream_hits_total", side+": stream-buffer hits"),
+		fullMisses:    reg.Counter(p+"full_misses_total", side+": misses served by the next level"),
+	}
+}
+
+func (t *sideTel) count(r core.Result) {
+	t.accesses.Inc()
+	switch r.Served {
+	case core.ServedL1:
+		t.l1Hits.Inc()
+	case core.ServedMissCache:
+		t.auxHits.Inc()
+		t.missCacheHits.Inc()
+	case core.ServedVictim:
+		t.auxHits.Inc()
+		t.victimHits.Inc()
+	case core.ServedStream:
+		t.auxHits.Inc()
+		t.streamHits.Inc()
+	case core.ServedMemory:
+		t.fullMisses.Inc()
+	}
+}
+
+// sysTel is the system-level counter set AttachTelemetry installs.
+type sysTel struct {
+	i, d sideTel
+
+	l2DemandAccesses   *telemetry.Counter
+	l2DemandMisses     *telemetry.Counter
+	l2PrefetchAccesses *telemetry.Counter
+	l2PrefetchMisses   *telemetry.Counter
+
+	memDemandFetches   *telemetry.Counter
+	memPrefetchFetches *telemetry.Counter
+}
+
+// AttachTelemetry registers the system's live counters in reg and starts
+// feeding them: per-side reference outcomes (sim_l1i_*, sim_l1d_*),
+// second-level traffic split demand/prefetch (sim_l2_*), main-memory
+// fetches (sim_mem_*), and the per-array cache counters
+// (sim_cache_<name>_*). A nil registry detaches. Attach before the replay
+// starts; the counters are atomic, so a /metrics scrape may read them
+// concurrently with the run, but attachment itself is not synchronized.
+func (s *System) AttachTelemetry(reg *telemetry.Registry) {
+	if reg == nil {
+		s.tel = nil
+		s.ife.Cache().Instrument(nil)
+		s.dfe.Cache().Instrument(nil)
+		s.l2.Instrument(nil)
+		return
+	}
+	s.tel = &sysTel{
+		i: newSideTel(reg, "l1i"),
+		d: newSideTel(reg, "l1d"),
+
+		l2DemandAccesses:   reg.Counter("sim_l2_demand_accesses_total", "L2: demand accesses from either first-level side"),
+		l2DemandMisses:     reg.Counter("sim_l2_demand_misses_total", "L2: demand accesses that missed everywhere"),
+		l2PrefetchAccesses: reg.Counter("sim_l2_prefetch_accesses_total", "L2: stream-buffer prefetch accesses"),
+		l2PrefetchMisses:   reg.Counter("sim_l2_prefetch_misses_total", "L2: prefetch accesses that missed everywhere"),
+
+		memDemandFetches:   reg.Counter("sim_mem_demand_fetches_total", "memory: demand line fetches below the L2"),
+		memPrefetchFetches: reg.Counter("sim_mem_prefetch_fetches_total", "memory: prefetch line fetches below the L2"),
+	}
+	s.ife.Cache().Instrument(cache.NewCounters(reg, s.cfg.L1I.Name))
+	s.dfe.Cache().Instrument(cache.NewCounters(reg, s.cfg.L1D.Name))
+	s.l2.Instrument(cache.NewCounters(reg, s.cfg.L2.Name))
+}

@@ -6,6 +6,8 @@ import (
 	"io"
 	"strconv"
 	"strings"
+
+	"jouppi/internal/telemetry"
 )
 
 // Dinero "din" text trace format interoperability. The classic dineroIII
@@ -68,6 +70,8 @@ type DineroReader struct {
 	err    error
 	done   bool
 	len    lenient
+
+	telDecoded *telemetry.Counter // live decoded-record counter, see Instrument
 }
 
 // NewDineroReader returns a streaming reader over din records in r.
@@ -150,6 +154,7 @@ func (dr *DineroReader) Next() (Access, bool) {
 			dr.err = fmt.Errorf("%s", detail)
 			return Access{}, false
 		}
+		dr.telDecoded.Inc()
 		return a, true
 	}
 	dr.done = true

@@ -6,6 +6,8 @@ import (
 	"errors"
 	"fmt"
 	"io"
+
+	"jouppi/internal/telemetry"
 )
 
 // Binary trace file format ("JTR1"):
@@ -66,6 +68,8 @@ type Reader struct {
 	err   error
 	done  bool
 	len   lenient
+
+	telDecoded *telemetry.Counter // live decoded-record counter, see Instrument
 }
 
 // NewReader parses the header and returns a streaming reader positioned at
@@ -158,6 +162,7 @@ func (r *Reader) Next() (Access, bool) {
 			return Access{}, false
 		}
 		r.read++
+		r.telDecoded.Inc()
 		return a, true
 	}
 }

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+
+	"jouppi/internal/telemetry"
 )
 
 // Degradation reports what a lenient reader dropped while decoding a
@@ -63,9 +65,10 @@ func (d *Degradation) record(reason, detail string) {
 
 // lenient carries the shared count-and-skip state of the file readers.
 type lenient struct {
-	enabled  bool
-	maxDrops uint64 // 0 = unlimited
-	report   Degradation
+	enabled    bool
+	maxDrops   uint64 // 0 = unlimited
+	report     Degradation
+	telDropped *telemetry.Counter // live drop counter (nil-safe), see Instrument
 }
 
 // drop records one malformed record. It returns an error once the drop
@@ -73,6 +76,7 @@ type lenient struct {
 // trust and the stream fails like strict mode would.
 func (l *lenient) drop(reason, detail string) error {
 	l.report.record(reason, detail)
+	l.telDropped.Inc()
 	if l.maxDrops > 0 && l.report.Dropped > l.maxDrops {
 		return fmt.Errorf("memtrace: %d malformed records exceed the lenient cap of %d (%s)",
 			l.report.Dropped, l.maxDrops, l.report.String())

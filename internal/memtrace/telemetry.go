@@ -1,0 +1,45 @@
+package memtrace
+
+import "jouppi/internal/telemetry"
+
+// This file wires the streaming readers into the telemetry layer: live
+// decoded/dropped counters a /metrics scrape can watch during a replay,
+// and PublishDegradation, which folds a finished Degradation report's
+// per-reason breakdown into a registry.
+
+// Instrument attaches live counters: decoded is incremented once per
+// record delivered by Next, dropped once per record skipped in lenient
+// mode. Either may be nil. Attach before the first Next; it returns r for
+// chaining like Lenient.
+func (r *Reader) Instrument(decoded, dropped *telemetry.Counter) *Reader {
+	r.telDecoded = decoded
+	r.len.telDropped = dropped
+	return r
+}
+
+// Instrument attaches live counters: decoded is incremented once per
+// record delivered by Next, dropped once per record skipped in lenient
+// mode. Either may be nil. Attach before the first Next; it returns dr
+// for chaining like Lenient.
+func (dr *DineroReader) Instrument(decoded, dropped *telemetry.Counter) *DineroReader {
+	dr.telDecoded = decoded
+	dr.len.telDropped = dropped
+	return dr
+}
+
+// PublishDegradation folds a finished Degradation report's per-reason
+// drop counts into reg as memtrace_dropped_reason_<reason>_total
+// counters (reason names sanitized for the exposition format). Call it
+// once, after the replay that produced d has ended; calling it again
+// with the same report would double-count. A nil registry is a no-op.
+func PublishDegradation(reg *telemetry.Registry, d Degradation) {
+	if reg == nil {
+		return
+	}
+	for reason, n := range d.Reasons {
+		reg.Counter(
+			"memtrace_dropped_reason_"+telemetry.SanitizeName(reason)+"_total",
+			"trace records dropped in lenient mode, reason: "+reason,
+		).Add(n)
+	}
+}

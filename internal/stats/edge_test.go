@@ -1,0 +1,51 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSummarizeEmpty(t *testing.T) {
+	if s := Summarize(nil); s != (Summary{}) {
+		t.Errorf("empty series should yield the zero Summary, got %+v", s)
+	}
+}
+
+func TestSummarizeSingleElement(t *testing.T) {
+	s := Summarize([]float64{4.5})
+	want := Summary{N: 1, Min: 4.5, Max: 4.5, Mean: 4.5, StdDev: 0, Sum: 4.5}
+	if s != want {
+		t.Errorf("got %+v, want %+v", s, want)
+	}
+}
+
+func TestSummarizeNaNPropagates(t *testing.T) {
+	// NaN inputs are a caller bug; the contract is that they surface
+	// loudly in the aggregate fields rather than being silently dropped.
+	s := Summarize([]float64{1, math.NaN(), 3})
+	if s.N != 3 {
+		t.Errorf("N = %d, want 3", s.N)
+	}
+	if !math.IsNaN(s.Sum) || !math.IsNaN(s.Mean) {
+		t.Errorf("NaN input should propagate to Sum and Mean, got %+v", s)
+	}
+}
+
+func TestSummarizeNegativeValues(t *testing.T) {
+	s := Summarize([]float64{-2, 0, 2})
+	if s.Min != -2 || s.Max != 2 || s.Mean != 0 || s.Sum != 0 {
+		t.Errorf("got %+v", s)
+	}
+	if math.Abs(s.StdDev-2) > 1e-12 {
+		t.Errorf("StdDev = %v, want 2", s.StdDev)
+	}
+}
+
+func TestGeoMeanEdges(t *testing.T) {
+	if g := GeoMean(nil); g != 0 {
+		t.Errorf("empty GeoMean = %v, want 0", g)
+	}
+	if g := GeoMean([]float64{7}); math.Abs(g-7) > 1e-12 {
+		t.Errorf("single-element GeoMean = %v, want 7", g)
+	}
+}

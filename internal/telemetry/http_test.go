@@ -1,0 +1,83 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func get(t *testing.T, h http.Handler, path string) (int, string) {
+	t.Helper()
+	req := httptest.NewRequest("GET", path, nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	return rec.Code, rec.Body.String()
+}
+
+func TestHandlerMetrics(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("sim_l1_hits_total", "L1 hits").Add(42)
+	reg.Gauge("experiments_queue_depth", "pending").Set(3)
+	h := Handler(reg)
+
+	code, body := get(t, h, "/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics status %d", code)
+	}
+	for _, want := range []string{"sim_l1_hits_total 42", "experiments_queue_depth 3"} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q:\n%s", want, body)
+		}
+	}
+}
+
+func TestHandlerVars(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("sim_l1_hits_total", "").Add(7)
+	code, body := get(t, Handler(reg), "/vars")
+	if code != http.StatusOK {
+		t.Fatalf("/vars status %d", code)
+	}
+	var snap map[string]float64
+	if err := json.Unmarshal([]byte(body), &snap); err != nil {
+		t.Fatalf("/vars is not JSON: %v\n%s", err, body)
+	}
+	if snap["sim_l1_hits_total"] != 7 {
+		t.Errorf("/vars snapshot = %v", snap)
+	}
+}
+
+func TestHandlerDebugEndpoints(t *testing.T) {
+	h := Handler(NewRegistry())
+	if code, body := get(t, h, "/debug/vars"); code != http.StatusOK || !strings.Contains(body, "memstats") {
+		t.Errorf("/debug/vars: status %d", code)
+	}
+	if code, body := get(t, h, "/debug/pprof/"); code != http.StatusOK || !strings.Contains(body, "goroutine") {
+		t.Errorf("/debug/pprof/: status %d", code)
+	}
+	if code, _ := get(t, h, "/debug/pprof/cmdline"); code != http.StatusOK {
+		t.Errorf("/debug/pprof/cmdline: status %d", code)
+	}
+}
+
+func TestServe(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("up_total", "").Inc()
+	srv, err := Serve("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	resp, err := http.Get("http://" + srv.Addr() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if !strings.Contains(string(body), "up_total 1") {
+		t.Errorf("live /metrics missing counter:\n%s", body)
+	}
+}

@@ -1,0 +1,108 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// Event is one line of the JSONL run journal. The schema is deliberately
+// flat — one object per line, every field optional except ts and event —
+// so shell tools (jq, grep) and dashboards can consume a journal while
+// the run is still appending to it.
+//
+// Event kinds emitted by experiments.RunAll and the jouppisim CLI:
+//
+//	run-start         a sweep began (Total experiments)
+//	experiment-start  one experiment began (ID, Title, Seq, Total)
+//	experiment-finish one experiment ended (adds ElapsedS; Err on failure;
+//	                  Cached when the result came from a checkpoint)
+//	experiment-panic  the finished experiment failed by panicking
+//	experiment-retry  a failed experiment is being re-run (RunOptions.Retries)
+//	checkpoint-saved  the checkpoint file was flushed (ID of the result)
+//	run-finish        the sweep ended (adds ElapsedS; Err if interrupted)
+type Event struct {
+	Time     time.Time `json:"ts"`
+	Event    string    `json:"event"`
+	ID       string    `json:"id,omitempty"`
+	Title    string    `json:"title,omitempty"`
+	Seq      int       `json:"seq,omitempty"`
+	Total    int       `json:"total,omitempty"`
+	ElapsedS float64   `json:"elapsed_s,omitempty"`
+	Cached   bool      `json:"cached,omitempty"`
+	Err      string    `json:"err,omitempty"`
+}
+
+// Journal appends Events to a writer as JSONL. A nil *Journal is the
+// disabled state: Emit is a no-op, so callers never need to branch.
+// Safe for concurrent use; write errors are sticky and reported by Err.
+type Journal struct {
+	mu  sync.Mutex
+	bw  *bufio.Writer
+	err error
+	now func() time.Time // test seam; time.Now when nil
+}
+
+// NewJournal starts a journal writing to w. Each Emit is flushed through
+// to w so a crash loses at most the event being written.
+func NewJournal(w io.Writer) *Journal {
+	return &Journal{bw: bufio.NewWriter(w)}
+}
+
+// Emit appends one event, stamping Time if the caller left it zero.
+func (j *Journal) Emit(e Event) {
+	if j == nil {
+		return
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.err != nil {
+		return
+	}
+	if e.Time.IsZero() {
+		if j.now != nil {
+			e.Time = j.now()
+		} else {
+			e.Time = time.Now()
+		}
+	}
+	data, err := json.Marshal(e)
+	if err != nil {
+		j.err = err
+		return
+	}
+	if _, err := j.bw.Write(append(data, '\n')); err != nil {
+		j.err = err
+		return
+	}
+	j.err = j.bw.Flush()
+}
+
+// Err returns the first write error, if any. Nil journals report nil.
+func (j *Journal) Err() error {
+	if j == nil {
+		return nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.err
+}
+
+// ReadEvents decodes a JSONL journal back into events — the round-trip
+// counterpart of Emit, used by tests and tooling.
+func ReadEvents(r io.Reader) ([]Event, error) {
+	var out []Event
+	dec := json.NewDecoder(r)
+	for {
+		var e Event
+		if err := dec.Decode(&e); err != nil {
+			if err == io.EOF {
+				return out, nil
+			}
+			return out, err
+		}
+		out = append(out, e)
+	}
+}

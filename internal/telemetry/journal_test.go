@@ -1,0 +1,77 @@
+package telemetry
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestJournalRoundTrip(t *testing.T) {
+	ts := time.Date(2026, 8, 5, 12, 0, 0, 0, time.UTC)
+	in := []Event{
+		{Event: "run-start", Total: 2},
+		{Event: "experiment-start", ID: "fig3-5", Title: "Figure 3-5", Seq: 1, Total: 2},
+		{Event: "experiment-finish", ID: "fig3-5", Seq: 1, ElapsedS: 1.25},
+		{Event: "experiment-finish", ID: "fig4-1", Seq: 2, Err: "panic: boom", Cached: false},
+		{Event: "experiment-panic", ID: "fig4-1", Err: "panic: boom"},
+		{Event: "checkpoint-saved", ID: "fig4-1"},
+		{Event: "run-finish", ElapsedS: 3.5, Err: "context canceled"},
+	}
+	var sb strings.Builder
+	j := NewJournal(&sb)
+	j.now = func() time.Time { return ts }
+	for _, e := range in {
+		j.Emit(e)
+	}
+	if err := j.Err(); err != nil {
+		t.Fatal(err)
+	}
+
+	// One JSON object per line, decodable mid-stream.
+	if got := strings.Count(strings.TrimSpace(sb.String()), "\n") + 1; got != len(in) {
+		t.Fatalf("journal has %d lines, want %d", got, len(in))
+	}
+	out, err := ReadEvents(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("round-trip produced %d events, want %d", len(out), len(in))
+	}
+	for i, e := range out {
+		want := in[i]
+		want.Time = ts
+		if e != want {
+			t.Errorf("event %d round-trip mismatch:\n got %+v\nwant %+v", i, e, want)
+		}
+	}
+}
+
+func TestJournalNilIsNoOp(t *testing.T) {
+	var j *Journal
+	j.Emit(Event{Event: "run-start"}) // must not panic
+	if j.Err() != nil {
+		t.Error("nil journal must report nil error")
+	}
+}
+
+type failWriter struct{}
+
+func (failWriter) Write([]byte) (int, error) { return 0, errors.New("disk full") }
+
+func TestJournalStickyError(t *testing.T) {
+	j := NewJournal(failWriter{})
+	j.Emit(Event{Event: "run-start"})
+	if j.Err() == nil {
+		t.Fatal("write error not surfaced")
+	}
+	j.Emit(Event{Event: "run-finish"}) // must not panic after error
+}
+
+func TestReadEventsRejectsGarbage(t *testing.T) {
+	_, err := ReadEvents(strings.NewReader("{\"event\":\"run-start\"}\nnot json\n"))
+	if err == nil {
+		t.Error("garbage line must fail decoding")
+	}
+}

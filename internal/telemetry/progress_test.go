@@ -1,0 +1,64 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestProgressLine(t *testing.T) {
+	reg := NewRegistry()
+	acc := reg.Counter("sim_replay_accesses_total", "")
+	done := reg.Gauge("experiments_done", "")
+	total := reg.Gauge("experiments_total", "")
+	total.Set(10)
+
+	var sb strings.Builder
+	p := NewProgress(&sb, acc, done, total)
+	start := p.start
+
+	// After 2s: 3 of 10 done, 4M accesses → 2 MAcc/s, ETA ~4.7s.
+	done.Set(3)
+	acc.Add(4_000_000)
+	line := p.line(start.Add(2 * time.Second))
+	for _, want := range []string{"3/10 experiments", "ETA", "2.0 MAcc/s", "4000000 accesses", "elapsed 2s"} {
+		if !strings.Contains(line, want) {
+			t.Errorf("progress line missing %q: %q", want, line)
+		}
+	}
+
+	// Rate is windowed: another second with no new accesses reads 0.
+	line = p.line(start.Add(3 * time.Second))
+	if !strings.Contains(line, "0.0 MAcc/s") {
+		t.Errorf("windowed rate not zero after idle second: %q", line)
+	}
+}
+
+func TestProgressWithoutTotals(t *testing.T) {
+	acc := NewRegistry().Counter("a_total", "")
+	p := NewProgress(&strings.Builder{}, acc, nil, nil)
+	line := p.line(p.start.Add(time.Second))
+	if strings.Contains(line, "experiments") {
+		t.Errorf("line shows experiments without gauges: %q", line)
+	}
+	if !strings.Contains(line, "accesses") {
+		t.Errorf("line missing access count: %q", line)
+	}
+}
+
+func TestProgressStartStopClearsLine(t *testing.T) {
+	var sb strings.Builder
+	p := NewProgress(&sb, nil, nil, nil)
+	p.Start(time.Millisecond)
+	time.Sleep(20 * time.Millisecond)
+	p.Stop()
+	out := sb.String()
+	if !strings.Contains(out, "\r") {
+		t.Error("progress never redrew")
+	}
+	if !strings.HasSuffix(out, "\r") {
+		t.Errorf("Stop must clear the line and park the cursor at column 0: %q", out[len(out)-10:])
+	}
+	// Stopping twice must not panic or re-clear.
+	p.Stop()
+}

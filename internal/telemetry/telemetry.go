@@ -1,0 +1,333 @@
+// Package telemetry is the simulator's observability layer: a registry of
+// named atomic counters, gauges, and fixed-bucket histograms, rendered on
+// demand as Prometheus text or a JSON snapshot, plus the JSONL run
+// journal and live progress line built on top of them.
+//
+// The design goal is a zero-overhead disabled path. Every metric type is
+// nil-receiver safe — Inc/Add/Set/Observe on a nil metric are no-ops —
+// and a nil *Registry hands out nil metrics, so instrumented code always
+// calls through unconditionally:
+//
+//	var reg *telemetry.Registry // nil: telemetry disabled
+//	hits := reg.Counter("sim_l1_hits_total", "L1 hits")
+//	hits.Inc() // no-op, one predicted branch
+//
+// When a registry is live, updates are single atomic operations, safe to
+// scrape concurrently from the /metrics endpoint while a replay runs.
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing metric. The zero value is ready to
+// use; all methods are nil-receiver safe.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v.Add(1)
+	}
+}
+
+// Add adds n.
+func (c *Counter) Add(n uint64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count (0 on a nil counter).
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a metric that can go up and down. The zero value is ready to
+// use; all methods are nil-receiver safe.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v int64) {
+	if g != nil {
+		g.v.Store(v)
+	}
+}
+
+// Add adds delta (which may be negative).
+func (g *Gauge) Add(delta int64) {
+	if g != nil {
+		g.v.Add(delta)
+	}
+}
+
+// Value returns the current value (0 on a nil gauge).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Histogram accumulates observations into fixed buckets. Buckets are
+// cumulative in the Prometheus sense: bucket i counts observations ≤
+// bounds[i], with an implicit +Inf bucket at the end. All methods are
+// nil-receiver safe.
+type Histogram struct {
+	bounds []float64
+	counts []atomic.Uint64 // len(bounds)+1; last is +Inf
+	count  atomic.Uint64
+	sum    atomic.Uint64 // float64 bits, CAS-updated
+}
+
+// DefaultDurationBuckets covers per-experiment wall times from
+// milliseconds to minutes.
+func DefaultDurationBuckets() []float64 {
+	return []float64{0.001, 0.005, 0.025, 0.1, 0.5, 1, 5, 15, 60, 300}
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	bs := append([]float64(nil), bounds...)
+	sort.Float64s(bs)
+	return &Histogram{bounds: bs, counts: make([]atomic.Uint64, len(bs)+1)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	if h == nil || math.IsNaN(v) {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations (0 on a nil histogram).
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of observations (0 on a nil histogram).
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sum.Load())
+}
+
+// Registry is a named collection of metrics. A nil *Registry is the
+// disabled state: its lookup methods return nil metrics whose updates are
+// no-ops. Registration is idempotent by name; the same name always
+// returns the same metric. Safe for concurrent use.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+	help     map[string]string
+}
+
+// NewRegistry returns an empty live registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+		help:     make(map[string]string),
+	}
+}
+
+// SanitizeName rewrites s into a valid metric name: every character
+// outside [a-zA-Z0-9_:] becomes '_', and a leading digit gains a '_'
+// prefix. Used to fold free-form labels (e.g. trace-degradation reasons)
+// into metric names.
+func SanitizeName(s string) string {
+	var sb strings.Builder
+	for i, r := range s {
+		valid := r == '_' || r == ':' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(r >= '0' && r <= '9' && i > 0)
+		if r >= '0' && r <= '9' && i == 0 {
+			sb.WriteByte('_')
+			sb.WriteRune(r)
+			continue
+		}
+		if valid {
+			sb.WriteRune(r)
+		} else {
+			sb.WriteByte('_')
+		}
+	}
+	if sb.Len() == 0 {
+		return "_"
+	}
+	return sb.String()
+}
+
+func validName(s string) bool { return s != "" && s == SanitizeName(s) }
+
+func (r *Registry) noteHelp(name, help string) {
+	if _, ok := r.help[name]; !ok {
+		r.help[name] = help
+	}
+}
+
+// Counter returns the counter registered under name, creating it if
+// needed. A nil registry returns a nil (no-op) counter. Invalid metric
+// names panic; use SanitizeName for free-form inputs.
+func (r *Registry) Counter(name, help string) *Counter {
+	if r == nil {
+		return nil
+	}
+	if !validName(name) {
+		panic(fmt.Sprintf("telemetry: invalid metric name %q", name))
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	r.noteHelp(name, help)
+	return c
+}
+
+// Gauge returns the gauge registered under name, creating it if needed.
+// A nil registry returns a nil (no-op) gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	if !validName(name) {
+		panic(fmt.Sprintf("telemetry: invalid metric name %q", name))
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	r.noteHelp(name, help)
+	return g
+}
+
+// Histogram returns the histogram registered under name, creating it with
+// the given bucket upper bounds if needed (bounds are ignored on an
+// already-registered name). A nil registry returns a nil (no-op)
+// histogram.
+func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	if !validName(name) {
+		panic(fmt.Sprintf("telemetry: invalid metric name %q", name))
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = newHistogram(bounds)
+		r.hists[name] = h
+	}
+	r.noteHelp(name, help)
+	return h
+}
+
+// Snapshot returns the current value of every counter and gauge, plus
+// histogram _count and _sum series, keyed by metric name. Nil registries
+// return an empty map.
+func (r *Registry) Snapshot() map[string]float64 {
+	out := make(map[string]float64)
+	if r == nil {
+		return out
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for name, c := range r.counters {
+		out[name] = float64(c.Value())
+	}
+	for name, g := range r.gauges {
+		out[name] = float64(g.Value())
+	}
+	for name, h := range r.hists {
+		out[name+"_count"] = float64(h.Count())
+		out[name+"_sum"] = h.Sum()
+	}
+	return out
+}
+
+// WritePrometheus renders every metric in the Prometheus text exposition
+// format, sorted by name so output is deterministic and diffable.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	names := make([]string, 0, len(r.counters)+len(r.gauges)+len(r.hists))
+	for n := range r.counters {
+		names = append(names, n)
+	}
+	for n := range r.gauges {
+		names = append(names, n)
+	}
+	for n := range r.hists {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+
+	var sb strings.Builder
+	for _, name := range names {
+		if help := r.help[name]; help != "" {
+			fmt.Fprintf(&sb, "# HELP %s %s\n", name, help)
+		}
+		switch {
+		case r.counters[name] != nil:
+			fmt.Fprintf(&sb, "# TYPE %s counter\n%s %d\n", name, name, r.counters[name].Value())
+		case r.gauges[name] != nil:
+			fmt.Fprintf(&sb, "# TYPE %s gauge\n%s %d\n", name, name, r.gauges[name].Value())
+		default:
+			h := r.hists[name]
+			fmt.Fprintf(&sb, "# TYPE %s histogram\n", name)
+			cum := uint64(0)
+			for i, b := range h.bounds {
+				cum += h.counts[i].Load()
+				fmt.Fprintf(&sb, "%s_bucket{le=%q} %d\n", name, formatBound(b), cum)
+			}
+			cum += h.counts[len(h.bounds)].Load()
+			fmt.Fprintf(&sb, "%s_bucket{le=\"+Inf\"} %d\n", name, cum)
+			fmt.Fprintf(&sb, "%s_sum %g\n", name, h.Sum())
+			fmt.Fprintf(&sb, "%s_count %d\n", name, h.Count())
+		}
+	}
+	r.mu.Unlock()
+
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+func formatBound(b float64) string { return fmt.Sprintf("%g", b) }

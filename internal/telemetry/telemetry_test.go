@@ -1,0 +1,176 @@
+package telemetry
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestNilMetricsAreNoOps(t *testing.T) {
+	var reg *Registry
+	c := reg.Counter("x_total", "")
+	g := reg.Gauge("x", "")
+	h := reg.Histogram("x_seconds", "", []float64{1})
+	if c != nil || g != nil || h != nil {
+		t.Fatal("nil registry must hand out nil metrics")
+	}
+	c.Inc()
+	c.Add(5)
+	g.Set(3)
+	g.Add(-1)
+	h.Observe(0.5)
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Sum() != 0 {
+		t.Error("nil metrics must read as zero")
+	}
+	if got := reg.Snapshot(); len(got) != 0 {
+		t.Errorf("nil registry snapshot = %v, want empty", got)
+	}
+	if err := reg.WritePrometheus(&strings.Builder{}); err != nil {
+		t.Errorf("nil registry WritePrometheus: %v", err)
+	}
+}
+
+func TestCounterGaugeHistogram(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("sim_hits_total", "hits")
+	c.Inc()
+	c.Add(9)
+	if c.Value() != 10 {
+		t.Errorf("counter = %d, want 10", c.Value())
+	}
+	if reg.Counter("sim_hits_total", "") != c {
+		t.Error("re-registration must return the same counter")
+	}
+
+	g := reg.Gauge("queue_depth", "depth")
+	g.Set(7)
+	g.Add(-3)
+	if g.Value() != 4 {
+		t.Errorf("gauge = %d, want 4", g.Value())
+	}
+
+	h := reg.Histogram("dur_seconds", "durations", []float64{1, 0.1, 10})
+	for _, v := range []float64{0.05, 0.5, 5, 50} {
+		h.Observe(v)
+	}
+	if h.Count() != 4 {
+		t.Errorf("histogram count = %d, want 4", h.Count())
+	}
+	if got, want := h.Sum(), 55.55; got != want {
+		t.Errorf("histogram sum = %v, want %v", got, want)
+	}
+}
+
+func TestWritePrometheus(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("b_total", "the b counter").Add(2)
+	reg.Gauge("a_depth", "the a gauge").Set(-5)
+	h := reg.Histogram("c_seconds", "the c histogram", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(9)
+
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# HELP a_depth the a gauge",
+		"# TYPE a_depth gauge",
+		"a_depth -5",
+		"# TYPE b_total counter",
+		"b_total 2",
+		"# TYPE c_seconds histogram",
+		`c_seconds_bucket{le="0.1"} 1`,
+		`c_seconds_bucket{le="1"} 2`,
+		`c_seconds_bucket{le="+Inf"} 3`,
+		"c_seconds_sum 9.55",
+		"c_seconds_count 3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("prometheus output missing %q:\n%s", want, out)
+		}
+	}
+	// Names must come out sorted for deterministic scrapes.
+	if strings.Index(out, "a_depth") > strings.Index(out, "b_total") {
+		t.Error("metrics not sorted by name")
+	}
+}
+
+func TestSnapshot(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("hits_total", "").Add(3)
+	reg.Gauge("depth", "").Set(2)
+	reg.Histogram("d_seconds", "", []float64{1}).Observe(0.5)
+	snap := reg.Snapshot()
+	want := map[string]float64{
+		"hits_total": 3, "depth": 2, "d_seconds_count": 1, "d_seconds_sum": 0.5,
+	}
+	for k, v := range want {
+		if snap[k] != v {
+			t.Errorf("snapshot[%q] = %v, want %v", k, snap[k], v)
+		}
+	}
+}
+
+func TestSanitizeName(t *testing.T) {
+	cases := map[string]string{
+		"bad-label":      "bad_label",
+		"address-range":  "address_range",
+		"ok_name:x9":     "ok_name:x9",
+		"9leading":       "_9leading",
+		"":               "_",
+		"with space/sep": "with_space_sep",
+	}
+	for in, want := range cases {
+		if got := SanitizeName(in); got != want {
+			t.Errorf("SanitizeName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestInvalidNamePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("invalid metric name must panic")
+		}
+	}()
+	NewRegistry().Counter("bad-name", "")
+}
+
+// TestConcurrentUpdates exercises the atomic paths under the race
+// detector: many writers against a concurrent scraper.
+func TestConcurrentUpdates(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("c_total", "")
+	g := reg.Gauge("g", "")
+	h := reg.Histogram("h_seconds", "", []float64{0.5})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(0.25)
+			}
+		}()
+	}
+	for i := 0; i < 10; i++ {
+		var sb strings.Builder
+		if err := reg.WritePrometheus(&sb); err != nil {
+			t.Fatal(err)
+		}
+		reg.Snapshot()
+	}
+	wg.Wait()
+	if c.Value() != 4000 || g.Value() != 4000 || h.Count() != 4000 {
+		t.Errorf("lost updates: counter %d gauge %d histogram %d, want 4000 each",
+			c.Value(), g.Value(), h.Count())
+	}
+	if got, want := h.Sum(), 1000.0; got != want {
+		t.Errorf("histogram sum = %v, want %v", got, want)
+	}
+}

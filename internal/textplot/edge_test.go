@@ -1,0 +1,97 @@
+package textplot
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// nan saves typing in the tables below.
+var nan = math.NaN()
+
+func TestLinesSingleElement(t *testing.T) {
+	out := Lines("one point", "x", "y", []Series{
+		{Name: "s", X: []float64{3}, Y: []float64{7}},
+	}, 20, 6)
+	if !strings.Contains(out, "*") {
+		t.Errorf("single point did not plot:\n%s", out)
+	}
+	if strings.Contains(out, "NaN") {
+		t.Errorf("unexpected NaN in output:\n%s", out)
+	}
+}
+
+func TestLinesNaNPointsSkipped(t *testing.T) {
+	out := Lines("nan points", "x", "y", []Series{
+		{Name: "s", X: []float64{0, 1, nan, 3}, Y: []float64{1, nan, 2, 4}},
+	}, 24, 6)
+	if strings.Contains(out, "NaN") {
+		t.Errorf("NaN leaked into axis labels:\n%s", out)
+	}
+	if !strings.Contains(out, "*") {
+		t.Errorf("finite points should still plot:\n%s", out)
+	}
+}
+
+func TestLinesAllNaN(t *testing.T) {
+	out := Lines("all nan", "x", "y", []Series{
+		{Name: "s", X: []float64{nan, nan}, Y: []float64{nan, nan}},
+	}, 20, 6)
+	if !strings.Contains(out, "(no data)") {
+		t.Errorf("all-NaN series should render as no data:\n%s", out)
+	}
+}
+
+func TestBarsEmpty(t *testing.T) {
+	out := Bars("empty", "%", nil, nil, 20)
+	if !strings.HasPrefix(out, "empty\n") {
+		t.Errorf("empty bars output: %q", out)
+	}
+}
+
+func TestBarsNaNAndNegative(t *testing.T) {
+	// Must not panic (int(NaN) fed to strings.Repeat) and must keep the
+	// finite bars sensible.
+	out := Bars("mixed", "", []string{"nan", "neg", "ok"}, []float64{nan, -3, 6}, 10)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("want title + 3 rows, got:\n%s", out)
+	}
+	if strings.Contains(lines[1], "#") {
+		t.Errorf("NaN row should have an empty bar: %q", lines[1])
+	}
+	if strings.Contains(lines[2], "#") {
+		t.Errorf("negative row should have an empty bar: %q", lines[2])
+	}
+	if !strings.Contains(lines[3], strings.Repeat("#", 10)) {
+		t.Errorf("finite max should fill the width: %q", lines[3])
+	}
+}
+
+func TestStackedBarsNaNSegment(t *testing.T) {
+	out := StackedBars("mixed", []string{"row"}, [][]Segment{{
+		{Name: "good", Glyph: 'g', Value: 3},
+		{Name: "bad", Glyph: 'b', Value: nan},
+		{Name: "neg", Glyph: 'n', Value: -1},
+	}}, 12)
+	if strings.Contains(out, "b") && strings.Contains(out, "|"+strings.Repeat("b", 1)) {
+		t.Errorf("NaN segment should not occupy bar width:\n%s", out)
+	}
+	if !strings.Contains(out, strings.Repeat("g", 12)) {
+		t.Errorf("the only finite positive segment should span the bar:\n%s", out)
+	}
+}
+
+func TestStackedBarsEmptyRows(t *testing.T) {
+	out := StackedBars("none", nil, nil, 12)
+	if !strings.HasPrefix(out, "none\n") || strings.Contains(out, "key:") {
+		t.Errorf("empty stacked bars output: %q", out)
+	}
+}
+
+func TestTableEmpty(t *testing.T) {
+	out := Table([]string{"a", "bb"}, nil)
+	if !strings.Contains(out, "a") || !strings.Contains(out, "--") {
+		t.Errorf("headers and separator should render without rows: %q", out)
+	}
+}

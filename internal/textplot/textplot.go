@@ -36,6 +36,12 @@ func Lines(title, xLabel, yLabel string, series []Series, width, height int) str
 	yMin, yMax := 0.0, math.Inf(-1) // y axis anchored at 0: all our figures are percentages/counts
 	for _, s := range series {
 		for i := range s.X {
+			// NaN points are unplottable; leaving them out here (and in
+			// the plot loop below) keeps them from poisoning the axis
+			// bounds via math.Min/Max.
+			if math.IsNaN(s.X[i]) || math.IsNaN(s.Y[i]) {
+				continue
+			}
 			xMin = math.Min(xMin, s.X[i])
 			xMax = math.Max(xMax, s.X[i])
 			yMax = math.Max(yMax, s.Y[i])
@@ -59,6 +65,9 @@ func Lines(title, xLabel, yLabel string, series []Series, width, height int) str
 	for si, s := range series {
 		m := markers[si%len(markers)]
 		for i := range s.X {
+			if math.IsNaN(s.X[i]) || math.IsNaN(s.Y[i]) {
+				continue
+			}
 			cx := int((s.X[i] - xMin) / (xMax - xMin) * float64(width-1))
 			cy := int((s.Y[i] - yMin) / (yMax - yMin) * float64(height-1))
 			row := height - 1 - cy
@@ -103,7 +112,9 @@ func Bars(title, unit string, labels []string, values []float64, width int) stri
 	maxVal := 0.0
 	maxLabel := 0
 	for i, v := range values {
-		maxVal = math.Max(maxVal, v)
+		if !math.IsNaN(v) {
+			maxVal = math.Max(maxVal, v)
+		}
 		if len(labels[i]) > maxLabel {
 			maxLabel = len(labels[i])
 		}
@@ -112,9 +123,15 @@ func Bars(title, unit string, labels []string, values []float64, width int) stri
 		maxVal = 1
 	}
 	for i, v := range values {
-		n := int(v / maxVal * float64(width))
-		if v > 0 && n == 0 {
-			n = 1
+		// A NaN (or negative) value renders as an empty bar with its
+		// printed value telling the story; int(NaN) would otherwise feed
+		// an implementation-defined count into strings.Repeat.
+		n := 0
+		if !math.IsNaN(v) && v > 0 {
+			n = int(v / maxVal * float64(width))
+			if n == 0 {
+				n = 1
+			}
 		}
 		fmt.Fprintf(&sb, "  %-*s |%s %.2f%s\n", maxLabel, labels[i], strings.Repeat("#", n), v, unit)
 	}
@@ -146,7 +163,9 @@ func StackedBars(title string, labels []string, rows [][]Segment, width int) str
 	for i, segs := range rows {
 		total := 0.0
 		for _, s := range segs {
-			total += s.Value
+			if !math.IsNaN(s.Value) && s.Value > 0 {
+				total += s.Value
+			}
 		}
 		if total == 0 {
 			total = 1
@@ -154,7 +173,11 @@ func StackedBars(title string, labels []string, rows [][]Segment, width int) str
 		var bar strings.Builder
 		used := 0
 		for _, s := range segs {
-			n := int(s.Value/total*float64(width) + 0.5)
+			// NaN and negative bands get zero width, mirroring Bars.
+			n := 0
+			if !math.IsNaN(s.Value) && s.Value > 0 {
+				n = int(s.Value/total*float64(width) + 0.5)
+			}
 			if used+n > width {
 				n = width - used
 			}

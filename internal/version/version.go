@@ -1,0 +1,50 @@
+// Package version derives a human-readable build identification string
+// from the information the Go toolchain embeds in every binary, so the
+// command-line tools can answer -version without a hand-maintained
+// constant or linker flags.
+package version
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+)
+
+// readBuildInfo is a test seam over debug.ReadBuildInfo.
+var readBuildInfo = debug.ReadBuildInfo
+
+// String renders the build identification for one named tool, e.g.
+//
+//	jouppisim jouppi (devel) go1.22.5 linux/amd64 vcs 7b8ecfa (modified)
+//
+// Fields that the build did not embed (module version outside a module
+// build, VCS data outside a checkout) are simply omitted.
+func String(tool string) string {
+	out := tool
+	if bi, ok := readBuildInfo(); ok {
+		if bi.Main.Path != "" {
+			out += " " + bi.Main.Path
+		}
+		if bi.Main.Version != "" {
+			out += " " + bi.Main.Version
+		}
+		var rev, modified string
+		for _, s := range bi.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				rev = s.Value
+			case "vcs.modified":
+				if s.Value == "true" {
+					modified = " (modified)"
+				}
+			}
+		}
+		if rev != "" {
+			if len(rev) > 12 {
+				rev = rev[:12]
+			}
+			out += " vcs " + rev + modified
+		}
+	}
+	return fmt.Sprintf("%s %s %s/%s", out, runtime.Version(), runtime.GOOS, runtime.GOARCH)
+}

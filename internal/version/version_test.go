@@ -1,0 +1,53 @@
+package version
+
+import (
+	"runtime"
+	"runtime/debug"
+	"strings"
+	"testing"
+)
+
+func TestStringCarriesToolAndToolchain(t *testing.T) {
+	s := String("jouppisim")
+	if !strings.HasPrefix(s, "jouppisim") {
+		t.Errorf("String = %q, want the tool name first", s)
+	}
+	for _, part := range []string{runtime.Version(), runtime.GOOS + "/" + runtime.GOARCH} {
+		if !strings.Contains(s, part) {
+			t.Errorf("String = %q, missing %q", s, part)
+		}
+	}
+}
+
+func TestStringWithFullBuildInfo(t *testing.T) {
+	orig := readBuildInfo
+	defer func() { readBuildInfo = orig }()
+	readBuildInfo = func() (*debug.BuildInfo, bool) {
+		return &debug.BuildInfo{
+			Main: debug.Module{Path: "example.com/jouppi", Version: "v1.2.3"},
+			Settings: []debug.BuildSetting{
+				{Key: "vcs.revision", Value: "0123456789abcdef0123"},
+				{Key: "vcs.modified", Value: "true"},
+			},
+		}, true
+	}
+	s := String("tracegen")
+	for _, part := range []string{"tracegen", "example.com/jouppi", "v1.2.3", "vcs 0123456789ab", "(modified)"} {
+		if !strings.Contains(s, part) {
+			t.Errorf("String = %q, missing %q", s, part)
+		}
+	}
+	if strings.Contains(s, "0123456789abcdef") {
+		t.Errorf("String = %q, revision not truncated", s)
+	}
+}
+
+func TestStringWithoutBuildInfo(t *testing.T) {
+	orig := readBuildInfo
+	defer func() { readBuildInfo = orig }()
+	readBuildInfo = func() (*debug.BuildInfo, bool) { return nil, false }
+	s := String("cachesim")
+	if !strings.HasPrefix(s, "cachesim ") {
+		t.Errorf("String = %q, want graceful fallback", s)
+	}
+}

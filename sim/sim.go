@@ -27,6 +27,7 @@ import (
 	"jouppi/internal/experiments"
 	"jouppi/internal/hierarchy"
 	"jouppi/internal/memtrace"
+	"jouppi/internal/telemetry"
 	"jouppi/internal/workload"
 )
 
@@ -291,6 +292,14 @@ func (s *System) Store(addr uint64) {
 func (s *System) Results() Results {
 	return toResults(s.sys.Results(s.instructions))
 }
+
+// AttachTelemetry registers the system's live counters (per-side
+// reference outcomes, second-level and memory traffic, per-array cache
+// activity) in reg and starts feeding them; see the Observability section
+// of the repository docs for the metric names. A nil registry detaches.
+// Attach before the replay starts; counters are atomic, so a concurrent
+// /metrics scrape during the run is safe.
+func (s *System) AttachTelemetry(reg *telemetry.Registry) { s.sys.AttachTelemetry(reg) }
 
 // Benchmarks returns the names of the paper's six workloads, in paper
 // order, plus the auxiliary workloads ("strided", "ptrchase").

@@ -1,0 +1,152 @@
+package jouppi
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+
+	"jouppi/internal/memtrace"
+	"jouppi/internal/telemetry"
+	"jouppi/internal/workload"
+	"jouppi/sim"
+)
+
+// replayImproved drives one full replay of the ccom trace through the
+// improved system, optionally with a telemetry registry attached, and
+// returns the simulation results.
+func replayImproved(tb testing.TB, tr *memtrace.Trace, reg *telemetry.Registry) sim.Results {
+	tb.Helper()
+	sys, err := sim.NewSystem(sim.ImprovedSystem())
+	if err != nil {
+		tb.Fatal(err)
+	}
+	sys.AttachTelemetry(reg)
+	tr.Each(func(a memtrace.Access) {
+		switch a.Kind {
+		case memtrace.Ifetch:
+			sys.Ifetch(uint64(a.Addr))
+		case memtrace.Load:
+			sys.Load(uint64(a.Addr))
+		case memtrace.Store:
+			sys.Store(uint64(a.Addr))
+		}
+	})
+	return sys.Results()
+}
+
+// TestTelemetryEquivalence pins the zero-overhead contract from the
+// observability layer: attaching a registry must not change any simulated
+// number. Both replays walk the same trace; the Results structs must be
+// identical field for field.
+func TestTelemetryEquivalence(t *testing.T) {
+	tr := workload.GenerateTrace(workload.MustByName("ccom"), benchScale)
+	plain := replayImproved(t, tr, nil)
+	reg := telemetry.NewRegistry()
+	instrumented := replayImproved(t, tr, reg)
+	if plain != instrumented {
+		t.Errorf("telemetry changed simulation results:\nplain:        %+v\ninstrumented: %+v",
+			plain, instrumented)
+	}
+	// Sanity: the registry actually observed the replay.
+	snap := reg.Snapshot()
+	if snap["sim_l1i_accesses_total"] == 0 || snap["sim_l1d_accesses_total"] == 0 {
+		t.Errorf("registry saw no accesses: %v", snap)
+	}
+}
+
+// BenchmarkTelemetryReplay compares the replay loop with telemetry
+// detached (the nil fast path every production sweep takes by default)
+// against the fully instrumented loop. The off case is the one the ≤2%
+// overhead budget in the design notes refers to.
+func BenchmarkTelemetryReplay(b *testing.B) {
+	tr := workload.GenerateTrace(workload.MustByName("ccom"), benchScale)
+	// The registry is shared across iterations (metric registration is
+	// idempotent by name) so the on case measures per-access increment
+	// cost, not registration.
+	bench := func(reg *telemetry.Registry) func(*testing.B) {
+		return func(b *testing.B) {
+			var total uint64
+			for i := 0; i < b.N; i++ {
+				replayImproved(b, tr, reg)
+				total += uint64(tr.Len())
+			}
+			b.ReportMetric(float64(total)/1e6/b.Elapsed().Seconds(), "MAcc/s")
+		}
+	}
+	b.Run("off", bench(nil))
+	b.Run("on", bench(telemetry.NewRegistry()))
+}
+
+// TestWriteBenchTelemetryJSON measures the off/on replay benchmarks with
+// testing.Benchmark and writes the comparison to the file named by the
+// BENCH_JSON environment variable (wired up as `make bench-json`). Without
+// the variable the test is skipped, so ordinary `go test ./...` runs stay
+// fast.
+func TestWriteBenchTelemetryJSON(t *testing.T) {
+	out := os.Getenv("BENCH_JSON")
+	if out == "" {
+		t.Skip("set BENCH_JSON=<path> to write the telemetry benchmark comparison")
+	}
+	tr := workload.GenerateTrace(workload.MustByName("ccom"), benchScale)
+	// As in BenchmarkTelemetryReplay, one registry is shared across
+	// iterations so the on case prices increments, not registration.
+	measure := func(reg *telemetry.Registry) testing.BenchmarkResult {
+		return testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				replayImproved(b, tr, reg)
+			}
+		})
+	}
+	off := measure(nil)
+	on := measure(telemetry.NewRegistry())
+
+	type entry struct {
+		NsPerOp     int64   `json:"ns_per_op"`
+		AllocsPerOp int64   `json:"allocs_per_op"`
+		BytesPerOp  int64   `json:"bytes_per_op"`
+		N           int     `json:"n"`
+		MAccPerSec  float64 `json:"macc_per_sec"`
+	}
+	mk := func(r testing.BenchmarkResult) entry {
+		e := entry{
+			NsPerOp:     r.NsPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			N:           r.N,
+		}
+		if r.T > 0 {
+			e.MAccPerSec = float64(uint64(r.N)*uint64(tr.Len())) / 1e6 / r.T.Seconds()
+		}
+		return e
+	}
+	report := struct {
+		Benchmark string  `json:"benchmark"`
+		Workload  string  `json:"workload"`
+		Scale     float64 `json:"scale"`
+		Accesses  int     `json:"accesses"`
+		Off       entry   `json:"telemetry_off"`
+		On        entry   `json:"telemetry_on"`
+		OverheadP float64 `json:"overhead_percent"`
+	}{
+		Benchmark: "TelemetryReplay",
+		Workload:  "ccom",
+		Scale:     benchScale,
+		Accesses:  tr.Len(),
+		Off:       mk(off),
+		On:        mk(on),
+	}
+	if report.Off.NsPerOp > 0 {
+		report.OverheadP = 100 * float64(report.On.NsPerOp-report.Off.NsPerOp) / float64(report.Off.NsPerOp)
+	}
+	buf, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(out, append(buf, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %s: off %d ns/op (%d allocs), on %d ns/op (%d allocs), overhead %.1f%%",
+		out, report.Off.NsPerOp, report.Off.AllocsPerOp,
+		report.On.NsPerOp, report.On.AllocsPerOp, report.OverheadP)
+}
