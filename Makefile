@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all check fmt vet build test bench bench-json fuzz
+.PHONY: all check fmt vet build test shuffle cover bench bench-json fuzz
 
 all: check
 
@@ -22,6 +22,23 @@ build:
 test:
 	$(GO) test -race ./...
 
+# shuffle reruns the whole suite in randomized test and subtest order to
+# flush out inter-test state dependence.
+shuffle:
+	$(GO) test -shuffle=on ./...
+
+# cover enforces the coverage floor on the fan-out engine: the broadcast
+# loop's cancellation, panic-relay, and backpressure paths are exactly the
+# branches a quick test run can silently stop exercising.
+FANOUT_COVER_MIN ?= 85.0
+cover:
+	$(GO) test -coverprofile=cover_fanout.out ./internal/fanout
+	@total=$$($(GO) tool cover -func=cover_fanout.out | awk '/^total:/ { sub(/%/, "", $$NF); print $$NF }'); \
+	rm -f cover_fanout.out; \
+	echo "internal/fanout coverage: $$total% (floor $(FANOUT_COVER_MIN)%)"; \
+	awk -v got="$$total" -v min="$(FANOUT_COVER_MIN)" \
+		'BEGIN { if (got+0 < min+0) { print "coverage below floor"; exit 1 } }'
+
 # fuzz gives each trace-decoder fuzz target a short budget — a smoke pass
 # that exercises the corpus plus a few seconds of mutation, not a soak.
 FUZZTIME ?= 5s
@@ -35,8 +52,11 @@ fuzz:
 bench:
 	$(GO) test . -run '^$$' -bench 'Replay|RunBenchmark|TraceGeneration' -benchtime 1x -benchmem
 
-# bench-json measures the replay loop with telemetry off vs on
-# (ns/op, allocs/op) and writes the comparison to BENCH_telemetry.json.
+# bench-json writes the measured benchmark artifacts: the replay loop with
+# telemetry off vs on (BENCH_telemetry.json) and the decode-once fan-out
+# replay vs per-configuration decoding (BENCH_fanout.json).
 BENCH_JSON_OUT ?= BENCH_telemetry.json
+BENCH_FANOUT_OUT ?= BENCH_fanout.json
 bench-json:
 	BENCH_JSON=$(BENCH_JSON_OUT) $(GO) test . -run TestWriteBenchTelemetryJSON -v
+	BENCH_FANOUT_JSON=$(BENCH_FANOUT_OUT) $(GO) test . -run TestWriteBenchFanoutJSON -v

@@ -44,6 +44,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		quasi     = fs.Bool("quasi", false, "quasi-sequential stream buffer lookup")
 		stride    = fs.Bool("stride", false, "stride-detecting stream buffers")
 		classify3 = fs.Bool("classify", false, "also report the 3C miss classification of the plain cache")
+		fanouts   = fs.String("fanout", "", "decode the trace once and replay it through multiple configurations: semicolon-separated specs, each a comma-separated key=value list over size, line, assoc, misscache, victim, ways, depth, quasi, stride (empty spec = the main-flag configuration)")
 		lenient   = fs.Bool("lenient", false, "skip malformed trace records (up to -maxdrops) and report the degradation instead of failing")
 		maxDrops  = fs.Uint64("maxdrops", 1<<20, "malformed-record cap in -lenient mode (0 = unlimited)")
 		metrics   = fs.String("metrics-addr", "", "serve /metrics, /vars and /debug/pprof on this address for the duration of the replay")
@@ -65,6 +66,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	if *missCache > 0 && (*victim > 0 || *ways > 0) {
 		fmt.Fprintln(stderr, "cachesim: -misscache cannot be combined with -victim or -ways")
+		return 2
+	}
+	if *fanouts != "" && *classify3 {
+		fmt.Fprintln(stderr, "cachesim: -classify is not supported with -fanout")
 		return 2
 	}
 
@@ -135,6 +140,19 @@ func run(args []string, stdout, stderr io.Writer) int {
 	default:
 		fmt.Fprintln(stderr, "cachesim: -side must be instr, data, or all")
 		return 2
+	}
+
+	if *fanouts != "" {
+		def := feSpec{size: *size, line: *line, assoc: *assoc,
+			missCache: *missCache, victim: *victim,
+			ways: *ways, depth: *depth, quasi: *quasi, stride: *stride}
+		var prog *telemetry.Progress
+		if *progress {
+			prog = telemetry.NewProgress(stderr, decoded, nil, nil)
+			prog.Start(200 * time.Millisecond)
+			defer prog.Stop()
+		}
+		return runFanout(stdout, stderr, *fanouts, def, src, keep, reg, srcErr, degr, *lenient)
 	}
 
 	l1cfg := cache.Config{Name: "L1", Size: *size, LineSize: *line, Assoc: *assoc}

@@ -1,0 +1,38 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// Property: under LRU replacement, a fill never evicts the line that was
+// touched most recently in its set — with at least two ways, the victim
+// is by definition older than the most recent touch.
+func TestQuickLRUVictimNeverMRU(t *testing.T) {
+	f := func(assocSel uint8, writes []bool, raw []uint16) bool {
+		assoc := 2 << (assocSel % 3) // 2, 4, or 8 ways
+		c := MustNew(Config{Name: "quick", Size: 1024, LineSize: 16,
+			Assoc: assoc, Replacement: LRU})
+		sets := uint64(1024 / 16 / assoc)
+		mru := make(map[uint64]uint64) // set index → last-touched line address
+		for i, r := range raw {
+			// A 16-bit address space over a 1KB cache forces constant
+			// conflicts, so victims are plentiful.
+			addr := uint64(r)
+			write := i < len(writes) && writes[i]
+			la := c.LineAddr(addr)
+			set := la & (sets - 1)
+			_, victim := c.Access(addr, write)
+			if victim.Valid {
+				if last, ok := mru[set]; ok && last == victim.LineAddr {
+					return false
+				}
+			}
+			mru[set] = la
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -5,6 +5,7 @@ import (
 
 	"jouppi/internal/cache"
 	"jouppi/internal/core"
+	"jouppi/internal/fanout"
 	"jouppi/internal/hierarchy"
 	"jouppi/internal/stats"
 	"jouppi/internal/textplot"
@@ -24,17 +25,19 @@ func AblationQuasi() Experiment {
 
 			type row struct{ base, head, quasi uint64 }
 			out := make([]row, len(names))
+			// One pass per benchmark: the classified baseline and both
+			// stream-buffer variants ride the same trace broadcast.
 			cfg.parallelFor(len(names), func(i int) {
-				tr := cfg.Traces.Get(names[i])
-				bc := runBaselineClassified(cfg, tr.Source(), dSide, 4096, 16)
-				mk := func(quasi bool) core.Stats {
-					return runFront(cfg, tr.Source(), dSide, func() core.FrontEnd {
-						return core.NewStreamBuffer(cache.MustNew(l1Config(4096, 16)),
-							core.StreamConfig{Ways: 4, Depth: 4, Quasi: quasi},
-							nil, core.DefaultTiming())
-					})
+				bc := newClassifiedRun(dSide, 4096, 16)
+				mk := func(quasi bool) *frontRun {
+					return newFrontRun(dSide, core.NewStreamBuffer(cache.MustNew(l1Config(4096, 16)),
+						core.StreamConfig{Ways: 4, Depth: 4, Quasi: quasi},
+						nil, core.DefaultTiming()))
 				}
-				out[i] = row{bc.misses, mk(false).FullMisses(), mk(true).FullMisses()}
+				head, quasi := mk(false), mk(true)
+				replayGroup(cfg, cfg.Traces.Source(names[i]), bc, head, quasi)
+				out[i] = row{bc.counts(cfg).misses,
+					head.stats(cfg).FullMisses(), quasi.stats(cfg).FullMisses()}
 			})
 
 			headers := []string{"program", "head-only removed", "quasi removed", "gain (pp)"}
@@ -79,21 +82,25 @@ func AblationStride() Experiment {
 				"sequential 4-way", "stride-detecting 4-way"}
 			var rows [][]string
 			for _, p := range patterns {
-				src := workload.NewSource(p.bench, cfg.Scale)
-				bc := runBaselineClassified(cfg, src, dSide, 4096, 16)
-				src.Close()
-				run := func(detect bool) float64 {
-					src := workload.NewSource(p.bench, cfg.Scale)
-					defer src.Close()
-					st := runFront(cfg, src, dSide, func() core.FrontEnd {
-						return core.NewStreamBuffer(cache.MustNew(l1Config(4096, 16)),
-							core.StreamConfig{Ways: 4, Depth: 4, DetectStride: detect},
-							nil, core.DefaultTiming())
-					})
-					return stats.PercentReduction(float64(bc.misses), float64(st.FullMisses()))
+				// Generate each pattern once; the baseline and both
+				// buffer variants consume the same streamed trace.
+				mk := func(detect bool) *frontRun {
+					return newFrontRun(dSide, core.NewStreamBuffer(cache.MustNew(l1Config(4096, 16)),
+						core.StreamConfig{Ways: 4, Depth: 4, DetectStride: detect},
+						nil, core.DefaultTiming()))
 				}
-				rows = append(rows, []string{p.label, fmt.Sprint(bc.misses),
-					fmtPct(run(false)), fmtPct(run(true))})
+				bc := newClassifiedRun(dSide, 4096, 16)
+				seq, det := mk(false), mk(true)
+				src := workload.NewSource(p.bench, cfg.Scale)
+				replayGroup(cfg, src, bc, seq, det)
+				src.Close()
+				base := bc.counts(cfg)
+				reduced := func(f *frontRun) string {
+					return fmtPct(stats.PercentReduction(float64(base.misses),
+						float64(f.stats(cfg).FullMisses())))
+				}
+				rows = append(rows, []string{p.label, fmt.Sprint(base.misses),
+					reduced(seq), reduced(det)})
 			}
 			text := textplot.Table(headers, rows) +
 				"\n(% of baseline D misses removed. Sequential streams are the paper's\n" +
@@ -118,31 +125,30 @@ func AblationL2Victim() Experiment {
 			cfg = cfg.withDefaults()
 			names := benchNames()
 
-			run := func(name string, l2Size, entries int) hierarchy.Results {
-				sysCfg := hierarchy.Config{
-					L2:              cache.Config{Name: "L2", Size: l2Size, LineSize: 128, Assoc: 1},
-					L2VictimEntries: entries,
-				}
-				return runSystem(cfg, name, sysCfg)
-			}
-
 			headers := []string{"program", "L2 size", "L2 misses (base)", "L2 misses (+8-entry VC)", "reduction"}
 			var rows [][]string
 			sizes := []int{1 << 20, 64 << 10}
-			// results indexed [bench][size][0=base,1=victim].
+			// results indexed [bench][size][0=base,1=victim]. All four
+			// systems of a benchmark share one trace pass.
 			results := make([][][2]hierarchy.Results, len(names))
 			for i := range results {
 				results[i] = make([][2]hierarchy.Results, len(sizes))
 			}
-			cfg.parallelFor(len(names)*len(sizes)*2, func(k int) {
-				b := k / (len(sizes) * 2)
-				s := (k / 2) % len(sizes)
-				v := k % 2
-				entries := 0
-				if v == 1 {
-					entries = 8
+			cfg.parallelFor(len(names), func(b int) {
+				var sysCfgs []hierarchy.Config
+				for _, size := range sizes {
+					for _, entries := range []int{0, 8} {
+						sysCfgs = append(sysCfgs, hierarchy.Config{
+							L2:              cache.Config{Name: "L2", Size: size, LineSize: 128, Assoc: 1},
+							L2VictimEntries: entries,
+						})
+					}
 				}
-				results[b][s][v] = run(names[b], sizes[s], entries)
+				rs := runSystemsFanout(cfg, names[b], sysCfgs)
+				for s := range sizes {
+					results[b][s][0] = rs[2*s]
+					results[b][s][1] = rs[2*s+1]
+				}
 			})
 			for b, name := range names {
 				for s, size := range sizes {
@@ -183,18 +189,25 @@ func AblationMissCmp() Experiment {
 			for i := range grid {
 				grid[i] = make([]cell, len(entries))
 			}
+			// Nine configurations per benchmark (classified baseline plus
+			// a miss and a victim cache at each entry count) ride one
+			// trace pass — the widest fan-out in the suite.
 			cfg.parallelFor(len(names), func(i int) {
-				tr := cfg.Traces.Get(names[i])
-				bc := runBaselineClassified(cfg, tr.Source(), dSide, 4096, 16)
-				base[i] = bc.misses
+				bc := newClassifiedRun(dSide, 4096, 16)
+				consumers := []fanout.Consumer{bc}
+				mcs := make([]*frontRun, len(entries))
+				vcs := make([]*frontRun, len(entries))
 				for ei, e := range entries {
-					mc := runFront(cfg, tr.Source(), dSide, func() core.FrontEnd {
-						return core.NewMissCache(cache.MustNew(l1Config(4096, 16)), e, nil, core.DefaultTiming())
-					})
-					vc := runFront(cfg, tr.Source(), dSide, func() core.FrontEnd {
-						return core.NewVictimCache(cache.MustNew(l1Config(4096, 16)), e, nil, core.DefaultTiming())
-					})
-					grid[i][ei] = cell{mc.FullMisses(), vc.FullMisses()}
+					mcs[ei] = newFrontRun(dSide,
+						core.NewMissCache(cache.MustNew(l1Config(4096, 16)), e, nil, core.DefaultTiming()))
+					vcs[ei] = newFrontRun(dSide,
+						core.NewVictimCache(cache.MustNew(l1Config(4096, 16)), e, nil, core.DefaultTiming()))
+					consumers = append(consumers, mcs[ei], vcs[ei])
+				}
+				replayGroup(cfg, cfg.Traces.Source(names[i]), consumers...)
+				base[i] = bc.counts(cfg).misses
+				for ei := range entries {
+					grid[i][ei] = cell{mcs[ei].stats(cfg).FullMisses(), vcs[ei].stats(cfg).FullMisses()}
 				}
 			})
 
@@ -243,14 +256,20 @@ func AblationReplacement() Experiment {
 			for i := range miss {
 				miss[i] = make([]float64, len(policies))
 			}
-			cfg.parallelFor(len(names)*len(policies), func(k int) {
-				b, p := k/len(policies), k%len(policies)
-				l1 := cache.MustNew(cache.Config{Size: 4096, LineSize: 16, Assoc: 4,
-					Replacement: policies[p], RandomSeed: 12345})
-				st := runFront(cfg, cfg.Traces.Source(names[b]), dSide, func() core.FrontEnd {
-					return core.NewBaseline(l1, nil, core.DefaultTiming())
-				})
-				miss[b][p] = st.MissRate()
+			// All three policies of a benchmark share one trace pass.
+			cfg.parallelFor(len(names), func(b int) {
+				runs := make([]*frontRun, len(policies))
+				consumers := make([]fanout.Consumer, len(policies))
+				for p, pol := range policies {
+					l1 := cache.MustNew(cache.Config{Size: 4096, LineSize: 16, Assoc: 4,
+						Replacement: pol, RandomSeed: 12345})
+					runs[p] = newFrontRun(dSide, core.NewBaseline(l1, nil, core.DefaultTiming()))
+					consumers[p] = runs[p]
+				}
+				replayGroup(cfg, cfg.Traces.Source(names[b]), consumers...)
+				for p := range policies {
+					miss[b][p] = runs[p].stats(cfg).MissRate()
+				}
 			})
 
 			headers := []string{"program", "LRU", "FIFO", "Random"}

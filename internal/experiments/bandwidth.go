@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 
+	"jouppi/internal/fanout"
 	"jouppi/internal/memtrace"
 	"jouppi/internal/textplot"
 )
@@ -28,11 +29,11 @@ func AblationBandwidth() Experiment {
 			cfg.parallelFor(len(names), func(i int) {
 				tr := cfg.Traces.Get(names[i])
 				var stores uint64
-				memtrace.Each(tr.Source(), func(a memtrace.Access) {
+				replayGroup(cfg, tr.Source(), fanout.Func(func(a memtrace.Access) {
 					if a.Kind == memtrace.Store {
 						stores++
 					}
-				})
+				}))
 				rates[i] = float64(stores) / float64(tr.Instructions())
 			})
 

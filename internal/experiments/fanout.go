@@ -1,0 +1,108 @@
+package experiments
+
+import (
+	"jouppi/internal/cache"
+	"jouppi/internal/classify"
+	"jouppi/internal/core"
+	"jouppi/internal/fanout"
+	"jouppi/internal/hierarchy"
+	"jouppi/internal/memtrace"
+)
+
+// This file adapts the experiment helpers to the single-pass fan-out
+// engine: sweeps that used to replay one benchmark trace once per cache
+// configuration now group the configurations for that benchmark into
+// consumers and drive them all from one trace pass. Each consumer applies
+// exactly the per-access logic of its sequential predecessor (same
+// filter, same order, one access at a time), so every simulated number is
+// bit-identical to the per-config replay — the golden figure suite and
+// the equivalence tests pin this.
+
+// frontRun replays the side-filtered stream into one FrontEnd, mirroring
+// runFront as a fanout.Consumer.
+type frontRun struct {
+	fe       core.FrontEnd
+	s        side
+	replayed uint64
+}
+
+func newFrontRun(s side, fe core.FrontEnd) *frontRun { return &frontRun{fe: fe, s: s} }
+
+func (f *frontRun) Consume(chunk []memtrace.Access) {
+	for _, a := range chunk {
+		if f.s.keep(a) {
+			f.fe.Access(uint64(a.Addr), a.Kind == memtrace.Store)
+			f.replayed++
+		}
+	}
+}
+
+// stats finalizes the run: it books the replayed access count exactly as
+// runFront does and returns the front end's statistics.
+func (f *frontRun) stats(cfg Config) core.Stats {
+	cfg.Accesses.Add(f.replayed)
+	return f.fe.Stats()
+}
+
+// classifiedRun replays the side-filtered stream into a plain L1 plus a
+// 3C classifier, mirroring runBaselineClassified as a fanout.Consumer.
+type classifiedRun struct {
+	l1  *cache.Cache
+	cl  *classify.Classifier
+	s   side
+	out baseCounts
+}
+
+func newClassifiedRun(s side, size, lineSize int) *classifiedRun {
+	return &classifiedRun{l1: cache.MustNew(l1Config(size, lineSize)),
+		cl: classify.MustNew(size, lineSize), s: s}
+}
+
+func (c *classifiedRun) Consume(chunk []memtrace.Access) {
+	for _, a := range chunk {
+		if !c.s.keep(a) {
+			continue
+		}
+		c.out.accesses++
+		hit, _ := c.l1.Access(uint64(a.Addr), a.Kind == memtrace.Store)
+		c.cl.ObserveMiss(uint64(a.Addr), !hit)
+		if !hit {
+			c.out.misses++
+		}
+	}
+}
+
+// counts finalizes the run with the same bookkeeping as
+// runBaselineClassified.
+func (c *classifiedRun) counts(cfg Config) baseCounts {
+	c.out.classes = c.cl.Counts()
+	cfg.Accesses.Add(c.out.accesses)
+	return c.out
+}
+
+// replayGroup drives one trace pass through all consumers. Cancellation
+// follows the sequential helpers' convention: the error is dropped
+// because RunAll discards partial results once the context is cancelled.
+// A consumer panic re-panics (as *fanout.ConsumerPanic) and is relayed by
+// parallelFor / runShielded like any other worker panic.
+func replayGroup(cfg Config, src memtrace.Source, consumers ...fanout.Consumer) {
+	_ = fanout.Replay(cfg.context(), src, consumers...)
+}
+
+// runSystemsFanout replays one benchmark trace through every system
+// configuration in a single pass and returns their results in order.
+func runSystemsFanout(cfg Config, name string, sysCfgs []hierarchy.Config) []hierarchy.Results {
+	tr := cfg.Traces.Get(name)
+	systems := make([]*hierarchy.System, len(sysCfgs))
+	consumers := make([]fanout.Consumer, len(sysCfgs))
+	for i, sc := range sysCfgs {
+		systems[i] = hierarchy.MustNew(sc)
+		consumers[i] = fanout.Sink(systems[i])
+	}
+	replayGroup(cfg, tr.Source(), consumers...)
+	out := make([]hierarchy.Results, len(systems))
+	for i, sys := range systems {
+		out[i] = sys.Results(tr.Instructions())
+	}
+	return out
+}

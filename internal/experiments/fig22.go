@@ -9,13 +9,12 @@ import (
 )
 
 // runSystem replays a benchmark through a full two-level system and
-// returns the results. Cancellation of cfg's context stops the replay
-// early; RunAll discards the partial results it would yield.
+// returns the results. It is the one-config case of runSystemsFanout
+// (the engine runs it inline, no goroutines). Cancellation of cfg's
+// context stops the replay early; RunAll discards the partial results it
+// would yield.
 func runSystem(cfg Config, name string, sysCfg hierarchy.Config) hierarchy.Results {
-	tr := cfg.Traces.Get(name)
-	sys := hierarchy.MustNew(sysCfg)
-	_ = sys.RunSourceContext(cfg.context(), tr.Source())
-	return sys.Results(tr.Instructions())
+	return runSystemsFanout(cfg, name, []hierarchy.Config{sysCfg})[0]
 }
 
 // bandsRows renders per-benchmark performance bands as stacked bars.
@@ -56,13 +55,32 @@ func Fig22() Experiment {
 				rows = append(rows, []string{name, fmtPct(b.Net), fmtPct(b.L1I),
 					fmtPct(b.L1D), fmtPct(b.L2)})
 			}
+			// Full-precision per-benchmark bands (X is the benchmark index in
+			// paper order), so downstream consumers — including the golden
+			// snapshot suite — see the exact simulated numbers, not the
+			// one-decimal renderings in Rows.
+			xs := make([]float64, len(names))
+			band := func(pick func(perfmodel.Bands) float64) []float64 {
+				ys := make([]float64, len(bands))
+				for i, b := range bands {
+					xs[i] = float64(i)
+					ys[i] = pick(b)
+				}
+				return ys
+			}
+			series := []textplot.Series{
+				{Name: "net", X: xs, Y: band(func(b perfmodel.Bands) float64 { return b.Net })},
+				{Name: "lost L1I", X: xs, Y: band(func(b perfmodel.Bands) float64 { return b.L1I })},
+				{Name: "lost L1D", X: xs, Y: band(func(b perfmodel.Bands) float64 { return b.L1D })},
+				{Name: "lost L2", X: xs, Y: band(func(b perfmodel.Bands) float64 { return b.L2 })},
+			}
 			text := textplot.StackedBars(
 				"Percent of potential performance (= useful) and losses per benchmark",
 				names, bandsRows(bands), 60) +
 				"\n" + textplot.Table(headers, rows) +
 				fmt.Sprintf("\n(baseline: 4KB split I/D, 16B lines, penalties 24/320 instruction times)\n")
 			return &Result{ID: "fig2-2", Title: "Figure 2-2: Baseline design performance",
-				Text: text, Headers: headers, Rows: rows}
+				Text: text, Series: series, Headers: headers, Rows: rows}
 		},
 	}
 }

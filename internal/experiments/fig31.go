@@ -16,15 +16,14 @@ func Fig31() Experiment {
 			names := benchNames()
 			type pcts struct{ i, d float64 }
 			out := make([]pcts, len(names))
-			cfg.parallelFor(len(names)*2, func(k int) {
-				idx, s := k/2, side(k%2)
-				bc := runBaselineClassified(cfg, cfg.Traces.Source(names[idx]), s, 4096, 16)
-				p := stats.Percent(float64(bc.classes.Conflict), float64(bc.misses))
-				if s == iSide {
-					out[idx].i = p
-				} else {
-					out[idx].d = p
-				}
+			// One trace pass per benchmark feeds both sides' classifiers.
+			cfg.parallelFor(len(names), func(idx int) {
+				ic := newClassifiedRun(iSide, 4096, 16)
+				dc := newClassifiedRun(dSide, 4096, 16)
+				replayGroup(cfg, cfg.Traces.Source(names[idx]), ic, dc)
+				bi, bd := ic.counts(cfg), dc.counts(cfg)
+				out[idx].i = stats.Percent(float64(bi.classes.Conflict), float64(bi.misses))
+				out[idx].d = stats.Percent(float64(bd.classes.Conflict), float64(bd.misses))
 			})
 
 			headers := []string{"program", "I conflict %", "D conflict %"}
@@ -43,10 +42,20 @@ func Fig31() Experiment {
 				labels = append(labels, name+" (I)", name+" (D)")
 				vals = append(vals, out[i].i, out[i].d)
 			}
+			// Full-precision conflict percentages (X is the benchmark index
+			// in paper order) for the golden snapshot suite.
+			xs := make([]float64, len(names))
+			for i := range xs {
+				xs[i] = float64(i)
+			}
+			series := []textplot.Series{
+				{Name: "I conflict %", X: xs, Y: iVals},
+				{Name: "D conflict %", X: xs, Y: dVals},
+			}
 			text := textplot.Bars("Percent of misses due to conflicts", "%", labels, vals, 50) +
 				"\n" + textplot.Table(headers, rows)
 			return &Result{ID: "fig3-1", Title: "Figure 3-1: Conflict misses, 4KB I and D, 16B lines",
-				Text: text, Headers: headers, Rows: rows}
+				Text: text, Series: series, Headers: headers, Rows: rows}
 		},
 	}
 }

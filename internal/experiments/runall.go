@@ -6,6 +6,7 @@ import (
 	"runtime/debug"
 	"time"
 
+	"jouppi/internal/fanout"
 	"jouppi/internal/telemetry"
 )
 
@@ -213,8 +214,17 @@ func runShielded(ctx context.Context, e Experiment, cfg Config, timeout time.Dur
 // panics the stack is captured here, still inside the recovering frame.
 func failedResult(e Experiment, r any) *Result {
 	if wp, ok := r.(*workerPanic); ok {
+		r = wp.val
+		if _, isConsumer := r.(*fanout.ConsumerPanic); !isConsumer {
+			return &Result{ID: e.ID, Title: e.Title,
+				Err: fmt.Sprintf("panic: %v", wp.val), Stack: string(wp.stack)}
+		}
+	}
+	// A relayed fan-out consumer panic carries the consumer goroutine's
+	// own stack — more useful than the relaying worker's.
+	if cp, ok := r.(*fanout.ConsumerPanic); ok {
 		return &Result{ID: e.ID, Title: e.Title,
-			Err: fmt.Sprintf("panic: %v", wp.val), Stack: string(wp.stack)}
+			Err: fmt.Sprintf("panic: %v", cp), Stack: string(cp.Stack)}
 	}
 	return &Result{ID: e.ID, Title: e.Title,
 		Err: fmt.Sprintf("panic: %v", r), Stack: string(debug.Stack())}

@@ -1,0 +1,65 @@
+package sim
+
+import (
+	"context"
+	"fmt"
+	"math"
+
+	"jouppi/internal/fanout"
+	"jouppi/internal/memtrace"
+	"jouppi/internal/telemetry"
+	"jouppi/internal/workload"
+)
+
+// ReplayMany generates the named workload once and replays that single
+// trace pass through a system built from each configuration, returning
+// one Results per configuration in order. The numbers are bit-identical
+// to running RunBenchmark once per configuration — the trace production
+// cost is simply paid once instead of len(cfgs) times, which is where
+// per-config sweeps spend most of their wall-clock.
+func ReplayMany(name string, scale float64, cfgs []Config) ([]Results, error) {
+	return ReplayManyContext(context.Background(), name, scale, nil, cfgs)
+}
+
+// ReplayManyContext is ReplayMany with cooperative cancellation and
+// optional telemetry: the replay stops early with ctx's error once the
+// context is done, and a non-nil registry receives the fan-out engine's
+// broadcast metrics (fanout_chunks_total, fanout_records_total,
+// fanout_consumers, fanout_broadcast_depth, fanout_consumer_lag_*).
+func ReplayManyContext(ctx context.Context, name string, scale float64,
+	reg *telemetry.Registry, cfgs []Config) ([]Results, error) {
+	if !(scale > 0) || math.IsInf(scale, 0) {
+		return nil, fmt.Errorf("sim: scale must be a positive finite number, got %v", scale)
+	}
+	b, err := benchmark(name)
+	if err != nil {
+		return nil, err
+	}
+	systems := make([]*System, len(cfgs))
+	consumers := make([]fanout.Consumer, len(cfgs))
+	for i, cfg := range cfgs {
+		sys, err := NewSystem(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("sim: config %d: %w", i, err)
+		}
+		systems[i] = sys
+		consumers[i] = fanout.Sink(sys.sys)
+	}
+
+	// Instructions are counted once on the producer side; every consumer
+	// sees the same stream, so they all share the count.
+	src := workload.NewSource(b, scale)
+	defer src.Close()
+	counting := memtrace.NewCountingSource(src)
+	eng := fanout.New(fanout.Config{})
+	eng.AttachTelemetry(reg)
+	if err := eng.Replay(ctx, counting, consumers...); err != nil {
+		return nil, err
+	}
+	out := make([]Results, len(systems))
+	for i, sys := range systems {
+		sys.instructions = counting.Instructions()
+		out[i] = sys.Results()
+	}
+	return out, nil
+}
