@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all check fmt vet build test shuffle cover bench bench-json fuzz
+.PHONY: all check fmt vet build test shuffle cover bench bench-json bench-gate fuzz
 
 all: check
 
@@ -60,3 +60,13 @@ BENCH_FANOUT_OUT ?= BENCH_fanout.json
 bench-json:
 	BENCH_JSON=$(BENCH_JSON_OUT) $(GO) test . -run TestWriteBenchTelemetryJSON -v
 	BENCH_FANOUT_JSON=$(BENCH_FANOUT_OUT) $(GO) test . -run TestWriteBenchFanoutJSON -v
+
+# bench-gate is the benchmark regression gate: it measures the telemetry
+# off/on replay benchmarks fresh and fails if telemetry-on overhead
+# exceeds 10% or allocs/op on the file-backed replay regresses against
+# the committed BENCH_telemetry.json baseline.
+BENCH_GATE_TMP ?= bench_measured.json
+bench-gate:
+	BENCH_JSON=$(BENCH_GATE_TMP) $(GO) test . -run TestWriteBenchTelemetryJSON -v
+	$(GO) run ./cmd/benchgate -baseline BENCH_telemetry.json -measured $(BENCH_GATE_TMP)
+	@rm -f $(BENCH_GATE_TMP)

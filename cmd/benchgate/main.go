@@ -1,0 +1,130 @@
+// Command benchgate enforces the telemetry performance budget in CI. It
+// compares a freshly measured benchmark artifact (the JSON written by
+// TestWriteBenchTelemetryJSON) against the baseline committed in the
+// repository and exits non-zero when:
+//
+//   - the telemetry-on overhead of either replay arm (in-memory or
+//     file-backed) exceeds -max-overhead percent, or
+//   - allocations per op on the file-backed replay regress beyond
+//     -alloc-slack times the committed baseline — the zero-alloc decode
+//     path must stay O(1) allocations per replay, not per line.
+//
+// Run it via `make bench-gate`, which generates the fresh measurement
+// first. With no -measured flag it gates the baseline artifact against
+// itself, which still catches a committed artifact that violates the
+// overhead budget outright.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+)
+
+type entry struct {
+	NsPerOp     int64   `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	N           int     `json:"n"`
+	MAccPerSec  float64 `json:"macc_per_sec"`
+}
+
+type fileReplay struct {
+	Format    string  `json:"format"`
+	Records   int     `json:"records"`
+	Off       entry   `json:"telemetry_off"`
+	On        entry   `json:"telemetry_on"`
+	OverheadP float64 `json:"overhead_percent"`
+}
+
+type report struct {
+	Benchmark string     `json:"benchmark"`
+	Workload  string     `json:"workload"`
+	Off       entry      `json:"telemetry_off"`
+	On        entry      `json:"telemetry_on"`
+	OverheadP float64    `json:"overhead_percent"`
+	File      fileReplay `json:"file_replay"`
+}
+
+func load(path string) (report, error) {
+	var r report
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return r, err
+	}
+	if err := json.Unmarshal(buf, &r); err != nil {
+		return r, fmt.Errorf("%s: %w", path, err)
+	}
+	if r.Off.NsPerOp <= 0 || r.File.Off.NsPerOp <= 0 {
+		return r, fmt.Errorf("%s: missing or zero measurements", path)
+	}
+	return r, nil
+}
+
+func main() {
+	baselinePath := flag.String("baseline", "BENCH_telemetry.json",
+		"committed baseline artifact")
+	measuredPath := flag.String("measured", "",
+		"freshly measured artifact (defaults to gating the baseline against itself)")
+	maxOverhead := flag.Float64("max-overhead", 10,
+		"maximum telemetry-on overhead in percent, per replay arm")
+	allocSlack := flag.Float64("alloc-slack", 1.5,
+		"allowed multiple of baseline allocs/op on the file-backed replay")
+	flag.Parse()
+
+	baseline, err := load(*baselinePath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(2)
+	}
+	measured := baseline
+	if *measuredPath != "" {
+		measured, err = load(*measuredPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchgate:", err)
+			os.Exit(2)
+		}
+	}
+
+	var failures []string
+	fail := func(format string, args ...any) {
+		failures = append(failures, fmt.Sprintf(format, args...))
+	}
+
+	if measured.OverheadP > *maxOverhead {
+		fail("in-memory replay: telemetry-on overhead %.1f%% exceeds budget %.1f%% (off %d ns/op, on %d ns/op)",
+			measured.OverheadP, *maxOverhead, measured.Off.NsPerOp, measured.On.NsPerOp)
+	}
+	if measured.File.OverheadP > *maxOverhead {
+		fail("file-backed replay: telemetry-on overhead %.1f%% exceeds budget %.1f%% (off %d ns/op, on %d ns/op)",
+			measured.File.OverheadP, *maxOverhead, measured.File.Off.NsPerOp, measured.File.On.NsPerOp)
+	}
+	// Alloc regression: the decode path is zero-alloc per record, so
+	// allocs/op on a file-backed replay is a small fixed count. A growth
+	// beyond slack means someone reintroduced per-line allocation.
+	checkAllocs := func(arm string, base, got entry) {
+		if base.AllocsPerOp <= 0 {
+			return
+		}
+		limit := int64(float64(base.AllocsPerOp) * *allocSlack)
+		if got.AllocsPerOp > limit {
+			fail("file-backed replay (%s): %d allocs/op exceeds %d (baseline %d × slack %.2f)",
+				arm, got.AllocsPerOp, limit, base.AllocsPerOp, *allocSlack)
+		}
+	}
+	checkAllocs("telemetry off", baseline.File.Off, measured.File.Off)
+	checkAllocs("telemetry on", baseline.File.On, measured.File.On)
+
+	if len(failures) > 0 {
+		for _, f := range failures {
+			fmt.Fprintln(os.Stderr, "benchgate: FAIL:", f)
+		}
+		os.Exit(1)
+	}
+	fmt.Printf("benchgate: ok — in-memory overhead %.1f%%, file-backed overhead %.1f%% (budget %.1f%%); "+
+		"file-backed allocs/op off=%d on=%d (baseline %d/%d, slack %.2f)\n",
+		measured.OverheadP, measured.File.OverheadP, *maxOverhead,
+		measured.File.Off.AllocsPerOp, measured.File.On.AllocsPerOp,
+		baseline.File.Off.AllocsPerOp, baseline.File.On.AllocsPerOp, *allocSlack)
+}

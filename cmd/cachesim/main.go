@@ -183,12 +183,17 @@ func run(args []string, stdout, stderr io.Writer) int {
 		cl = classify.MustNew(*size, *line)
 	}
 
-	// Live replay counters, attributed from Result.Served. With reg nil
-	// these are all nil and tel stays nil, keeping the hot loop free of
-	// telemetry work.
+	// Live replay counters, published as deltas of the front-end's own
+	// stats at flush boundaries (every telFlushEvery kept accesses and at
+	// end of replay), so the hot loop carries no telemetry work beyond a
+	// pending-count increment. With reg nil tel stays nil and even that
+	// disappears.
 	type feTel struct {
 		accesses, l1Hits, auxHits, missCacheHits, victimHits, streamHits, fullMisses *telemetry.Counter
+		last                                                                         core.Stats
+		pending                                                                      int
 	}
+	const telFlushEvery = 4096
 	var tel *feTel
 	if reg != nil {
 		tel = &feTel{
@@ -208,6 +213,30 @@ func run(args []string, stdout, stderr io.Writer) int {
 				reg.Counter("sim_3c_conflict_misses_total", "plain-cache misses classified conflict"))
 		}
 	}
+	addDelta := func(c *telemetry.Counter, cur, last uint64) {
+		if cur != last {
+			c.Add(cur - last)
+		}
+	}
+	flushTel := func() {
+		if tel == nil {
+			return
+		}
+		cur := fe.Stats()
+		addDelta(tel.accesses, cur.Accesses, tel.last.Accesses)
+		addDelta(tel.l1Hits, cur.L1Hits, tel.last.L1Hits)
+		addDelta(tel.auxHits, cur.AuxHits, tel.last.AuxHits)
+		addDelta(tel.missCacheHits, cur.MissCacheHits, tel.last.MissCacheHits)
+		addDelta(tel.victimHits, cur.VictimHits, tel.last.VictimHits)
+		addDelta(tel.streamHits, cur.StreamHits, tel.last.StreamHits)
+		addDelta(tel.fullMisses, cur.FullMisses(), tel.last.FullMisses())
+		tel.last = cur
+		l1.FlushTelemetry()
+		if cl != nil {
+			cl.Flush()
+		}
+		tel.pending = 0
+	}
 	var prog *telemetry.Progress
 	if *progress {
 		prog = telemetry.NewProgress(stderr, decoded, nil, nil)
@@ -224,24 +253,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 			cl.ObserveMiss(uint64(a.Addr), !r.L1Hit)
 		}
 		if tel != nil {
-			tel.accesses.Inc()
-			switch r.Served {
-			case core.ServedL1:
-				tel.l1Hits.Inc()
-			case core.ServedMissCache:
-				tel.auxHits.Inc()
-				tel.missCacheHits.Inc()
-			case core.ServedVictim:
-				tel.auxHits.Inc()
-				tel.victimHits.Inc()
-			case core.ServedStream:
-				tel.auxHits.Inc()
-				tel.streamHits.Inc()
-			case core.ServedMemory:
-				tel.fullMisses.Inc()
+			tel.pending++
+			if tel.pending >= telFlushEvery {
+				flushTel()
 			}
 		}
 	})
+	flushTel()
 	if prog != nil {
 		prog.Stop()
 	}

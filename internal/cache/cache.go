@@ -174,29 +174,66 @@ func (s *Stats) Add(other Stats) {
 	s.Writes += other.Writes
 }
 
-// Counters is the optional live telemetry a Cache feeds in addition to
-// its plain Stats: the same events, but as atomic counters a /metrics
-// scrape can read while a replay is running. Individual fields may be
-// nil (their events are simply not exported).
+// Counters is the optional live telemetry of a Cache: registry counters
+// for the same events the plain Stats already count. The cache's probe
+// and fill fast paths never touch these — the Stats struct is the
+// single (non-atomic, single-writer) source of truth, and a flush
+// publishes the delta since the previous flush into the shared registry
+// counters. The owner of the replay loop (the hierarchy system, or a CLI
+// driver) flushes at chunk boundaries and at results time, so a /metrics
+// scrape lags the live run by at most one flush interval and the final
+// numbers are exact, while an instrumented replay costs exactly as much
+// as an uninstrumented one between flushes.
 type Counters struct {
-	Hits       *telemetry.Counter
-	Misses     *telemetry.Counter
-	Fills      *telemetry.Counter
-	Evictions  *telemetry.Counter
-	Writebacks *telemetry.Counter
+	hits       *telemetry.Counter
+	misses     *telemetry.Counter
+	fills      *telemetry.Counter
+	evictions  *telemetry.Counter
+	writebacks *telemetry.Counter
+	last       Stats // stats already published to the registry
 }
 
 // NewCounters registers the standard cache counter set under
-// sim_cache_<label>_* in reg. A nil registry yields all-nil (no-op)
+// sim_cache_<label>_* in reg. A nil registry yields detached (no-op)
 // counters.
 func NewCounters(reg *telemetry.Registry, label string) *Counters {
 	name := telemetry.SanitizeName(label)
 	return &Counters{
-		Hits:       reg.Counter("sim_cache_"+name+"_hits_total", "cache "+label+": probe hits"),
-		Misses:     reg.Counter("sim_cache_"+name+"_misses_total", "cache "+label+": probe misses"),
-		Fills:      reg.Counter("sim_cache_"+name+"_fills_total", "cache "+label+": lines installed"),
-		Evictions:  reg.Counter("sim_cache_"+name+"_evictions_total", "cache "+label+": valid lines displaced"),
-		Writebacks: reg.Counter("sim_cache_"+name+"_writebacks_total", "cache "+label+": dirty evictions"),
+		hits:       reg.Counter("sim_cache_"+name+"_hits_total", "cache "+label+": probe hits"),
+		misses:     reg.Counter("sim_cache_"+name+"_misses_total", "cache "+label+": probe misses"),
+		fills:      reg.Counter("sim_cache_"+name+"_fills_total", "cache "+label+": lines installed"),
+		evictions:  reg.Counter("sim_cache_"+name+"_evictions_total", "cache "+label+": valid lines displaced"),
+		writebacks: reg.Counter("sim_cache_"+name+"_writebacks_total", "cache "+label+": dirty evictions"),
+	}
+}
+
+// addDelta publishes the growth of one stat since the last flush.
+func addDelta(c *telemetry.Counter, cur, last uint64) {
+	if cur != last {
+		c.Add(cur - last)
+	}
+}
+
+// publish sends the delta between cur and the last published stats to
+// the registry and records cur as published. Nil receivers are no-ops.
+func (t *Counters) publish(cur Stats) {
+	if t == nil {
+		return
+	}
+	addDelta(t.hits, cur.Hits, t.last.Hits)
+	addDelta(t.misses, cur.Misses, t.last.Misses)
+	addDelta(t.fills, cur.Fills, t.last.Fills)
+	addDelta(t.evictions, cur.Evictions, t.last.Evictions)
+	addDelta(t.writebacks, cur.Writebacks, t.last.Writebacks)
+	t.last = cur
+}
+
+// rebase marks cur as already published without emitting anything, so a
+// freshly attached registry counts activity from attach time forward and
+// a stats reset does not underflow the deltas.
+func (t *Counters) rebase(cur Stats) {
+	if t != nil {
+		t.last = cur
 	}
 }
 
@@ -259,13 +296,32 @@ func (c *Cache) Config() Config { return c.cfg }
 // Stats returns a copy of the activity counters.
 func (c *Cache) Stats() Stats { return c.stats }
 
-// Instrument attaches live telemetry counters. The cache increments them
-// alongside its Stats; nil detaches. Attach before replay begins — the
-// counters themselves are atomic, but attachment is not synchronized.
-func (c *Cache) Instrument(tel *Counters) { c.tel = tel }
+// Instrument attaches live telemetry counters, fed by delta-publication
+// from the cache's Stats at flush time (the probe/fill hot paths carry
+// no telemetry code at all). nil detaches, publishing whatever the
+// previous attachment had not flushed yet. A freshly attached counter
+// set counts activity from attach time forward. Attachment is not
+// synchronized with a running replay; attach before replay begins.
+func (c *Cache) Instrument(tel *Counters) {
+	c.tel.publish(c.stats)
+	c.tel = tel
+	c.tel.rebase(c.stats)
+}
+
+// FlushTelemetry publishes the stats delta since the last flush to the
+// attached registry counters, if any. The hierarchy flushes its caches
+// at chunk boundaries; standalone users should flush before reading the
+// registry.
+func (c *Cache) FlushTelemetry() { c.tel.publish(c.stats) }
 
 // ResetStats zeroes the activity counters without disturbing contents.
-func (c *Cache) ResetStats() { c.stats = Stats{} }
+// Pending telemetry deltas are published first; the attached registry
+// counters keep their (monotonic) totals and resume from the reset.
+func (c *Cache) ResetStats() {
+	c.tel.publish(c.stats)
+	c.stats = Stats{}
+	c.tel.rebase(Stats{})
+}
 
 // LineAddr converts a byte address to this cache's line address.
 func (c *Cache) LineAddr(addr uint64) uint64 { return addr >> c.lineShift }
@@ -296,16 +352,10 @@ func (c *Cache) Probe(addr uint64, write bool) bool {
 				w.dirty = true
 			}
 			c.stats.Hits++
-			if c.tel != nil {
-				c.tel.Hits.Inc()
-			}
 			return true
 		}
 	}
 	c.stats.Misses++
-	if c.tel != nil {
-		c.tel.Misses.Inc()
-	}
 	return false
 }
 
@@ -356,18 +406,9 @@ func (c *Cache) Fill(addr uint64, dirty bool) Victim {
 		if out.Dirty {
 			c.stats.Writebacks++
 		}
-		if c.tel != nil {
-			c.tel.Evictions.Inc()
-			if out.Dirty {
-				c.tel.Writebacks.Inc()
-			}
-		}
 	}
 	*w = way{tag: la, used: c.tick, valid: true, dirty: dirty}
 	c.stats.Fills++
-	if c.tel != nil {
-		c.tel.Fills.Inc()
-	}
 	return out
 }
 
@@ -426,7 +467,9 @@ func (c *Cache) Reset() {
 		}
 	}
 	c.tick = 0
+	c.tel.publish(c.stats)
 	c.stats = Stats{}
+	c.tel.rebase(Stats{})
 	c.rng = c.cfg.RandomSeed | 1
 }
 

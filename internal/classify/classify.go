@@ -105,7 +105,15 @@ type Classifier struct {
 	telCompulsory *telemetry.Counter
 	telCapacity   *telemetry.Counter
 	telConflict   *telemetry.Counter
+	telLast       Counts // per-class totals already published
+	telPending    int    // ObserveMiss calls since the last telemetry flush
 }
+
+// telFlushEvery bounds how stale the live per-class counters can be: the
+// classifier's internal Counts are the only thing the classification fast
+// path updates, and their delta since the previous flush is published
+// after this many observations, and again at Counts/Flush.
+const telFlushEvery = 4096
 
 // New creates a classifier shadowing a cache of size bytes with lineSize-
 // byte lines. Both must be positive powers of two with lineSize ≤ size.
@@ -160,13 +168,35 @@ func (c *Classifier) Observe(addr uint64) Class {
 	}
 }
 
-// Instrument attaches live per-class miss counters incremented alongside
-// the internal Counts. Any counter may be nil (that class is simply not
-// exported). Attach before replay begins.
+// Instrument attaches live per-class miss counters, fed by publishing
+// the delta of the internal Counts at flush time. Any counter may be nil
+// (that class is simply not exported). Flushes happen every
+// telFlushEvery observations and at Counts/Flush, so the classification
+// fast path carries no telemetry code at all. A fresh attachment counts
+// misses from attach time forward. Attach before replay begins.
 func (c *Classifier) Instrument(compulsory, capacity, conflict *telemetry.Counter) {
+	c.Flush()
 	c.telCompulsory = compulsory
 	c.telCapacity = capacity
 	c.telConflict = conflict
+	c.telLast = c.counts
+}
+
+// addDelta publishes the growth of one class since the last flush; nil
+// counters drop their class.
+func addDelta(tc *telemetry.Counter, cur, last uint64) {
+	if tc != nil && cur != last {
+		tc.Add(cur - last)
+	}
+}
+
+// Flush publishes the per-class miss deltas since the previous flush.
+func (c *Classifier) Flush() {
+	addDelta(c.telCompulsory, c.counts.Compulsory, c.telLast.Compulsory)
+	addDelta(c.telCapacity, c.counts.Capacity, c.telLast.Capacity)
+	addDelta(c.telConflict, c.counts.Conflict, c.telLast.Conflict)
+	c.telLast = c.counts
+	c.telPending = 0
 }
 
 // ObserveMiss is Observe plus recording: it updates the classifier's
@@ -175,20 +205,20 @@ func (c *Classifier) ObserveMiss(addr uint64, missed bool) Class {
 	cl := c.Observe(addr)
 	if missed {
 		c.counts.add(cl)
-		switch cl {
-		case Compulsory:
-			c.telCompulsory.Inc()
-		case Capacity:
-			c.telCapacity.Inc()
-		default:
-			c.telConflict.Inc()
-		}
+	}
+	c.telPending++
+	if c.telPending >= telFlushEvery {
+		c.Flush()
 	}
 	return cl
 }
 
-// Counts returns the recorded per-class miss totals.
-func (c *Classifier) Counts() Counts { return c.counts }
+// Counts returns the recorded per-class miss totals, publishing any
+// buffered telemetry so registry and Counts agree.
+func (c *Classifier) Counts() Counts {
+	c.Flush()
+	return c.counts
+}
 
 // touch references la in the shadow fully-associative LRU cache,
 // installing it (with LRU eviction) on a miss. It reports whether la hit.

@@ -11,6 +11,12 @@
 // are produced once, shared read-only, and every consumer walks them in
 // order on its own cursor.
 //
+// Chunk buffers are pooled: each broadcast chunk carries a reference
+// count, the last consumer to finish returns it to a sync.Pool, and the
+// producer refills recycled buffers (bulk-decoding through
+// memtrace.ChunkSource when the source supports it). Steady-state replay
+// therefore allocates nothing per chunk regardless of trace length.
+//
 // Consumers see exactly the sequence of accesses a sequential replay
 // would deliver — same records, same order, one at a time — so results
 // are bit-identical to per-config replay (pinned by equivalence tests).
@@ -22,6 +28,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"jouppi/internal/memtrace"
 	"jouppi/internal/telemetry"
@@ -33,8 +40,9 @@ var (
 )
 
 // Consumer receives successive chunks of the trace in order. Chunks are
-// shared read-only between all consumers of a replay: a Consumer must not
-// modify or retain the slice beyond the Consume call.
+// shared read-only between all consumers of a replay and their buffers
+// are recycled once every consumer is done with them: a Consumer must
+// not modify or retain the slice beyond the Consume call.
 type Consumer interface {
 	Consume(chunk []memtrace.Access)
 }
@@ -177,46 +185,76 @@ func (e *Engine) Replay(ctx context.Context, src memtrace.Source, consumers ...C
 	return e.replayFanout(ctx, src, consumers)
 }
 
+// chunkFiller returns the bulk-fill function for src: the source's own
+// NextChunk when it implements memtrace.ChunkSource, otherwise a
+// per-record fallback with the same contract (short fill only at end of
+// stream).
+func chunkFiller(src memtrace.Source) func(dst []memtrace.Access) int {
+	if cs, ok := src.(memtrace.ChunkSource); ok {
+		return cs.NextChunk
+	}
+	return func(dst []memtrace.Access) int { return memtrace.FillChunk(src, dst) }
+}
+
 // replayInline is the single-consumer fast path: no goroutines, no
-// channels, just chunked delivery with periodic cancellation polls.
+// channels, just one reused chunk buffer filled in bulk and delivered
+// with periodic cancellation polls.
 func (e *Engine) replayInline(ctx context.Context, src memtrace.Source, c Consumer) error {
 	cfg := e.cfg.withDefaults()
-	chunk := make([]memtrace.Access, 0, cfg.ChunkSize)
+	fill := chunkFiller(src)
+	buf := make([]memtrace.Access, cfg.ChunkSize)
 	done := ctx.Done()
 	for {
-		a, ok := src.Next()
-		if ok {
-			chunk = append(chunk, a)
-		}
-		if len(chunk) == cfg.ChunkSize || (!ok && len(chunk) > 0) {
-			if done != nil {
-				select {
-				case <-done:
-					return ctx.Err()
-				default:
-				}
-			}
-			c.Consume(chunk)
-			e.countChunk(len(chunk))
-			chunk = chunk[:0]
-		}
-		if !ok {
+		n := fill(buf)
+		if n == 0 {
 			return nil
 		}
+		if done != nil {
+			select {
+			case <-done:
+				return ctx.Err()
+			default:
+			}
+		}
+		c.Consume(buf[:n])
+		e.countChunk(n)
+		if n < cfg.ChunkSize {
+			return nil // short fill: source exhausted
+		}
+	}
+}
+
+// sharedChunk is one pooled broadcast buffer. refs counts the consumers
+// still holding it; the one that decrements it to zero returns the chunk
+// to the pool for the producer to refill.
+type sharedChunk struct {
+	buf  []memtrace.Access
+	refs atomic.Int32
+}
+
+// release drops one reference, recycling the chunk when it was the last.
+func (sc *sharedChunk) release(pool *sync.Pool) {
+	if sc.refs.Add(-1) == 0 {
+		pool.Put(sc)
 	}
 }
 
 // replayFanout is the multi-consumer path. Each consumer gets a bounded
 // channel of shared read-only chunks — the channel is the consumer's
-// window of the chunk ring, its length the consumer's cursor lag. The
-// producer (the caller's goroutine) allocates a fresh chunk per
-// broadcast, so a slow consumer never observes a chunk being rewritten.
+// window of the chunk ring, its length the consumer's cursor lag. Chunk
+// buffers are reference-counted and pooled: the producer refills a
+// buffer only after the last consumer has released it, so a slow
+// consumer never observes a chunk being rewritten and steady-state
+// broadcasting allocates nothing.
 func (e *Engine) replayFanout(ctx context.Context, src memtrace.Source, consumers []Consumer) error {
 	cfg := e.cfg.withDefaults()
-	chans := make([]chan []memtrace.Access, len(consumers))
+	chans := make([]chan *sharedChunk, len(consumers))
 	for i := range chans {
-		chans[i] = make(chan []memtrace.Access, cfg.Ring)
+		chans[i] = make(chan *sharedChunk, cfg.Ring)
 	}
+	pool := &sync.Pool{New: func() any {
+		return &sharedChunk{buf: make([]memtrace.Access, cfg.ChunkSize)}
+	}}
 
 	// abort is closed by the first panicking consumer; panicOnce
 	// guards the recorded ConsumerPanic. A panicking consumer drains
@@ -228,7 +266,7 @@ func (e *Engine) replayFanout(ctx context.Context, src memtrace.Source, consumer
 	var wg sync.WaitGroup
 	wg.Add(len(consumers))
 	for i, c := range consumers {
-		go func(i int, c Consumer, ch chan []memtrace.Access) {
+		go func(i int, c Consumer, ch chan *sharedChunk) {
 			defer wg.Done()
 			defer func() {
 				if v := recover(); v != nil {
@@ -236,14 +274,17 @@ func (e *Engine) replayFanout(ctx context.Context, src memtrace.Source, consumer
 						relayed = &ConsumerPanic{Consumer: i, Val: v, Stack: stack()}
 						close(abort)
 					})
-					// Keep draining so the producer's send to this
-					// channel cannot block while it reacts to abort.
-					for range ch {
+					// Keep draining (and releasing) so the producer's
+					// send to this channel cannot block while it reacts
+					// to abort.
+					for sc := range ch {
+						sc.release(pool)
 					}
 				}
 			}()
-			for chunk := range ch {
-				c.Consume(chunk)
+			for sc := range ch {
+				c.Consume(sc.buf)
+				sc.release(pool)
 			}
 		}(i, c, chans[i])
 	}
@@ -254,7 +295,7 @@ func (e *Engine) replayFanout(ctx context.Context, src memtrace.Source, consumer
 		}
 	}
 
-	err := e.produce(ctx, src, chans, abort, cfg)
+	err := e.produce(ctx, src, chans, pool, abort, cfg)
 	closeAll()
 	wg.Wait()
 	if relayed != nil {
@@ -263,36 +304,38 @@ func (e *Engine) replayFanout(ctx context.Context, src memtrace.Source, consumer
 	return err
 }
 
-// produce reads src chunk by chunk and broadcasts each chunk to every
+// produce fills pooled chunks from src and broadcasts each to every
 // consumer channel, blocking (backpressure) when a consumer's window is
 // full. It stops on source exhaustion, context cancellation, or abort.
 func (e *Engine) produce(ctx context.Context, src memtrace.Source,
-	chans []chan []memtrace.Access, abort <-chan struct{}, cfg Config) error {
+	chans []chan *sharedChunk, pool *sync.Pool, abort <-chan struct{}, cfg Config) error {
 	done := ctx.Done()
-	chunk := make([]memtrace.Access, 0, cfg.ChunkSize)
+	fill := chunkFiller(src)
 	for {
-		a, ok := src.Next()
-		if ok {
-			chunk = append(chunk, a)
-		}
-		if len(chunk) == cfg.ChunkSize || (!ok && len(chunk) > 0) {
-			e.observeDepth(chans)
-			for _, ch := range chans {
-				select {
-				case ch <- chunk:
-				case <-abort:
-					return nil // the relayed panic carries the failure
-				case <-done:
-					return ctx.Err()
-				}
-			}
-			e.countChunk(len(chunk))
-			if ok {
-				chunk = make([]memtrace.Access, 0, cfg.ChunkSize)
-			}
-		}
-		if !ok {
+		sc := pool.Get().(*sharedChunk)
+		buf := sc.buf[:cfg.ChunkSize]
+		n := fill(buf)
+		if n == 0 {
+			pool.Put(sc)
 			return nil
+		}
+		sc.buf = buf[:n]
+		// Chunks abandoned mid-broadcast (abort/cancel) keep a positive
+		// refcount and simply fall to the garbage collector.
+		sc.refs.Store(int32(len(chans)))
+		e.observeDepth(chans)
+		for _, ch := range chans {
+			select {
+			case ch <- sc:
+			case <-abort:
+				return nil // the relayed panic carries the failure
+			case <-done:
+				return ctx.Err()
+			}
+		}
+		e.countChunk(n)
+		if n < cfg.ChunkSize {
+			return nil // short fill: source exhausted
 		}
 	}
 }
@@ -305,7 +348,7 @@ func (e *Engine) countChunk(records int) {
 
 // observeDepth records each consumer's current backlog and the maximum
 // across consumers. Skipped entirely when telemetry is detached.
-func (e *Engine) observeDepth(chans []chan []memtrace.Access) {
+func (e *Engine) observeDepth(chans []chan *sharedChunk) {
 	if e.reg == nil {
 		return
 	}

@@ -189,13 +189,6 @@ func New(cfg Config) (*System, error) {
 		} else {
 			s.mem.DemandFetches++
 		}
-		if s.tel != nil {
-			if prefetch {
-				s.tel.memPrefetchFetches.Inc()
-			} else {
-				s.tel.memDemandFetches.Inc()
-			}
-		}
 	}
 	s.l2fe, err = buildFrontEnd(l2, l2aug, memFetch, cfg.Timing)
 	if err != nil {
@@ -283,19 +276,6 @@ func (s *System) fetcher(stats *L2Stats, l1Shift uint) core.Fetcher {
 				stats.DemandMisses++
 			}
 		}
-		if s.tel != nil {
-			if prefetch {
-				s.tel.l2PrefetchAccesses.Inc()
-				if r.FullMiss() {
-					s.tel.l2PrefetchMisses.Inc()
-				}
-			} else {
-				s.tel.l2DemandAccesses.Inc()
-				if r.FullMiss() {
-					s.tel.l2DemandMisses.Inc()
-				}
-			}
-		}
 		stats.VictimHits += s.l2VictimHits() - vcBefore
 		stats.StreamHits += s.l2StreamHits() - sbBefore
 	}
@@ -305,35 +285,39 @@ func (s *System) l2VictimHits() uint64 { return s.l2fe.Stats().VictimHits }
 
 func (s *System) l2StreamHits() uint64 { return s.l2fe.Stats().StreamHits }
 
-// Access routes one trace reference.
+// Access routes one trace reference. With telemetry attached, the only
+// per-access telemetry cost is one pending-count increment; the outcome
+// counters are derived from the simulator's stats and published every
+// telFlushEvery references (and at replay/results boundaries).
 func (s *System) Access(a memtrace.Access) {
 	switch a.Kind {
 	case memtrace.Ifetch:
-		r := s.ife.Access(uint64(a.Addr), false)
-		if s.tel != nil {
-			s.tel.i.count(r)
-		}
+		s.ife.Access(uint64(a.Addr), false)
 	case memtrace.Load:
-		r := s.dfe.Access(uint64(a.Addr), false)
-		if s.tel != nil {
-			s.tel.d.count(r)
-		}
+		s.dfe.Access(uint64(a.Addr), false)
 	case memtrace.Store:
-		r := s.dfe.Access(uint64(a.Addr), true)
-		if s.tel != nil {
-			s.tel.d.count(r)
+		s.dfe.Access(uint64(a.Addr), true)
+	}
+	if s.tel != nil {
+		s.tel.pending++
+		if s.tel.pending >= telFlushEvery {
+			s.flushTel()
 		}
 	}
 }
 
 // Run replays an entire in-memory trace.
-func (s *System) Run(t *memtrace.Trace) { t.Each(s.Access) }
+func (s *System) Run(t *memtrace.Trace) {
+	t.Each(s.Access)
+	s.FlushTelemetry()
+}
 
 // RunSource pulls src dry through the system. Replay memory is O(1) in
 // stream length, so arbitrarily long traces (file readers, live workload
 // generators) can be replayed without materializing them.
 func (s *System) RunSource(src memtrace.Source) {
 	memtrace.Each(src, s.Access)
+	s.FlushTelemetry()
 }
 
 // RunSourceContext is RunSource with cooperative cancellation: the drain
@@ -341,7 +325,9 @@ func (s *System) RunSource(src memtrace.Source) {
 // so multi-hour replays of huge traces stay interruptible. A completed
 // replay returns nil.
 func (s *System) RunSourceContext(ctx context.Context, src memtrace.Source) error {
-	return memtrace.EachContext(ctx, src, s.Access)
+	err := memtrace.EachContext(ctx, src, s.Access)
+	s.FlushTelemetry()
+	return err
 }
 
 // Access also satisfies memtrace.Sink, so a *System can be the direct
@@ -364,8 +350,10 @@ func (r Results) IMissRate() float64 { return r.I.MissRate() }
 func (r Results) DMissRate() float64 { return r.D.MissRate() }
 
 // Results gathers counters after a run. instructions is the dynamic
-// instruction count of the trace (its ifetch count).
+// instruction count of the trace (its ifetch count). Buffered telemetry
+// is flushed first, so registry and Results always agree at this point.
 func (s *System) Results(instructions uint64) Results {
+	s.FlushTelemetry()
 	i, d := s.ife.Stats(), s.dfe.Stats()
 	in := perfmodel.Inputs{
 		Instructions:    instructions,

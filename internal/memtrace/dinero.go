@@ -59,26 +59,45 @@ func (t *Trace) WriteDinero(w io.Writer) (int, error) {
 	return n, bw.Flush()
 }
 
+// maxDinLine caps how long a single din line may grow before it is
+// judged malformed: 1 MiB is orders of magnitude beyond any legitimate
+// "<label> <addr>" record. Overlong lines are a fault of their own
+// ("line-too-long"), not a stream-fatal condition — lenient mode skips
+// them like any other malformed line.
+const maxDinLine = 1 << 20
+
+// telFlushEvery is the streaming readers' telemetry flush cadence in
+// records: the live decoded-record counter accumulates in a local
+// buffer (one plain increment per record) and is published at this
+// cadence and at end of stream, so a /metrics scrape lags the decode by
+// at most this many records.
+const telFlushEvery = 4096
+
 // DineroReader is a streaming Source over din-format text. Blank lines
 // are skipped; trailing fields after the address are ignored. In strict
 // mode (the default) a malformed line terminates the stream with an error
 // reported by Err, including the line number; in lenient mode (see
 // Lenient) malformed lines are counted and skipped instead.
+//
+// Well-formed lines decode on an allocation-free fast path: lines are
+// pulled straight from the buffered reader's internal window (or a
+// reusable spill buffer when they straddle a refill) and the label and
+// hex address are parsed in place. Malformed or unusual lines fall back
+// to the slow path, which allocates but classifies the fault exactly.
 type DineroReader struct {
-	sc     *bufio.Scanner
-	lineNo int
-	err    error
-	done   bool
-	len    lenient
+	br      *bufio.Reader
+	lineBuf []byte // reusable spill for lines straddling a buffer refill
+	lineNo  int
+	err     error
+	done    bool
+	len     lenient
 
-	telDecoded *telemetry.Counter // live decoded-record counter, see Instrument
+	telDecoded telemetry.LocalCounter // live decoded-record counter, see Instrument
 }
 
 // NewDineroReader returns a streaming reader over din records in r.
 func NewDineroReader(r io.Reader) *DineroReader {
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 1<<16), 1<<20)
-	return &DineroReader{sc: sc}
+	return &DineroReader{br: bufio.NewReaderSize(r, 1<<16)}
 }
 
 // Lenient switches the reader to count-and-skip mode: malformed lines are
@@ -131,40 +150,227 @@ func dinLineFault(lineNo int, line string) (reason, detail string, a Access, ok 
 	return "", "", Access{Addr: Addr(addr), Kind: kind}, true
 }
 
+// readLine returns the next line without its terminator. The returned
+// slice aliases the reader's internal buffer (or dr.lineBuf) and is only
+// valid until the next readLine call. tooLong reports a line that
+// exceeded maxDinLine; its content is discarded but the stream remains
+// positioned at the following line. eof reports a clean end of input; a
+// non-nil err is an I/O failure.
+func (dr *DineroReader) readLine() (line []byte, tooLong, eof bool, err error) {
+	dr.lineBuf = dr.lineBuf[:0]
+	for {
+		frag, e := dr.br.ReadSlice('\n')
+		switch e {
+		case nil:
+			frag = frag[:len(frag)-1] // strip '\n'
+			if len(dr.lineBuf)+len(frag) > maxDinLine {
+				return nil, true, false, nil
+			}
+			if len(dr.lineBuf) == 0 {
+				return frag, false, false, nil
+			}
+			dr.lineBuf = append(dr.lineBuf, frag...)
+			return dr.lineBuf, false, false, nil
+		case bufio.ErrBufferFull:
+			if len(dr.lineBuf)+len(frag) > maxDinLine {
+				// Discard the rest of the runaway line so the next read
+				// starts at the following record.
+				for {
+					_, e := dr.br.ReadSlice('\n')
+					if e == nil || e == io.EOF {
+						return nil, true, false, nil
+					}
+					if e != bufio.ErrBufferFull {
+						return nil, true, false, e
+					}
+				}
+			}
+			dr.lineBuf = append(dr.lineBuf, frag...)
+		case io.EOF:
+			if len(frag) == 0 && len(dr.lineBuf) == 0 {
+				return nil, false, true, nil
+			}
+			if len(dr.lineBuf)+len(frag) > maxDinLine {
+				return nil, true, false, nil
+			}
+			dr.lineBuf = append(dr.lineBuf, frag...) // final unterminated line
+			return dr.lineBuf, false, false, nil
+		default:
+			return nil, false, false, e
+		}
+	}
+}
+
+// isDinSpace reports whether c is intra-line whitespace on the fast
+// path. Exotic (non-ASCII) whitespace diverts to the slow path, which
+// applies the full Unicode rules.
+func isDinSpace(c byte) bool { return c == ' ' || c == '\t' || c == '\r' || c == '\v' || c == '\f' }
+
+// parseDinLine decodes one well-formed din line without allocating.
+// blank reports an all-whitespace line; ok reports a valid record.
+// Anything else (malformed or merely unusual) returns ok == false and is
+// re-parsed by the caller on the allocating slow path for exact fault
+// classification.
+func parseDinLine(line []byte) (a Access, blank, ok bool) {
+	i := 0
+	for i < len(line) && isDinSpace(line[i]) {
+		i++
+	}
+	if i == len(line) {
+		return Access{}, true, false
+	}
+
+	label := 0
+	start := i
+	for i < len(line) && line[i] >= '0' && line[i] <= '9' {
+		label = label*10 + int(line[i]-'0')
+		if label > dinIfetch {
+			return Access{}, false, false // unknown label (or longer digit run)
+		}
+		i++
+	}
+	if i == start || i == len(line) || !isDinSpace(line[i]) {
+		return Access{}, false, false
+	}
+	for i < len(line) && isDinSpace(line[i]) {
+		i++
+	}
+
+	var addr uint64
+	digits := 0
+	for i < len(line) {
+		c := line[i]
+		var v uint64
+		switch {
+		case c >= '0' && c <= '9':
+			v = uint64(c - '0')
+		case c >= 'a' && c <= 'f':
+			v = uint64(c-'a') + 10
+		case c >= 'A' && c <= 'F':
+			v = uint64(c-'A') + 10
+		default:
+			goto addrDone
+		}
+		if digits == 16 {
+			return Access{}, false, false // >64-bit literal (or leading zeros): slow path
+		}
+		addr = addr<<4 | v
+		digits++
+		i++
+	}
+addrDone:
+	if digits == 0 || (i < len(line) && !isDinSpace(line[i])) {
+		return Access{}, false, false
+	}
+	if Addr(addr) > MaxAddr {
+		return Access{}, false, false // address-range: slow path
+	}
+
+	var kind Kind
+	switch label {
+	case dinRead:
+		kind = Load
+	case dinWrite:
+		kind = Store
+	default:
+		kind = Ifetch
+	}
+	return Access{Addr: Addr(addr), Kind: kind}, false, true
+}
+
 // Next implements Source.
 func (dr *DineroReader) Next() (Access, bool) {
 	if dr.err != nil || dr.done {
 		return Access{}, false
 	}
-	for dr.sc.Scan() {
-		dr.lineNo++
-		line := strings.TrimSpace(dr.sc.Text())
-		if line == "" {
-			continue
+	for {
+		line, tooLong, eof, err := dr.readLine()
+		if err != nil {
+			dr.telDecoded.Flush()
+			dr.err = fmt.Errorf("memtrace: reading din trace: %w", err)
+			return Access{}, false
 		}
-		reason, detail, a, ok := dinLineFault(dr.lineNo, line)
-		if !ok {
+		if eof {
+			break
+		}
+		dr.lineNo++
+		if tooLong {
+			reason := "line-too-long"
+			detail := fmt.Sprintf("memtrace: din line %d: line exceeds %d bytes", dr.lineNo, maxDinLine)
 			if dr.len.enabled {
 				if err := dr.len.drop(reason, detail); err != nil {
+					dr.telDecoded.Flush()
 					dr.err = err
 					return Access{}, false
 				}
 				continue
 			}
+			dr.telDecoded.Flush()
 			dr.err = fmt.Errorf("%s", detail)
 			return Access{}, false
 		}
-		dr.telDecoded.Inc()
+		a, blank, ok := parseDinLine(line)
+		if blank {
+			continue
+		}
+		if !ok {
+			// Slow path: allocate and classify the fault exactly.
+			trimmed := strings.TrimSpace(string(line))
+			if trimmed == "" {
+				continue // blank under the full Unicode whitespace rules
+			}
+			reason, detail, a2, ok2 := dinLineFault(dr.lineNo, trimmed)
+			if ok2 {
+				// Valid but unusual (Unicode whitespace, redundant leading
+				// zeros, …): deliver it like any other record.
+				dr.countDecoded()
+				return a2, true
+			}
+			if dr.len.enabled {
+				if err := dr.len.drop(reason, detail); err != nil {
+					dr.telDecoded.Flush()
+					dr.err = err
+					return Access{}, false
+				}
+				continue
+			}
+			dr.telDecoded.Flush()
+			dr.err = fmt.Errorf("%s", detail)
+			return Access{}, false
+		}
+		dr.countDecoded()
 		return a, true
 	}
 	dr.done = true
-	if err := dr.sc.Err(); err != nil {
-		dr.err = fmt.Errorf("memtrace: reading din trace: %w", err)
-	}
+	dr.telDecoded.Flush()
 	return Access{}, false
 }
 
-var _ Source = (*DineroReader)(nil)
+// countDecoded buffers one decoded record into the live counter,
+// publishing at the flush cadence.
+func (dr *DineroReader) countDecoded() {
+	dr.telDecoded.Inc()
+	if dr.telDecoded.Pending() >= telFlushEvery {
+		dr.telDecoded.Flush()
+	}
+}
+
+// NextChunk implements ChunkSource: it decodes up to len(dst) records
+// into dst with direct (non-interface) Next calls.
+func (dr *DineroReader) NextChunk(dst []Access) int {
+	n := 0
+	for n < len(dst) {
+		a, ok := dr.Next()
+		if !ok {
+			break
+		}
+		dst[n] = a
+		n++
+	}
+	return n
+}
+
+var _ ChunkSource = (*DineroReader)(nil)
 
 // ReadDinero reads a complete din-format trace from r, materializing it in
 // memory. For large files prefer NewDineroReader, which streams.

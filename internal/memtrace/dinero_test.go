@@ -100,3 +100,107 @@ func TestDineroWriterStickyError(t *testing.T) {
 		t.Fatal("Close succeeded despite write failure")
 	}
 }
+
+// TestDineroLenientLineTooLong is the regression test for the
+// Scanner-limit bug: a din line longer than the maxDinLine cap used to
+// abort the whole replay with bufio.ErrTooLong even in lenient mode.
+// It must instead be counted and skipped as its own degradation reason,
+// with the surrounding records decoded intact.
+func TestDineroLenientLineTooLong(t *testing.T) {
+	var in strings.Builder
+	in.WriteString("0 1000\n")
+	in.WriteString("0 2000 ")
+	for i := 0; i < maxDinLine; i++ { // pad one line past the cap
+		in.WriteByte('x')
+	}
+	in.WriteString("\n2 3000\n")
+
+	dr := NewDineroReader(strings.NewReader(in.String())).Lenient(0)
+	var got []Access
+	Each(dr, func(a Access) { got = append(got, a) })
+	if err := dr.Err(); err != nil {
+		t.Fatalf("lenient replay failed on an overlong line: %v", err)
+	}
+	if len(got) != 2 || got[0].Addr != 0x1000 || got[1].Addr != 0x3000 {
+		t.Fatalf("records around the overlong line lost: %v", got)
+	}
+	d := dr.Degradation()
+	if d.Dropped != 1 || d.Reasons["line-too-long"] != 1 {
+		t.Errorf("degradation = %+v, want 1 line-too-long drop", d)
+	}
+	if !strings.Contains(d.First, "din line 2") {
+		t.Errorf("first-fault detail should name line 2: %q", d.First)
+	}
+}
+
+// Strict mode must still fail on an overlong line — but with an error
+// naming the line, not a bare scanner error.
+func TestDineroStrictLineTooLong(t *testing.T) {
+	var in strings.Builder
+	in.WriteString("0 1000\n1 ")
+	for i := 0; i < maxDinLine; i++ {
+		in.WriteByte('f')
+	}
+	in.WriteString("\n")
+	dr := NewDineroReader(strings.NewReader(in.String()))
+	if a, ok := dr.Next(); !ok || a.Addr != 0x1000 {
+		t.Fatalf("first record = %v, %v", a, ok)
+	}
+	if _, ok := dr.Next(); ok {
+		t.Fatal("overlong line delivered a record")
+	}
+	err := dr.Err()
+	if err == nil {
+		t.Fatal("strict mode accepted an overlong line")
+	}
+	if !strings.Contains(err.Error(), "line 2") {
+		t.Errorf("error should name the line: %v", err)
+	}
+}
+
+// The zero-alloc fast path and the allocating slow path must agree:
+// unusual-but-valid lines (Unicode whitespace, redundant leading zeros,
+// CRLF endings, no trailing newline) decode to the same records.
+func TestDineroFastSlowPathAgree(t *testing.T) {
+	in := "0 1000\r\n" + // CRLF
+		"1\t00000000000000002000\n" + // tab + redundant leading zeros
+		"2 3000\n" + // non-breaking space separator (slow path)
+		" \n" + // Unicode-whitespace-only line: skipped
+		"0 4000" // unterminated final line
+	tr, err := ReadDinero(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Access{
+		{Addr: 0x1000, Kind: Load},
+		{Addr: 0x2000, Kind: Store},
+		{Addr: 0x3000, Kind: Ifetch},
+		{Addr: 0x4000, Kind: Load},
+	}
+	if tr.Len() != len(want) {
+		t.Fatalf("decoded %d records, want %d", tr.Len(), len(want))
+	}
+	for i, w := range want {
+		if tr.At(i) != w {
+			t.Errorf("record %d = %v, want %v", i, tr.At(i), w)
+		}
+	}
+}
+
+// Lines straddling the buffered reader's 64 KiB window must reassemble
+// losslessly via the spill buffer.
+func TestDineroLineAcrossBufferBoundary(t *testing.T) {
+	var in strings.Builder
+	in.WriteString("0 1000")
+	for in.Len() < (1<<16)+8 { // push the line across the 64 KiB refill
+		in.WriteString(" pad")
+	}
+	in.WriteString("\n2 2000\n")
+	tr, err := ReadDinero(strings.NewReader(in.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 2 || tr.At(0).Addr != 0x1000 || tr.At(1).Addr != 0x2000 {
+		t.Fatalf("records = %d %v %v", tr.Len(), tr.At(0), tr.At(1))
+	}
+}

@@ -69,7 +69,7 @@ type Reader struct {
 	done  bool
 	len   lenient
 
-	telDecoded *telemetry.Counter // live decoded-record counter, see Instrument
+	telDecoded telemetry.LocalCounter // live decoded-record counter, see Instrument
 }
 
 // NewReader parses the header and returns a streaming reader positioned at
@@ -118,9 +118,13 @@ func (r *Reader) Degradation() Degradation { return r.len.report }
 func (r *Reader) Next() (Access, bool) {
 	for {
 		if r.err != nil || r.done || r.read == r.count {
+			r.telDecoded.Flush()
 			return Access{}, false
 		}
 		if len(r.buf) < 8 {
+			// Chunk boundary: publish the buffered decode counter so a
+			// concurrent scrape lags by at most one chunk.
+			r.telDecoded.Flush()
 			want := (r.count - r.read) * 8
 			if want > uint64(len(r.chunk)) {
 				want = uint64(len(r.chunk))
@@ -154,11 +158,13 @@ func (r *Reader) Next() (Access, bool) {
 				if err := r.len.drop("invalid-kind",
 					fmt.Sprintf("record %d has invalid kind %d", r.read-1, a.Kind)); err != nil {
 					r.err = err
+					r.telDecoded.Flush()
 					return Access{}, false
 				}
 				continue
 			}
 			r.err = fmt.Errorf("%w: record %d has invalid kind %d", ErrBadFormat, r.read, a.Kind)
+			r.telDecoded.Flush()
 			return Access{}, false
 		}
 		r.read++
@@ -167,7 +173,22 @@ func (r *Reader) Next() (Access, bool) {
 	}
 }
 
-var _ Source = (*Reader)(nil)
+// NextChunk implements ChunkSource: it decodes up to len(dst) records
+// into dst with direct (non-interface) Next calls.
+func (r *Reader) NextChunk(dst []Access) int {
+	n := 0
+	for n < len(dst) {
+		a, ok := r.Next()
+		if !ok {
+			break
+		}
+		dst[n] = a
+		n++
+	}
+	return n
+}
+
+var _ ChunkSource = (*Reader)(nil)
 
 // ReadTrace reads a complete trace in the binary trace format from r,
 // materializing it in memory. For large files prefer NewReader, which

@@ -28,6 +28,34 @@ type Source interface {
 	Next() (Access, bool)
 }
 
+// ChunkSource is an optional bulk-decode extension of Source: NextChunk
+// fills dst from the stream and returns how many records it delivered.
+// It returns fewer than len(dst) only when the stream is exhausted (or
+// failed — check the source's Err as usual), so 0 means end of stream.
+// Bulk consumers (the fan-out engine) fill reusable buffers through this
+// interface, skipping the per-record interface dispatch of Next and
+// keeping steady-state replay allocation-free.
+type ChunkSource interface {
+	Source
+	NextChunk(dst []Access) int
+}
+
+// FillChunk fills dst from src via plain Next calls — the fallback bulk
+// path for sources without a native NextChunk. It obeys the ChunkSource
+// contract.
+func FillChunk(src Source, dst []Access) int {
+	n := 0
+	for n < len(dst) {
+		a, ok := src.Next()
+		if !ok {
+			break
+		}
+		dst[n] = a
+		n++
+	}
+	return n
+}
+
 // Each pulls src dry, calling fn for every access in order. It is the bulk
 // consumption path shared by the simulators and analyses. A nil src
 // panics with ErrNilSource.
@@ -127,10 +155,22 @@ func (c *Cursor) Next() (Access, bool) {
 	return a, true
 }
 
+// NextChunk implements ChunkSource by unpacking records straight into
+// dst.
+func (c *Cursor) NextChunk(dst []Access) int {
+	n := 0
+	for n < len(dst) && c.i < len(c.t.recs) {
+		dst[n] = c.t.recs[c.i].unpack()
+		c.i++
+		n++
+	}
+	return n
+}
+
 // Remaining returns how many accesses the cursor has yet to deliver.
 func (c *Cursor) Remaining() int { return len(c.t.recs) - c.i }
 
-var _ Source = (*Cursor)(nil)
+var _ ChunkSource = (*Cursor)(nil)
 
 // Counts tallies accesses per kind as they stream past.
 type Counts struct {
@@ -188,4 +228,19 @@ func (cs *CountingSource) Next() (Access, bool) {
 	return a, ok
 }
 
-var _ Source = (*CountingSource)(nil)
+// NextChunk implements ChunkSource, delegating to the wrapped source's
+// bulk path when it has one and tallying every delivered record.
+func (cs *CountingSource) NextChunk(dst []Access) int {
+	var n int
+	if b, ok := cs.Src.(ChunkSource); ok {
+		n = b.NextChunk(dst)
+	} else {
+		n = FillChunk(cs.Src, dst)
+	}
+	for _, a := range dst[:n] {
+		cs.Observe(a)
+	}
+	return n
+}
+
+var _ ChunkSource = (*CountingSource)(nil)

@@ -8,21 +8,24 @@ import "jouppi/internal/telemetry"
 // per-reason breakdown into a registry.
 
 // Instrument attaches live counters: decoded is incremented once per
-// record delivered by Next, dropped once per record skipped in lenient
-// mode. Either may be nil. Attach before the first Next; it returns r for
-// chaining like Lenient.
+// record delivered by Next (buffered locally and published every
+// telFlushEvery records and at end of stream, so decoding never touches
+// an atomic), dropped once per record skipped in lenient mode. Either
+// may be nil. Attach before the first Next; it returns r for chaining
+// like Lenient.
 func (r *Reader) Instrument(decoded, dropped *telemetry.Counter) *Reader {
-	r.telDecoded = decoded
+	r.telDecoded = decoded.Local()
 	r.len.telDropped = dropped
 	return r
 }
 
 // Instrument attaches live counters: decoded is incremented once per
-// record delivered by Next, dropped once per record skipped in lenient
-// mode. Either may be nil. Attach before the first Next; it returns dr
-// for chaining like Lenient.
+// record delivered by Next (buffered locally and published every
+// telFlushEvery records and at end of stream), dropped once per record
+// skipped in lenient mode. Either may be nil. Attach before the first
+// Next; it returns dr for chaining like Lenient.
 func (dr *DineroReader) Instrument(decoded, dropped *telemetry.Counter) *DineroReader {
-	dr.telDecoded = decoded
+	dr.telDecoded = decoded.Local()
 	dr.len.telDropped = dropped
 	return dr
 }

@@ -1,0 +1,152 @@
+package telemetry
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+// mustPanic runs fn and returns the recovered panic message, failing the
+// test if fn returns normally.
+func mustPanic(t *testing.T, what string, fn func()) string {
+	t.Helper()
+	var msg string
+	func() {
+		defer func() {
+			if v := recover(); v != nil {
+				msg = v.(string)
+			}
+		}()
+		fn()
+		t.Fatalf("%s: expected panic, got none", what)
+	}()
+	return msg
+}
+
+// TestRegistryHelpMismatchPanics is the regression test for the silent
+// name-collision bug: registering an existing name with a different,
+// non-empty help string used to return the first registration without a
+// word. It must now panic, naming both help strings.
+func TestRegistryHelpMismatchPanics(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("sim_hits_total", "L1 hits")
+	msg := mustPanic(t, "help mismatch", func() {
+		reg.Counter("sim_hits_total", "L2 hits")
+	})
+	if !strings.Contains(msg, "L1 hits") || !strings.Contains(msg, "L2 hits") {
+		t.Errorf("panic message should name both helps, got %q", msg)
+	}
+}
+
+// TestRegistryEmptyHelpDefers pins the escape hatch: an empty help string
+// matches any registered help (lookups don't need to repeat the prose),
+// and a later non-empty help fills in an initially empty one.
+func TestRegistryEmptyHelpDefers(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("a_total", "the a counter")
+	if reg.Counter("a_total", "") != c {
+		t.Error("empty-help lookup must return the registered counter")
+	}
+	reg.Counter("b_total", "")
+	reg.Counter("b_total", "the b counter").Inc()
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "# HELP b_total the b counter") {
+		t.Errorf("late help should backfill an empty registration:\n%s", sb.String())
+	}
+}
+
+// TestRegistryTypeMismatchPanics: one name, two metric types. The old
+// registry kept both in separate maps and rendered whichever the type
+// switch hit first.
+func TestRegistryTypeMismatchPanics(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("queue_depth", "")
+	msg := mustPanic(t, "type mismatch", func() {
+		reg.Gauge("queue_depth", "")
+	})
+	if !strings.Contains(msg, "counter") || !strings.Contains(msg, "gauge") {
+		t.Errorf("panic message should name both types, got %q", msg)
+	}
+}
+
+// TestRegistryHistogramBoundsMismatchPanics is the regression test for
+// histogram bounds: re-registering with different buckets used to be
+// silently ignored. Matching bounds in a different order stay fine.
+func TestRegistryHistogramBoundsMismatchPanics(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("dur_seconds", "", []float64{1, 0.1, 10})
+	if reg.Histogram("dur_seconds", "", []float64{10, 1, 0.1}) != h {
+		t.Error("same bounds in a different order must be the same histogram")
+	}
+	mustPanic(t, "bounds mismatch", func() {
+		reg.Histogram("dur_seconds", "", []float64{1, 2, 3})
+	})
+}
+
+// TestLocalCounterFlush pins the buffered-counter contract: increments
+// stay local until Flush, Flush publishes exactly once, and detached
+// locals never crash.
+func TestLocalCounterFlush(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("x_total", "")
+	l := c.Local()
+	l.Inc()
+	l.Add(4)
+	if c.Value() != 0 {
+		t.Errorf("unflushed local leaked into shared counter: %d", c.Value())
+	}
+	if l.Pending() != 5 {
+		t.Errorf("pending = %d, want 5", l.Pending())
+	}
+	l.Flush()
+	l.Flush() // second flush must not double-count
+	if c.Value() != 5 {
+		t.Errorf("after flush counter = %d, want 5", c.Value())
+	}
+
+	var detached LocalCounter
+	detached.Inc()
+	detached.Flush()
+	var nilParent *Counter
+	nl := nilParent.Local()
+	nl.Add(7)
+	nl.Flush() // drops the delta; must not panic
+}
+
+// TestShardedCounterConcurrentSum hammers one counter from many
+// goroutines while a reader aggregates, pinning that striping loses no
+// updates and Value converges to the exact total.
+func TestShardedCounterConcurrentSum(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("c_total", "")
+	const writers, per = 8, 10000
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				c.Value() // concurrent aggregation must be race-free
+			}
+		}
+	}()
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	if got := c.Value(); got != writers*per {
+		t.Errorf("counter = %d, want %d", got, writers*per)
+	}
+}

@@ -1,10 +1,12 @@
 package jouppi
 
 import (
+	"bytes"
 	"encoding/json"
 	"os"
 	"testing"
 
+	"jouppi/internal/hierarchy"
 	"jouppi/internal/memtrace"
 	"jouppi/internal/telemetry"
 	"jouppi/internal/workload"
@@ -88,10 +90,25 @@ func TestWriteBenchTelemetryJSON(t *testing.T) {
 		t.Skip("set BENCH_JSON=<path> to write the telemetry benchmark comparison")
 	}
 	tr := workload.GenerateTrace(workload.MustByName("ccom"), benchScale)
+	// Each arm is measured several times and the fastest run kept: on a
+	// shared machine the minimum is the closest estimate of the true cost,
+	// and the overhead ratio between two noisy 1-second samples is
+	// otherwise dominated by scheduler interference.
+	const benchRuns = 5
+	best := func(fn func(b *testing.B)) testing.BenchmarkResult {
+		var min testing.BenchmarkResult
+		for i := 0; i < benchRuns; i++ {
+			r := testing.Benchmark(fn)
+			if i == 0 || r.NsPerOp() < min.NsPerOp() {
+				min = r
+			}
+		}
+		return min
+	}
 	// As in BenchmarkTelemetryReplay, one registry is shared across
 	// iterations so the on case prices increments, not registration.
 	measure := func(reg *telemetry.Registry) testing.BenchmarkResult {
-		return testing.Benchmark(func(b *testing.B) {
+		return best(func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				replayImproved(b, tr, reg)
@@ -100,6 +117,31 @@ func TestWriteBenchTelemetryJSON(t *testing.T) {
 	}
 	off := measure(nil)
 	on := measure(telemetry.NewRegistry())
+
+	// The file-backed arm decodes the same workload from dinero text every
+	// iteration — the shape a captured trace file replays in, and the
+	// configuration the allocs/op regression gate watches: the zero-alloc
+	// decode path keeps allocations per replay constant instead of
+	// per-line.
+	din, records := fanoutBenchTrace(t)
+	fileCfg := fanoutBenchConfigs()[len(fanoutBenchConfigs())-1] // the full improved system
+	replayFile := func(reg *telemetry.Registry) hierarchy.Results {
+		counting := memtrace.NewCountingSource(memtrace.NewDineroReader(bytes.NewReader(din)))
+		sys := hierarchy.MustNew(fileCfg)
+		sys.AttachTelemetry(reg)
+		sys.RunSource(counting)
+		return sys.Results(counting.Instructions())
+	}
+	measureFile := func(reg *telemetry.Registry) testing.BenchmarkResult {
+		return best(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				replayFile(reg)
+			}
+		})
+	}
+	fileOff := measureFile(nil)
+	fileOn := measureFile(telemetry.NewRegistry())
 
 	type entry struct {
 		NsPerOp     int64   `json:"ns_per_op"`
@@ -120,14 +162,22 @@ func TestWriteBenchTelemetryJSON(t *testing.T) {
 		}
 		return e
 	}
-	report := struct {
-		Benchmark string  `json:"benchmark"`
-		Workload  string  `json:"workload"`
-		Scale     float64 `json:"scale"`
-		Accesses  int     `json:"accesses"`
+	type fileReplay struct {
+		Format    string  `json:"format"`
+		Records   int     `json:"records"`
 		Off       entry   `json:"telemetry_off"`
 		On        entry   `json:"telemetry_on"`
 		OverheadP float64 `json:"overhead_percent"`
+	}
+	report := struct {
+		Benchmark string     `json:"benchmark"`
+		Workload  string     `json:"workload"`
+		Scale     float64    `json:"scale"`
+		Accesses  int        `json:"accesses"`
+		Off       entry      `json:"telemetry_off"`
+		On        entry      `json:"telemetry_on"`
+		OverheadP float64    `json:"overhead_percent"`
+		File      fileReplay `json:"file_replay"`
 	}{
 		Benchmark: "TelemetryReplay",
 		Workload:  "ccom",
@@ -135,9 +185,18 @@ func TestWriteBenchTelemetryJSON(t *testing.T) {
 		Accesses:  tr.Len(),
 		Off:       mk(off),
 		On:        mk(on),
+		File: fileReplay{
+			Format:  "din",
+			Records: records,
+			Off:     mk(fileOff),
+			On:      mk(fileOn),
+		},
 	}
 	if report.Off.NsPerOp > 0 {
 		report.OverheadP = 100 * float64(report.On.NsPerOp-report.Off.NsPerOp) / float64(report.Off.NsPerOp)
+	}
+	if report.File.Off.NsPerOp > 0 {
+		report.File.OverheadP = 100 * float64(report.File.On.NsPerOp-report.File.Off.NsPerOp) / float64(report.File.Off.NsPerOp)
 	}
 	buf, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {
@@ -146,7 +205,10 @@ func TestWriteBenchTelemetryJSON(t *testing.T) {
 	if err := os.WriteFile(out, append(buf, '\n'), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	t.Logf("wrote %s: off %d ns/op (%d allocs), on %d ns/op (%d allocs), overhead %.1f%%",
+	t.Logf("wrote %s: off %d ns/op (%d allocs), on %d ns/op (%d allocs), overhead %.1f%%; "+
+		"file replay off %d ns/op (%d allocs), on %d ns/op (%d allocs), overhead %.1f%%",
 		out, report.Off.NsPerOp, report.Off.AllocsPerOp,
-		report.On.NsPerOp, report.On.AllocsPerOp, report.OverheadP)
+		report.On.NsPerOp, report.On.AllocsPerOp, report.OverheadP,
+		report.File.Off.NsPerOp, report.File.Off.AllocsPerOp,
+		report.File.On.NsPerOp, report.File.On.AllocsPerOp, report.File.OverheadP)
 }
