@@ -5,6 +5,9 @@
 //
 //   - the telemetry-on overhead of either replay arm (in-memory or
 //     file-backed) exceeds -max-overhead percent, or
+//   - the introspection-on overhead of the in-memory replay (phase
+//     windows + heatmaps + sampled miss trace, no 3C classifier)
+//     exceeds -max-introspect-overhead percent, or
 //   - allocations per op on the file-backed replay regress beyond
 //     -alloc-slack times the committed baseline — the zero-alloc decode
 //     path must stay O(1) allocations per replay, not per line.
@@ -39,12 +42,14 @@ type fileReplay struct {
 }
 
 type report struct {
-	Benchmark string     `json:"benchmark"`
-	Workload  string     `json:"workload"`
-	Off       entry      `json:"telemetry_off"`
-	On        entry      `json:"telemetry_on"`
-	OverheadP float64    `json:"overhead_percent"`
-	File      fileReplay `json:"file_replay"`
+	Benchmark  string     `json:"benchmark"`
+	Workload   string     `json:"workload"`
+	Off        entry      `json:"telemetry_off"`
+	On         entry      `json:"telemetry_on"`
+	OverheadP  float64    `json:"overhead_percent"`
+	Intro      entry      `json:"introspect_on"`
+	IntroOverP float64    `json:"introspect_overhead_percent"`
+	File       fileReplay `json:"file_replay"`
 }
 
 func load(path string) (report, error) {
@@ -69,6 +74,8 @@ func main() {
 		"freshly measured artifact (defaults to gating the baseline against itself)")
 	maxOverhead := flag.Float64("max-overhead", 10,
 		"maximum telemetry-on overhead in percent, per replay arm")
+	maxIntrospect := flag.Float64("max-introspect-overhead", 5,
+		"maximum introspection-on overhead in percent on the in-memory replay")
 	allocSlack := flag.Float64("alloc-slack", 1.5,
 		"allowed multiple of baseline allocs/op on the file-backed replay")
 	flag.Parse()
@@ -100,6 +107,12 @@ func main() {
 		fail("file-backed replay: telemetry-on overhead %.1f%% exceeds budget %.1f%% (off %d ns/op, on %d ns/op)",
 			measured.File.OverheadP, *maxOverhead, measured.File.Off.NsPerOp, measured.File.On.NsPerOp)
 	}
+	// The introspection arm is gated only when the artifact carries it, so
+	// pre-introspection baselines keep loading.
+	if measured.Intro.NsPerOp > 0 && measured.IntroOverP > *maxIntrospect {
+		fail("in-memory replay: introspection-on overhead %.1f%% exceeds budget %.1f%% (off %d ns/op, introspected %d ns/op)",
+			measured.IntroOverP, *maxIntrospect, measured.Off.NsPerOp, measured.Intro.NsPerOp)
+	}
 	// Alloc regression: the decode path is zero-alloc per record, so
 	// allocs/op on a file-backed replay is a small fixed count. A growth
 	// beyond slack means someone reintroduced per-line allocation.
@@ -122,9 +135,11 @@ func main() {
 		}
 		os.Exit(1)
 	}
-	fmt.Printf("benchgate: ok — in-memory overhead %.1f%%, file-backed overhead %.1f%% (budget %.1f%%); "+
+	fmt.Printf("benchgate: ok — in-memory overhead %.1f%%, introspection overhead %.1f%% (budget %.1f%%), "+
+		"file-backed overhead %.1f%% (budget %.1f%%); "+
 		"file-backed allocs/op off=%d on=%d (baseline %d/%d, slack %.2f)\n",
-		measured.OverheadP, measured.File.OverheadP, *maxOverhead,
+		measured.OverheadP, measured.IntroOverP, *maxIntrospect,
+		measured.File.OverheadP, *maxOverhead,
 		measured.File.Off.AllocsPerOp, measured.File.On.AllocsPerOp,
 		baseline.File.Off.AllocsPerOp, baseline.File.On.AllocsPerOp, *allocSlack)
 }

@@ -1,0 +1,116 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"jouppi/internal/telemetry"
+)
+
+// TestIntrospectionFlagsRender checks the -phase/-heatmap/-misssample
+// views all render and that the standard report above them is unchanged
+// by attaching the probe.
+func TestIntrospectionFlagsRender(t *testing.T) {
+	path := writeTestTrace(t)
+	_, plain, _ := runCmd(t, "-trace", path, "-side", "data", "-victim", "4")
+	code, out, errOut := runCmd(t, "-trace", path, "-side", "data", "-victim", "4",
+		"-phase", "2048", "-heatmap", "-misssample", "8")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr %q", code, errOut)
+	}
+	// The probe is a pure reader: everything cachesim printed without it
+	// must appear verbatim, as a prefix, with it.
+	if !strings.HasPrefix(out, plain) {
+		t.Errorf("introspected output does not start with the plain report:\nplain:\n%s\nintrospected:\n%s", plain, out)
+	}
+	for _, want := range []string{
+		"miss rate per 2048-access window",
+		"accesses per set",
+		"misses per set",
+		"conflict evictions per set",
+		"set  accesses  misses  evictions",
+		"miss trace:",
+		"(every 8)",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestIntrospectionWithClassify checks the probe rides the -classify
+// classifier (sampled events should render without error alongside 3C).
+func TestIntrospectionWithClassify(t *testing.T) {
+	path := writeTestTrace(t)
+	dump := filepath.Join(t.TempDir(), "miss.jsonl")
+	code, out, errOut := runCmd(t, "-trace", path, "-side", "data",
+		"-classify", "-missdump", dump)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr %q", code, errOut)
+	}
+	if !strings.Contains(out, "3C (plain L1):") || !strings.Contains(out, "miss dump:") {
+		t.Fatalf("output missing sections:\n%s", out)
+	}
+	f, err := os.Open(dump)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	events, err := telemetry.ReadEvents(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) < 2 || events[0].Event != "miss-dump" || events[0].Side != "data" {
+		t.Fatalf("unexpected journal head: %+v", events[:min(2, len(events))])
+	}
+	if events[0].Total != len(events)-1 {
+		t.Errorf("miss-dump Total %d, %d event lines", events[0].Total, len(events)-1)
+	}
+	for _, e := range events[1:] {
+		if e.Event != "miss-event" || e.Addr == "" || e.Served == "" {
+			t.Fatalf("malformed miss-event: %+v", e)
+		}
+		// -classify was on, so every sampled miss carries its 3C class.
+		if e.Class == "" {
+			t.Fatalf("miss-event missing class: %+v", e)
+		}
+	}
+}
+
+// -missdump with no explicit -misssample samples every miss.
+func TestMissDumpImpliesSampling(t *testing.T) {
+	path := writeTestTrace(t)
+	dump := filepath.Join(t.TempDir(), "miss.jsonl")
+	code, out, errOut := runCmd(t, "-trace", path, "-missdump", dump)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr %q", code, errOut)
+	}
+	if !strings.Contains(out, "(every 1)") {
+		t.Errorf("missdump did not imply -misssample 1:\n%s", out)
+	}
+}
+
+func TestIntrospectionRejectedWithFanout(t *testing.T) {
+	for _, extra := range [][]string{
+		{"-phase", "1024"},
+		{"-heatmap"},
+		{"-misssample", "4"},
+		{"-missdump", "x.jsonl"},
+	} {
+		args := append([]string{"-trace", "x", "-fanout", ";victim=4"}, extra...)
+		code, _, errOut := runCmd(t, args...)
+		if code != 2 || !strings.Contains(errOut, "not supported with -fanout") {
+			t.Errorf("args %v: code %d, stderr %q", extra, code, errOut)
+		}
+	}
+}
+
+func TestMissDumpCreateError(t *testing.T) {
+	path := writeTestTrace(t)
+	dump := filepath.Join(t.TempDir(), "missing-dir", "miss.jsonl")
+	if code, _, errOut := runCmd(t, "-trace", path, "-missdump", dump); code != 1 {
+		t.Errorf("uncreatable -missdump: code %d, stderr %q", code, errOut)
+	}
+}

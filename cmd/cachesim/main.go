@@ -18,8 +18,10 @@ import (
 	"jouppi/internal/cache"
 	"jouppi/internal/classify"
 	"jouppi/internal/core"
+	"jouppi/internal/introspect"
 	"jouppi/internal/memtrace"
 	"jouppi/internal/telemetry"
+	"jouppi/internal/textplot"
 	"jouppi/internal/version"
 )
 
@@ -31,25 +33,30 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("cachesim", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		tracePath = fs.String("trace", "", "trace file (required)")
-		format    = fs.String("format", "jtr", "trace format: jtr | din")
-		sideStr   = fs.String("side", "data", "which references to simulate: instr | data | all")
-		size      = fs.Int("size", 4096, "cache size in bytes")
-		line      = fs.Int("line", 16, "line size in bytes")
-		assoc     = fs.Int("assoc", 1, "associativity (1 = direct-mapped)")
-		missCache = fs.Int("misscache", 0, "miss cache entries")
-		victim    = fs.Int("victim", 0, "victim cache entries")
-		ways      = fs.Int("ways", 0, "stream buffer ways (0 = none)")
-		depth     = fs.Int("depth", 4, "stream buffer depth")
-		quasi     = fs.Bool("quasi", false, "quasi-sequential stream buffer lookup")
-		stride    = fs.Bool("stride", false, "stride-detecting stream buffers")
-		classify3 = fs.Bool("classify", false, "also report the 3C miss classification of the plain cache")
-		fanouts   = fs.String("fanout", "", "decode the trace once and replay it through multiple configurations: semicolon-separated specs, each a comma-separated key=value list over size, line, assoc, misscache, victim, ways, depth, quasi, stride (empty spec = the main-flag configuration)")
-		lenient   = fs.Bool("lenient", false, "skip malformed trace records (up to -maxdrops) and report the degradation instead of failing")
-		maxDrops  = fs.Uint64("maxdrops", 1<<20, "malformed-record cap in -lenient mode (0 = unlimited)")
-		metrics   = fs.String("metrics-addr", "", "serve /metrics, /vars and /debug/pprof on this address for the duration of the replay")
-		progress  = fs.Bool("progress", false, "render a live progress line (records decoded, accesses/sec) on stderr")
-		showVer   = fs.Bool("version", false, "print build information and exit")
+		tracePath  = fs.String("trace", "", "trace file (required)")
+		format     = fs.String("format", "jtr", "trace format: jtr | din")
+		sideStr    = fs.String("side", "data", "which references to simulate: instr | data | all")
+		size       = fs.Int("size", 4096, "cache size in bytes")
+		line       = fs.Int("line", 16, "line size in bytes")
+		assoc      = fs.Int("assoc", 1, "associativity (1 = direct-mapped)")
+		missCache  = fs.Int("misscache", 0, "miss cache entries")
+		victim     = fs.Int("victim", 0, "victim cache entries")
+		ways       = fs.Int("ways", 0, "stream buffer ways (0 = none)")
+		depth      = fs.Int("depth", 4, "stream buffer depth")
+		quasi      = fs.Bool("quasi", false, "quasi-sequential stream buffer lookup")
+		stride     = fs.Bool("stride", false, "stride-detecting stream buffers")
+		classify3  = fs.Bool("classify", false, "also report the 3C miss classification of the plain cache")
+		fanouts    = fs.String("fanout", "", "decode the trace once and replay it through multiple configurations: semicolon-separated specs, each a comma-separated key=value list over size, line, assoc, misscache, victim, ways, depth, quasi, stride (empty spec = the main-flag configuration)")
+		phase      = fs.Int("phase", 0, "render a phase plot: miss rate per window of this many kept accesses (0 = off)")
+		heatmap    = fs.Bool("heatmap", false, "render per-set access/miss/eviction heatmaps and the hottest-set table")
+		missSample = fs.Int("misssample", 0, "sample every Nth L1 miss into a bounded event ring (0 = off)")
+		missCap    = fs.Int("misscap", 0, "miss-event ring capacity (default 1024)")
+		missDump   = fs.String("missdump", "", "write the sampled miss events as JSONL to this file (enables -misssample 1 unless set)")
+		lenient    = fs.Bool("lenient", false, "skip malformed trace records (up to -maxdrops) and report the degradation instead of failing")
+		maxDrops   = fs.Uint64("maxdrops", 1<<20, "malformed-record cap in -lenient mode (0 = unlimited)")
+		metrics    = fs.String("metrics-addr", "", "serve /metrics, /vars and /debug/pprof on this address for the duration of the replay")
+		progress   = fs.Bool("progress", false, "render a live progress line (records decoded, accesses/sec) on stderr")
+		showVer    = fs.Bool("version", false, "print build information and exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -70,6 +77,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	if *fanouts != "" && *classify3 {
 		fmt.Fprintln(stderr, "cachesim: -classify is not supported with -fanout")
+		return 2
+	}
+	if *missDump != "" && *missSample == 0 {
+		*missSample = 1
+	}
+	introOn := *phase > 0 || *heatmap || *missSample > 0
+	if *fanouts != "" && introOn {
+		fmt.Fprintln(stderr, "cachesim: -phase/-heatmap/-misssample/-missdump are not supported with -fanout")
 		return 2
 	}
 
@@ -183,6 +198,21 @@ func run(args []string, stdout, stderr io.Writer) int {
 		cl = classify.MustNew(*size, *line)
 	}
 
+	// The introspection probe is a pure reader riding the replay loop:
+	// attaching it changes none of the numbers reported below (when
+	// -classify is on, its sampled events reuse that classifier instead
+	// of shadowing the stream twice).
+	var probe *introspect.Probe
+	if introOn {
+		opts := introspect.Options{Window: *phase, Heatmap: *heatmap,
+			MissEvery: *missSample, MissCap: *missCap}
+		if *phase == 0 {
+			opts.Window = -1
+		}
+		probe = introspect.NewProbe(l1cfg, opts)
+		probe.AttachTelemetry(reg, "l1")
+	}
+
 	// Live replay counters, published as deltas of the front-end's own
 	// stats at flush boundaries (every telFlushEvery kept accesses and at
 	// end of replay), so the hot loop carries no telemetry work beyond a
@@ -250,7 +280,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		r := fe.Access(uint64(a.Addr), a.Kind == memtrace.Store)
 		if cl != nil {
-			cl.ObserveMiss(uint64(a.Addr), !r.L1Hit)
+			c := cl.ObserveMiss(uint64(a.Addr), !r.L1Hit)
+			if probe != nil {
+				probe.ObserveClassified(uint64(a.Addr), r, c)
+			}
+		} else if probe != nil {
+			probe.Observe(uint64(a.Addr), r)
 		}
 		if tel != nil {
 			tel.pending++
@@ -300,6 +335,49 @@ func run(args []string, stdout, stderr io.Writer) int {
 			c.Compulsory, 100*float64(c.Compulsory)/float64(total),
 			c.Capacity, 100*float64(c.Capacity)/float64(total),
 			c.Conflict, 100*float64(c.Conflict)/float64(total))
+	}
+	if probe != nil {
+		if *phase > 0 {
+			fmt.Fprintln(stdout)
+			fmt.Fprint(stdout, introspect.RenderPhases(
+				fmt.Sprintf("%s miss rate per %d-access window", fe.Name(), *phase),
+				[]textplot.Series{introspect.PhaseSeries(fe.Name(), probe.Windows())},
+				72, 16))
+		}
+		if *heatmap {
+			heat := probe.Heat()
+			fmt.Fprintln(stdout)
+			fmt.Fprint(stdout, introspect.RenderHeat("accesses per set", heat, introspect.HeatAccesses, 64))
+			fmt.Fprintln(stdout)
+			fmt.Fprint(stdout, introspect.RenderHeat("misses per set", heat, introspect.HeatMisses, 64))
+			fmt.Fprintln(stdout)
+			fmt.Fprint(stdout, introspect.RenderHeat("conflict evictions per set", heat, introspect.HeatEvictions, 64))
+			fmt.Fprintln(stdout)
+			fmt.Fprint(stdout, introspect.TopSetsTable(heat, introspect.HeatEvictions, 8))
+		}
+		if *missSample > 0 {
+			events := probe.Events()
+			fmt.Fprintf(stdout, "miss trace:      %d sampled (every %d), %d dropped by the ring\n",
+				len(events), *missSample, probe.Dropped())
+			if *missDump != "" {
+				df, err := os.Create(*missDump)
+				if err != nil {
+					fmt.Fprintln(stderr, "cachesim:", err)
+					return 1
+				}
+				j := telemetry.NewJournal(df)
+				probe.EmitMissEvents(j, *sideStr)
+				err = j.Err()
+				if cerr := df.Close(); err == nil {
+					err = cerr
+				}
+				if err != nil {
+					fmt.Fprintln(stderr, "cachesim:", err)
+					return 1
+				}
+				fmt.Fprintf(stdout, "miss dump:       %s\n", *missDump)
+			}
+		}
 	}
 	return 0
 }

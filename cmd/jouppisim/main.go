@@ -7,6 +7,11 @@
 //	jouppisim -run all              # run everything, in paper order
 //	jouppisim -run fig5-1 -scale 1  # bigger workloads (slower, smoother)
 //
+// Single-system replay with introspection (phase plot, per-set heatmaps,
+// a full miss-event dump):
+//
+//	jouppisim -replay ccom -system victim:4 -phase 8192 -heatmap -missdump miss.jsonl
+//
 // Long sweeps are resilient: each experiment runs isolated (a crash in
 // one reports a failure and the suite continues), -timeout bounds each
 // experiment, and -checkpoint/-resume persist completed results so an
@@ -71,6 +76,11 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		metrics    = fs.String("metrics-addr", "", "serve /metrics, /vars and /debug/pprof on this address (e.g. localhost:9090) for the duration of the run")
 		journalTo  = fs.String("journal", "", "append one JSON line per run event (experiment start/finish/panic/retry, checkpoint saves) to this file")
 		progress   = fs.Bool("progress", false, "render a live progress line (experiments done, accesses/sec, ETA) on stderr")
+		replay     = fs.String("replay", "", "replay one benchmark through a single system (see -system) instead of running experiments")
+		system     = fs.String("system", "baseline", "system for -replay: baseline | improved | victim:N | misscache:N | stream:WxD")
+		phase      = fs.Int("phase", 0, "with -replay: render a phase plot, miss rate per window of this many per-side accesses (0 = off)")
+		heatmap    = fs.Bool("heatmap", false, "with -replay: render per-set miss/eviction heatmaps and the hottest-set table for both L1 sides")
+		missDump   = fs.String("missdump", "", "with -replay: write every L1 miss event as JSONL to this file")
 		showVer    = fs.Bool("version", false, "print build information and exit")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -80,6 +90,22 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	if *showVer {
 		fmt.Fprintln(stdout, version.String("jouppisim"))
 		return exitOK
+	}
+
+	if *replay != "" {
+		if *runID != "" {
+			fmt.Fprintln(stderr, "jouppisim: -replay and -run are mutually exclusive")
+			return exitUsage
+		}
+		if !(*scale > 0) || math.IsInf(*scale, 0) {
+			fmt.Fprintf(stderr, "jouppisim: -scale must be a positive finite number, got %v\n", *scale)
+			return exitUsage
+		}
+		return runReplay(ctx, stdout, stderr, *replay, *system, *scale, *phase, *heatmap, *missDump)
+	}
+	if *phase != 0 || *heatmap || *missDump != "" {
+		fmt.Fprintln(stderr, "jouppisim: -phase/-heatmap/-missdump require -replay")
+		return exitUsage
 	}
 
 	if *list || *runID == "" {

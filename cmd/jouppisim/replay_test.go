@@ -1,0 +1,115 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"jouppi/internal/telemetry"
+	"jouppi/sim"
+)
+
+func TestParseSystem(t *testing.T) {
+	for _, tc := range []struct {
+		spec string
+		want sim.Config
+	}{
+		{"", sim.BaselineSystem()},
+		{"baseline", sim.BaselineSystem()},
+		{"victim:4", sim.Config{D: sim.Augmentation{VictimCacheEntries: 4}}},
+		{"misscache:2", sim.Config{D: sim.Augmentation{MissCacheEntries: 2}}},
+	} {
+		got, err := parseSystem(tc.spec)
+		if err != nil {
+			t.Errorf("parseSystem(%q): %v", tc.spec, err)
+		} else if got != tc.want {
+			t.Errorf("parseSystem(%q) = %+v, want %+v", tc.spec, got, tc.want)
+		}
+	}
+	// ImprovedSystem carries stream pointers, so compare its shape.
+	imp, err := parseSystem("improved")
+	if err != nil || imp.D.VictimCacheEntries != 4 || imp.I.Stream == nil || imp.D.Stream == nil {
+		t.Errorf("parseSystem(improved) = %+v, %v", imp, err)
+	}
+	got, err := parseSystem("stream:4x8")
+	if err != nil || got.D.Stream == nil || got.D.Stream.Ways != 4 || got.D.Stream.Depth != 8 {
+		t.Errorf("parseSystem(stream:4x8) = %+v, %v", got, err)
+	}
+	for _, bad := range []string{"victim", "victim:0", "victim:x", "stream:4", "stream:0x4", "turbo:9"} {
+		if _, err := parseSystem(bad); err == nil {
+			t.Errorf("parseSystem(%q) accepted", bad)
+		}
+	}
+}
+
+func TestReplayMode(t *testing.T) {
+	dump := filepath.Join(t.TempDir(), "miss.jsonl")
+	code, out, errOut := runCmd(t, "-replay", "met", "-system", "victim:4",
+		"-scale", "0.02", "-phase", "2048", "-heatmap", "-missdump", dump)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr %q", code, errOut)
+	}
+	for _, want := range []string{
+		"benchmark met at scale 0.02 through victim:4",
+		"L1I:", "L1D:", "% of potential",
+		"miss rate per 2048-access window",
+		"L1I misses per set",
+		"L1D conflict evictions per set",
+		"set  accesses  misses  evictions",
+		"miss dump:",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	f, err := os.Open(dump)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	events, err := telemetry.ReadEvents(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var headers int
+	for _, e := range events {
+		if e.Event == "miss-dump" {
+			headers++
+			if e.Side != "inst" && e.Side != "data" {
+				t.Errorf("miss-dump with side %q", e.Side)
+			}
+		}
+	}
+	if headers != 2 {
+		t.Errorf("%d miss-dump headers, want one per side", headers)
+	}
+}
+
+func TestReplayModeUsageErrors(t *testing.T) {
+	for _, tc := range []struct {
+		args []string
+		want string
+	}{
+		{[]string{"-replay", "met", "-run", "fig3-5"}, "mutually exclusive"},
+		{[]string{"-replay", "met", "-scale", "0"}, "positive finite"},
+		{[]string{"-replay", "met", "-system", "turbo:9"}, "bad -system"},
+		{[]string{"-replay", "nosuch", "-scale", "0.02"}, "unknown benchmark"},
+		{[]string{"-phase", "1024"}, "require -replay"},
+		{[]string{"-heatmap"}, "require -replay"},
+		{[]string{"-missdump", "x.jsonl"}, "require -replay"},
+	} {
+		code, _, errOut := runCmd(t, tc.args...)
+		if code != exitUsage || !strings.Contains(errOut, tc.want) {
+			t.Errorf("args %v: code %d, stderr %q (want %q)", tc.args, code, errOut, tc.want)
+		}
+	}
+}
+
+func TestReplayModeMissDumpCreateError(t *testing.T) {
+	dump := filepath.Join(t.TempDir(), "missing-dir", "miss.jsonl")
+	code, _, errOut := runCmd(t, "-replay", "met", "-scale", "0.02", "-missdump", dump)
+	if code != exitFailure {
+		t.Errorf("uncreatable -missdump: code %d, stderr %q", code, errOut)
+	}
+}

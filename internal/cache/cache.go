@@ -250,9 +250,18 @@ type Cache struct {
 	sets      [][]way
 	lineShift uint
 	setMask   uint64
-	tick      uint64
-	rng       uint64
-	stats     Stats
+	// heatAcc (nil unless InstrumentSets) sits beside the geometry words
+	// Probe loads anyway, so the nil check an uninstrumented probe pays
+	// costs no extra cache line; the per-set counters are split per
+	// metric so the one touched on every access is a dense uint64 array
+	// — 8 bytes per set of extra working set instead of a whole row.
+	heatAcc []uint64
+	tick    uint64
+	rng     uint64
+	stats   Stats
+	// The miss- and eviction-path counters ride after the hot fields.
+	heatMiss  []uint64
+	heatEvict []uint64
 	tel       *Counters
 }
 
@@ -293,8 +302,17 @@ func MustNew(cfg Config) *Cache {
 // Config returns the configuration the cache was built with.
 func (c *Cache) Config() Config { return c.cfg }
 
-// Stats returns a copy of the activity counters.
-func (c *Cache) Stats() Stats { return c.stats }
+// Stats returns a copy of the activity counters. While a per-set
+// counter array is attached (InstrumentSets), the global access count
+// lives in the per-set rows and is summed back here, so the probe fast
+// path pays one increment whether or not the cache is instrumented.
+func (c *Cache) Stats() Stats {
+	st := c.stats
+	for _, n := range c.heatAcc {
+		st.Accesses += n
+	}
+	return st
+}
 
 // Instrument attaches live telemetry counters, fed by delta-publication
 // from the cache's Stats at flush time (the probe/fill hot paths carry
@@ -303,24 +321,61 @@ func (c *Cache) Stats() Stats { return c.stats }
 // set counts activity from attach time forward. Attachment is not
 // synchronized with a running replay; attach before replay begins.
 func (c *Cache) Instrument(tel *Counters) {
-	c.tel.publish(c.stats)
+	c.tel.publish(c.Stats())
 	c.tel = tel
-	c.tel.rebase(c.stats)
+	c.tel.rebase(c.Stats())
+}
+
+// InstrumentSets attaches caller-owned per-set counter arrays, one
+// entry per cache set, that the probe and fill paths increment in place:
+// acc counts probes mapping to each set, miss the subset that missed,
+// evict the fills that displaced a valid line (the direct-mapped
+// conflict signature). Counting happens where those paths have already
+// computed the set index — the reason the introspection layer sources
+// its heatmaps here instead of re-deriving the set per observed access —
+// and the arrays are split per metric so the only one touched on every
+// access is 8 bytes per set. The caller keeps the slices and reads them
+// whenever it likes; the cache only writes them, following the same
+// single-writer plain-struct discipline as Stats. While attached, acc
+// stands in for the global access counter (see Stats), so hand over
+// freshly zeroed arrays. Passing all nil detaches, folding the per-set
+// access counts back into the plain counter.
+func (c *Cache) InstrumentSets(acc, miss, evict []uint64) {
+	for _, s := range [][]uint64{acc, miss, evict} {
+		if (s == nil) != (acc == nil) || (s != nil && len(s) != len(c.sets)) {
+			panic(fmt.Sprintf("cache %q: InstrumentSets wants three equal arrays of %d counters (got %d/%d/%d)",
+				c.cfg.Name, len(c.sets), len(acc), len(miss), len(evict)))
+		}
+	}
+	for _, n := range c.heatAcc {
+		c.stats.Accesses += n
+	}
+	c.heatAcc, c.heatMiss, c.heatEvict = acc, miss, evict
 }
 
 // FlushTelemetry publishes the stats delta since the last flush to the
 // attached registry counters, if any. The hierarchy flushes its caches
 // at chunk boundaries; standalone users should flush before reading the
 // registry.
-func (c *Cache) FlushTelemetry() { c.tel.publish(c.stats) }
+func (c *Cache) FlushTelemetry() { c.tel.publish(c.Stats()) }
 
-// ResetStats zeroes the activity counters without disturbing contents.
+// ResetStats zeroes the activity counters — including an attached
+// per-set array, which holds part of them — without disturbing contents.
 // Pending telemetry deltas are published first; the attached registry
 // counters keep their (monotonic) totals and resume from the reset.
 func (c *Cache) ResetStats() {
-	c.tel.publish(c.stats)
+	c.tel.publish(c.Stats())
 	c.stats = Stats{}
+	c.resetHeat()
 	c.tel.rebase(Stats{})
+}
+
+func (c *Cache) resetHeat() {
+	for _, s := range [][]uint64{c.heatAcc, c.heatMiss, c.heatEvict} {
+		for i := range s {
+			s[i] = 0
+		}
+	}
 }
 
 // LineAddr converts a byte address to this cache's line address.
@@ -335,11 +390,20 @@ func (c *Cache) setFor(lineAddr uint64) []way { return c.sets[lineAddr&c.setMask
 // reports whether the line is present. On a miss the cache is unchanged;
 // the caller decides whether and what to Fill.
 func (c *Cache) Probe(addr uint64, write bool) bool {
-	c.stats.Accesses++
 	if write {
 		c.stats.Writes++
 	}
 	la := c.LineAddr(addr)
+	// An attached per-set counter subsumes the global access counter
+	// (Stats sums it back), so instrumentation costs the same single
+	// increment. Indexing with len-1 — InstrumentSets guarantees len is
+	// the power-of-two set count — lets the compiler drop the bounds
+	// check.
+	if h := c.heatAcc; len(h) != 0 {
+		h[la&uint64(len(h)-1)]++
+	} else {
+		c.stats.Accesses++
+	}
 	set := c.setFor(la)
 	for i := range set {
 		w := &set[i]
@@ -356,6 +420,9 @@ func (c *Cache) Probe(addr uint64, write bool) bool {
 		}
 	}
 	c.stats.Misses++
+	if h := c.heatMiss; len(h) != 0 {
+		h[la&uint64(len(h)-1)]++
+	}
 	return false
 }
 
@@ -403,6 +470,9 @@ func (c *Cache) Fill(addr uint64, dirty bool) Victim {
 	out := Victim{LineAddr: w.tag, Valid: w.valid, Dirty: w.dirty}
 	if out.Valid {
 		c.stats.Evictions++
+		if h := c.heatEvict; len(h) != 0 {
+			h[la&uint64(len(h)-1)]++
+		}
 		if out.Dirty {
 			c.stats.Writebacks++
 		}
@@ -467,8 +537,9 @@ func (c *Cache) Reset() {
 		}
 	}
 	c.tick = 0
-	c.tel.publish(c.stats)
+	c.tel.publish(c.Stats())
 	c.stats = Stats{}
+	c.resetHeat()
 	c.tel.rebase(Stats{})
 	c.rng = c.cfg.RandomSeed | 1
 }

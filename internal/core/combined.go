@@ -136,6 +136,9 @@ func (c *Combined) installAndSpill(addr uint64, write, wasDirty bool) {
 // Stats implements FrontEnd.
 func (c *Combined) Stats() Stats { return c.stats }
 
+// Accesses implements FrontEnd.
+func (c *Combined) Accesses() uint64 { return c.stats.Accesses }
+
 // Cache implements FrontEnd.
 func (c *Combined) Cache() *cache.Cache { return c.l1 }
 

@@ -186,6 +186,11 @@ type FrontEnd interface {
 	Access(addr uint64, write bool) Result
 	// Stats returns accumulated counters.
 	Stats() Stats
+	// Accesses returns the running Stats().Accesses count without
+	// copying the whole stats block. Reference paths that need the
+	// count per event — the hierarchy's miss-observer tap reads it on
+	// every first-level miss — use this instead of Stats.
+	Accesses() uint64
 	// Cache exposes the underlying L1 array (for inspection and
 	// invariant checking in tests).
 	Cache() *cache.Cache
@@ -236,6 +241,9 @@ func (b *Baseline) Access(addr uint64, write bool) Result {
 // Stats implements FrontEnd.
 func (b *Baseline) Stats() Stats { return b.stats }
 
+// Accesses implements FrontEnd.
+func (b *Baseline) Accesses() uint64 { return b.stats.Accesses }
+
 // Cache implements FrontEnd.
 func (b *Baseline) Cache() *cache.Cache { return b.l1 }
 
@@ -243,6 +251,32 @@ func (b *Baseline) Cache() *cache.Cache { return b.l1 }
 func (b *Baseline) Name() string { return "baseline" }
 
 var _ FrontEnd = (*Baseline)(nil)
+
+// AccessCounter returns a pointer to fe's live access counter — the
+// word behind Stats().Accesses, which every Access call increments — for
+// the front-end types of this package, unwrapping WithWriteBuffer; it
+// returns nil for foreign FrontEnd implementations. The pointer lets a
+// per-event consumer (the hierarchy's miss-observer tap reads it on
+// every first-level miss) load the count without an interface call,
+// under the usual single-writer discipline: read-only, replay goroutine
+// only.
+func AccessCounter(fe FrontEnd) *uint64 {
+	switch f := fe.(type) {
+	case *Baseline:
+		return &f.stats.Accesses
+	case *MissCache:
+		return &f.stats.Accesses
+	case *VictimCache:
+		return &f.stats.Accesses
+	case *StreamBuffer:
+		return &f.stats.Accesses
+	case *Combined:
+		return &f.stats.Accesses
+	case *WithWriteBuffer:
+		return AccessCounter(f.inner)
+	}
+	return nil
+}
 
 // AuxResidents is implemented by front-ends whose auxiliary structure
 // holds whole cache lines (miss caches and victim caches). It exposes the

@@ -82,6 +82,9 @@ func (m *MissCache) fillL1(addr uint64, write bool) {
 // Stats implements FrontEnd.
 func (m *MissCache) Stats() Stats { return m.stats }
 
+// Accesses implements FrontEnd.
+func (m *MissCache) Accesses() uint64 { return m.stats.Accesses }
+
 // Cache implements FrontEnd.
 func (m *MissCache) Cache() *cache.Cache { return m.l1 }
 

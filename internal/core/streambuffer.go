@@ -345,6 +345,9 @@ func (sb *StreamBuffer) fillL1(addr uint64, write bool) {
 // Stats implements FrontEnd.
 func (sb *StreamBuffer) Stats() Stats { return sb.stats }
 
+// Accesses implements FrontEnd.
+func (sb *StreamBuffer) Accesses() uint64 { return sb.stats.Accesses }
+
 // Cache implements FrontEnd.
 func (sb *StreamBuffer) Cache() *cache.Cache { return sb.l1 }
 

@@ -96,6 +96,9 @@ func (v *VictimCache) swapIn(addr uint64, write, wasDirty bool) {
 // Stats implements FrontEnd.
 func (v *VictimCache) Stats() Stats { return v.stats }
 
+// Accesses implements FrontEnd.
+func (v *VictimCache) Accesses() uint64 { return v.stats.Accesses }
+
 // Cache implements FrontEnd.
 func (v *VictimCache) Cache() *cache.Cache { return v.l1 }
 

@@ -136,6 +136,7 @@ func All() []Experiment {
 		AblationL2Stream(),
 		AblationBandwidth(),
 		AblationWriteBuffer(),
+		IntrospectPhase(),
 	}
 }
 

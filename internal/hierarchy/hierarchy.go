@@ -147,6 +147,24 @@ type System struct {
 	ife core.FrontEnd
 	dfe core.FrontEnd
 
+	// The optional replay taps live right after the front-end words so
+	// the nil checks Access performs per reference share the front-ends'
+	// cache lines. tel holds live counters (AttachTelemetry), obs a full
+	// per-access observer (AttachObserver), mobs the cheap miss-only tap
+	// (AttachMissObserver); each is nil unless attached.
+	tel  *sysTel
+	obs  Observer
+	mobs MissObserver
+	// imc/dmc are the miss observer's per-side hot counters (nil when
+	// detached or not exposed), booked inline by Access; iAcc/dAcc
+	// point at the front-ends' live access counters (core.AccessCounter)
+	// so the tap reads the index the access just counted without an
+	// interface call.
+	imc  *MissCounters
+	dmc  *MissCounters
+	iAcc *uint64
+	dAcc *uint64
+
 	l2   *cache.Cache
 	l2fe core.FrontEnd // wraps l2, possibly with a victim cache
 
@@ -156,8 +174,97 @@ type System struct {
 
 	l1iShift uint
 	l1dShift uint
+}
 
-	tel *sysTel // live counters, nil unless AttachTelemetry was called
+// Observer receives every routed reference together with its resolution.
+// Observers are read-only taps: they must not touch the simulated
+// structures, so attaching one changes no simulated number (the
+// introspection equivalence tests pin this). The callback runs on the
+// replay's hot path — keep it to plain struct updates — and even a
+// trivial callback costs an indirect call per access; consumers that
+// only need misses and periodic counts should use a MissObserver
+// instead.
+type Observer interface {
+	ObserveAccess(a memtrace.Access, r core.Result)
+}
+
+// MissCounters is one side's hot miss-bookkeeping state, owned by a
+// MissObserver but updated inline by the hierarchy: a consumer that
+// exposes it (via Counters) gets the common miss booked with a handful
+// of inline stores — no call of any kind — and receives an ObserveMiss
+// interface call only for the misses its slow path must see: one whose
+// index reaches NextWin (a period boundary to close) or one that would
+// take SampleIn below zero (a sample to take). The consumer reads the
+// fields back when it renders; it must not touch them mid-replay.
+type MissCounters struct {
+	// NextWin is the access index at which the consumer's current
+	// period closes (MaxUint64 when periods are off); a miss at or past
+	// it is delivered via ObserveMiss so the consumer can close periods
+	// retroactively at exact boundaries.
+	NextWin uint64
+	// Accesses is the consumer's access high-water mark. The inline
+	// path rides it forward on each miss so a mid-replay snapshot never
+	// sees more misses than accesses; SyncAccesses makes it exact.
+	Accesses uint64
+	// Served counts the current period's misses by the structure that
+	// served them, indexed by core.ServedBy ([8] so a &7 mask replaces
+	// the bounds check).
+	Served [8]uint64
+	// SampleIn counts misses down to the next sample. The inline path
+	// only decrements it while it stays non-negative; the miss that
+	// would drop it below zero goes through ObserveMiss, which re-arms
+	// it.
+	SampleIn int64
+}
+
+// MissObserver is the cheap replay tap: instead of seeing every access,
+// it is called only on first-level misses and at flush boundaries. The
+// hierarchy keeps no extra per-access state for it — the access index a
+// miss carries is the side's own front-end counter, which the access
+// just incremented — so the cost on the overwhelmingly common L1 hit is
+// one nil check and one test of the already-loaded result. The same
+// read-only contract as Observer applies.
+type MissObserver interface {
+	// ObserveMiss receives first-level misses with their resolution.
+	// index is the 0-based per-side access index of the missing access
+	// (the front-end's lifetime count); misses arrive in ascending
+	// index order, so a consumer can place its own period boundaries
+	// retroactively — an index at or past a boundary proves every
+	// earlier period is complete. A consumer that exposes MissCounters
+	// sees only the slow-path misses described there; one that returns
+	// nil from Counters sees every miss.
+	ObserveMiss(a memtrace.Access, r core.Result, index uint64)
+	// Counters returns the side's inline-updated hot state, or nil to
+	// receive every miss through ObserveMiss instead.
+	Counters(instr bool) *MissCounters
+	// SyncAccesses receives one side's exact running access count at
+	// telemetry-flush boundaries (replay end, Results, FlushTelemetry,
+	// and the periodic mid-replay flushes when a registry is attached).
+	// All misses up to the counted access have already been delivered.
+	SyncAccesses(instr bool, accesses uint64)
+}
+
+// AttachObserver installs o as the system's per-access observer; nil
+// detaches. A system carries one observer of either kind, so this
+// replaces a previous Observer or MissObserver alike. Like
+// AttachTelemetry, attachment is not synchronized — attach before the
+// replay starts.
+func (s *System) AttachObserver(o Observer) {
+	s.obs = o
+	s.mobs = nil
+}
+
+// AttachMissObserver installs o as the system's miss observer, replacing
+// any previous observer of either kind; nil detaches. The indices o
+// receives are the front-ends' lifetime access counts, so attach to a
+// fresh system — before its first access — for them to start at zero.
+func (s *System) AttachMissObserver(o MissObserver) {
+	s.obs = nil
+	s.mobs = o
+	s.imc, s.dmc = nil, nil
+	if o != nil {
+		s.imc, s.dmc = o.Counters(true), o.Counters(false)
+	}
 }
 
 // New builds a system from cfg.
@@ -214,6 +321,10 @@ func New(cfg Config) (*System, error) {
 	if err != nil {
 		return nil, err
 	}
+	// buildFrontEnd only constructs core front-end types, so the counter
+	// pointers are always available.
+	s.iAcc = core.AccessCounter(s.ife)
+	s.dAcc = core.AccessCounter(s.dfe)
 	return s, nil
 }
 
@@ -290,13 +401,41 @@ func (s *System) l2StreamHits() uint64 { return s.l2fe.Stats().StreamHits }
 // counters are derived from the simulator's stats and published every
 // telFlushEvery references (and at replay/results boundaries).
 func (s *System) Access(a memtrace.Access) {
+	// An attached miss observer costs the (overwhelmingly common) L1 hit
+	// one nil check and one test of the result already in hand. The miss
+	// path reads the per-side access index back from the front-end that
+	// just counted it, so the hierarchy tracks nothing per access, and
+	// books the common miss inline into the observer's MissCounters —
+	// the ObserveMiss interface call is reserved for the misses the
+	// observer's slow path must see (a period boundary or a due sample).
+	var r core.Result
+	var mc *MissCounters
+	var acc *uint64
 	switch a.Kind {
 	case memtrace.Ifetch:
-		s.ife.Access(uint64(a.Addr), false)
+		r = s.ife.Access(uint64(a.Addr), false)
+		mc, acc = s.imc, s.iAcc
 	case memtrace.Load:
-		s.dfe.Access(uint64(a.Addr), false)
+		r = s.dfe.Access(uint64(a.Addr), false)
+		mc, acc = s.dmc, s.dAcc
 	case memtrace.Store:
-		s.dfe.Access(uint64(a.Addr), true)
+		r = s.dfe.Access(uint64(a.Addr), true)
+		mc, acc = s.dmc, s.dAcc
+	}
+	if s.mobs != nil && !r.L1Hit && acc != nil {
+		idx := *acc - 1
+		if mc != nil && idx < mc.NextWin && mc.SampleIn > 0 {
+			if idx >= mc.Accesses {
+				mc.Accesses = idx + 1
+			}
+			mc.Served[r.Served&7]++
+			mc.SampleIn--
+		} else {
+			s.mobs.ObserveMiss(a, r, idx)
+		}
+	}
+	if s.obs != nil {
+		s.obs.ObserveAccess(a, r)
 	}
 	if s.tel != nil {
 		s.tel.pending++

@@ -176,4 +176,8 @@ func (s *System) FlushTelemetry() {
 	if s.tel != nil {
 		s.flushTel()
 	}
+	if s.mobs != nil {
+		s.mobs.SyncAccesses(true, *s.iAcc)
+		s.mobs.SyncAccesses(false, *s.dAcc)
+	}
 }

@@ -1,0 +1,688 @@
+// Package introspect adds time- and space-resolved visibility to a
+// replay: where the end-of-run aggregates say *how often* a cache
+// configuration missed, the probes here say *when* and *where*.
+//
+// A Probe taps the per-access core.Result of one first-level front-end
+// and accumulates three views:
+//
+//   - phase windows — a time series, one sample per N accesses, of the
+//     window's miss rate and hit attribution (L1 / miss cache / victim
+//     cache / stream buffer / memory). Sequential phases that a stream
+//     buffer absorbs, or conflict phases a victim cache flattens, show
+//     up as dips the aggregate miss rate averages away.
+//   - per-set heatmaps — per-L1-set access, miss, and conflict-eviction
+//     counts. The sets a victim cache relieves are exactly the hot rows
+//     of the baseline's eviction heatmap.
+//   - a sampled miss-event trace — a bounded ring holding every Nth L1
+//     miss (access index, address, set, tag, serving structure, and the
+//     3C class when classification is on), exportable as JSONL through
+//     the telemetry journal.
+//
+// The probe follows the telemetry layer's delta-publication discipline:
+// the per-access path touches only plain single-writer structs, and
+// anything shared — registry gauges — is published on window boundaries.
+// When attached to a hierarchy.System the probe goes further and removes
+// itself from the hit path entirely: per-set heat is counted by the L1
+// cache arrays themselves (cache.InstrumentSets increments a probe-owned
+// counter array exactly where the cache has already computed the set
+// index), and window hit attribution comes from a miss-only tap — hits
+// cost one nil check on the result the hierarchy already holds. The tap
+// itself is split hot/cold: the hierarchy updates the probe's exported
+// hierarchy.MissCounters inline (a handful of plain stores, no call) for
+// the common miss, and calls MissObserver.ObserveMiss only when a miss
+// crosses a window boundary or is due for sampling. Boundary crossings
+// close earlier windows retroactively — misses arrive in access order,
+// so an index at a boundary proves the preceding windows are complete —
+// and a flush-time access sync makes the in-progress window exact.
+// Attaching a probe reads the replay, it never writes it: the
+// equivalence tests pin that an introspected run produces bit-identical
+// simulated numbers.
+package introspect
+
+import (
+	"fmt"
+
+	"jouppi/internal/cache"
+	"jouppi/internal/classify"
+	"jouppi/internal/core"
+	"jouppi/internal/hierarchy"
+	"jouppi/internal/memtrace"
+	"jouppi/internal/telemetry"
+)
+
+// DefaultWindow is the phase-window width, in accesses, used when
+// Options.Window is zero.
+const DefaultWindow = 1 << 15
+
+// DefaultMissCap is the miss-event ring capacity used when
+// Options.MissCap is zero.
+const DefaultMissCap = 1024
+
+// Options configures a Probe. The zero value enables phase windows at
+// DefaultWindow and nothing else.
+type Options struct {
+	// Window is the phase-window width in accesses (DefaultWindow when
+	// zero; negative disables phase windows).
+	Window int
+	// Heatmap enables per-set access/miss/eviction counting.
+	Heatmap bool
+	// MissEvery samples every Nth L1 miss into the event ring; zero
+	// disables the miss trace.
+	MissEvery int
+	// MissCap bounds the event ring (DefaultMissCap when zero). Once
+	// full, the ring keeps the most recent MissCap samples and counts
+	// the overwritten ones as dropped.
+	MissCap int
+	// Classify tags sampled miss events with their 3C class by running
+	// a shadow classifier over the probe's access stream. The shadow
+	// needs to see every access, so enabling it keeps the hierarchy on
+	// the full per-access observer tap instead of the cheap miss-only
+	// one; leave it off when measuring overhead.
+	Classify bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.Window == 0 {
+		o.Window = DefaultWindow
+	}
+	if o.MissCap <= 0 {
+		o.MissCap = DefaultMissCap
+	}
+	return o
+}
+
+// Window is one completed (or, from Windows, in-progress) phase window.
+type Window struct {
+	// Start is the probe-local index of the window's first access; the
+	// window covers [Start, Start+Accesses).
+	Start    uint64
+	Accesses uint64
+	// Served counts the window's accesses by the structure that
+	// satisfied them, indexed by core.ServedBy.
+	Served [5]uint64
+}
+
+// FullMisses returns the window's demand fetches from the next level.
+func (w Window) FullMisses() uint64 { return w.Served[core.ServedMemory] }
+
+// AuxHits returns the window's augmentation hits.
+func (w Window) AuxHits() uint64 {
+	return w.Served[core.ServedMissCache] + w.Served[core.ServedVictim] + w.Served[core.ServedStream]
+}
+
+// MissRate returns the window's effective miss rate (full misses per
+// access), or 0 for an empty window.
+func (w Window) MissRate() float64 {
+	if w.Accesses == 0 {
+		return 0
+	}
+	return float64(w.FullMisses()) / float64(w.Accesses)
+}
+
+// RawMissRate returns the window's L1 miss rate before augmentation
+// credit.
+func (w Window) RawMissRate() float64 {
+	if w.Accesses == 0 {
+		return 0
+	}
+	return float64(w.Accesses-w.Served[core.ServedL1]) / float64(w.Accesses)
+}
+
+// SetCounts is one L1 set's heatmap row: accesses mapping to the set,
+// the subset that missed in L1, and the fills that displaced a valid
+// line — the direct-mapped conflict signature. Heat assembles rows from
+// the probe's split per-metric arrays (the layout cache.InstrumentSets
+// counts into).
+type SetCounts struct {
+	Accesses  uint64
+	Misses    uint64
+	Evictions uint64
+}
+
+// MissEvent is one sampled L1 miss.
+type MissEvent struct {
+	// Access is the probe-local index (0-based) of the missing access.
+	Access uint64
+	// Addr is the full byte address; Set and Tag its decomposition
+	// under the probed cache's geometry.
+	Addr uint64
+	Set  int
+	Tag  uint64
+	// Served names the structure that satisfied the miss.
+	Served core.ServedBy
+	// Class is the 3C classification; valid only when HasClass is set
+	// (Options.Classify was on).
+	Class    classify.Class
+	HasClass bool
+}
+
+// Probe observes one first-level front-end's access stream. It is a
+// pure reader — it never touches the simulated structures — and is not
+// safe for concurrent use (one probe per replay consumer).
+type Probe struct {
+	opts Options
+
+	sets      int
+	assoc     int
+	lineShift uint
+	setMask   uint64
+
+	// mc is the probe's hot miss-bookkeeping state, in the concrete
+	// layout the hierarchy books inline (hierarchy.MissCounters): the
+	// access high-water mark, the in-progress window's per-structure
+	// miss counts (mc.Served counts only *misses* — L1 hits are derived
+	// at snapshot time as accesses minus misses, so the hit path touches
+	// no attribution state), the index at which that window closes
+	// (MaxUint64 when windows are off), and the countdown to the next
+	// ring sample (sampleNever when sampling is off, so the miss path
+	// needs no separate enabled test). The manual Observe path updates
+	// the same fields, so both ingestion modes share one state machine.
+	mc hierarchy.MissCounters
+
+	winSize  uint64 // 0 = windows disabled
+	winStart uint64
+	windows  []Window
+
+	// The heatmap counters, split per metric (nil unless Options.Heatmap):
+	// only heatAcc is touched on every access, so the hot extra working
+	// set is 8 bytes per set.
+	heatAcc   []uint64
+	heatMiss  []uint64
+	heatEvict []uint64
+	// extHeat marks the heat arrays as maintained externally by an
+	// instrumented cache array (the hierarchy attach path); the probe's
+	// own observe path then leaves them alone.
+	extHeat  bool
+	resident []uint16 // valid lines per set; fills past assoc are evictions
+
+	ring      []MissEvent
+	ringNext  int
+	ringCount int
+	dropped   uint64
+
+	cl *classify.Classifier // nil unless Options.Classify
+
+	tel *probeTel // window gauges, nil unless AttachTelemetry
+}
+
+// NewProbe builds a probe for a front-end over an L1 with cfg's
+// geometry. The config must be valid (cache.New accepted it).
+func NewProbe(cfg cache.Config, opts Options) *Probe {
+	opts = opts.withDefaults()
+	assoc := cfg.Assoc
+	if assoc == cache.FullyAssociative {
+		assoc = cfg.Lines()
+	}
+	p := &Probe{
+		opts:      opts,
+		sets:      cfg.Sets(),
+		assoc:     assoc,
+		lineShift: shiftFor(cfg.LineSize),
+		setMask:   uint64(cfg.Sets() - 1),
+	}
+	p.mc.NextWin = ^uint64(0)
+	if opts.Window > 0 {
+		p.winSize = uint64(opts.Window)
+		p.mc.NextWin = p.winSize
+	}
+	if opts.Heatmap {
+		p.heatAcc = make([]uint64, p.sets)
+		p.heatMiss = make([]uint64, p.sets)
+		p.heatEvict = make([]uint64, p.sets)
+		p.resident = make([]uint16, p.sets)
+	}
+	if opts.MissEvery <= 0 {
+		// The ring itself is allocated lazily by sample — it grows with
+		// the events actually taken instead of committing MissCap slots
+		// up front, so a short replay doesn't pay for the bound.
+		p.mc.SampleIn = sampleNever
+	}
+	if opts.Classify {
+		p.cl = classify.MustNew(cfg.Size, cfg.LineSize)
+	}
+	return p
+}
+
+func shiftFor(lineSize int) uint {
+	shift := uint(0)
+	for ls := lineSize; ls > 1; ls >>= 1 {
+		shift++
+	}
+	return shift
+}
+
+// Observe records one access and its resolution. The caller passes the
+// byte address it gave the front-end and the Result the front-end
+// returned; the probe derives set/tag itself so it works for any L1
+// geometry.
+func (p *Probe) Observe(addr uint64, r core.Result) {
+	var cl classify.Class
+	has := false
+	if p.cl != nil {
+		cl = p.cl.ObserveMiss(addr, !r.L1Hit)
+		has = true
+	}
+	p.observe(addr, r, cl, has)
+}
+
+// ObserveClassified is Observe for callers that already run their own 3C
+// classifier over the same stream: cl tags any sampled miss event, and
+// the probe skips its internal shadow classifier (Options.Classify
+// should be off to avoid paying for it twice).
+func (p *Probe) ObserveClassified(addr uint64, r core.Result, cl classify.Class) {
+	p.observe(addr, r, cl, true)
+}
+
+// observe is the per-access path of the manual (Observe-driven) mode:
+// on the overwhelmingly common L1 hit it is two counter increments and
+// one compare; everything a miss needs lives in missPath so its code
+// never dilutes the hit path.
+func (p *Probe) observe(addr uint64, r core.Result, cl classify.Class, hasClass bool) {
+	p.mc.Accesses++
+	if p.heatAcc != nil && !p.extHeat {
+		p.heatAcc[(addr>>p.lineShift)&p.setMask]++
+	}
+	if !r.L1Hit {
+		p.missPath(addr, r, cl, hasClass)
+	}
+	if p.mc.Accesses >= p.mc.NextWin {
+		p.closeWindow()
+	}
+}
+
+// missPath books the manual mode's miss-only state: per-set miss and
+// eviction counts (unless an instrumented cache maintains them) plus the
+// shared served/ring bookkeeping.
+func (p *Probe) missPath(addr uint64, r core.Result, cl classify.Class, hasClass bool) {
+	if p.heatMiss != nil && !p.extHeat {
+		set := int((addr >> p.lineShift) & p.setMask)
+		p.heatMiss[set]++
+		// Every L1 miss — full miss or augmentation hit — installs the
+		// line with exactly one L1 fill in every front-end, so a miss to
+		// a set already holding assoc valid lines must displace one of
+		// them.
+		if p.resident[set] >= uint16(p.assoc) {
+			p.heatEvict[set]++
+		} else {
+			p.resident[set]++
+		}
+	}
+	p.recordMiss(addr, r, p.mc.Accesses-1, cl, hasClass)
+}
+
+// sampleNever is the countdown re-arm distance when sampling is off:
+// far enough that no replay reaches it, so the miss path can decrement
+// unconditionally instead of testing whether sampling is enabled.
+const sampleNever = int64(1) << 62
+
+// recordMiss books one L1 miss into the window attribution counters and,
+// when sampling is on, the event ring. idx is the probe-local (per-side)
+// access index of the missing access. The manual per-access path funnels
+// here; SystemProbe.ObserveMiss open-codes the same three lines so the
+// cheap tap pays no extra call.
+func (p *Probe) recordMiss(addr uint64, r core.Result, idx uint64, cl classify.Class, hasClass bool) {
+	p.mc.Served[r.Served&7]++
+	p.mc.SampleIn--
+	if p.mc.SampleIn < 0 {
+		p.sampleMiss(addr, r, idx, cl, hasClass)
+	}
+}
+
+// sampleMiss stores one miss event and re-arms the sampling countdown:
+// the first miss is sampled, then every MissEvery-th. It also absorbs
+// the sampling-off case (re-arming to sampleNever) so recordMiss carries
+// no enabled test.
+func (p *Probe) sampleMiss(addr uint64, r core.Result, idx uint64, cl classify.Class, hasClass bool) {
+	if p.opts.MissEvery <= 0 {
+		p.mc.SampleIn = sampleNever
+		return
+	}
+	la := addr >> p.lineShift
+	e := MissEvent{
+		Access: idx,
+		Addr:   addr,
+		Served: r.Served,
+		Set:    int(la & p.setMask),
+		Tag:    la >> uint(shiftForSets(p.sets)),
+	}
+	if hasClass {
+		e.Class, e.HasClass = cl, true
+	}
+	p.sample(e)
+	p.mc.SampleIn = int64(p.opts.MissEvery) - 1
+}
+
+// The cheap miss-observer ingestion lives open-coded in
+// SystemProbe.ObserveMiss. Misses arrive in ascending index order, so an
+// index at or past the next window boundary proves every earlier window
+// is complete — with all its misses already recorded — and closes it
+// retroactively, at its exact boundary, before the miss is booked into
+// the window it belongs to; nextWin is MaxUint64 when windows are off,
+// so the common case costs one compare. Each miss also rides the access
+// count forward, so a mid-replay Windows() snapshot never holds more
+// misses than accesses (the flush-time sync makes it exact).
+
+// catchUpWindows closes every window whose boundary idx has passed, each
+// at its exact boundary. Out of line to keep the per-miss ingestion in
+// ObserveMiss small.
+func (p *Probe) catchUpWindows(idx uint64) {
+	for idx >= p.mc.NextWin {
+		p.closeWindowAt(p.mc.NextWin)
+	}
+}
+
+// syncAccesses adopts a side's exact access count, delivered by the
+// hierarchy at flush boundaries (replay end, Results, periodic telemetry
+// flushes), closing every window the count completes. Misses arrive
+// strictly before the sync that ends their window, so attribution stays
+// exact; anything past the last boundary stays in the partial window.
+func (p *Probe) syncAccesses(total uint64) {
+	for total >= p.mc.NextWin {
+		p.closeWindowAt(p.mc.NextWin)
+	}
+	p.mc.Accesses = total
+}
+
+func shiftForSets(sets int) int {
+	shift := 0
+	for s := sets; s > 1; s >>= 1 {
+		shift++
+	}
+	return shift
+}
+
+// sample appends e to the bounded ring, overwriting the oldest sample
+// (and counting it dropped) once the ring holds MissCap events. Growth
+// is by append, so the ring's memory tracks the events actually taken
+// rather than the configured bound.
+func (p *Probe) sample(e MissEvent) {
+	if len(p.ring) < p.opts.MissCap {
+		p.ring = append(p.ring, e)
+		p.ringCount++
+		return
+	}
+	p.ring[p.ringNext] = e
+	p.ringNext = (p.ringNext + 1) % len(p.ring)
+	p.dropped++
+}
+
+// snapWindow packages the in-progress counters as a Window. Only misses
+// are counted live; the L1-hit share is what remains of the window's
+// accesses once every miss category is subtracted.
+func (p *Probe) snapWindow() Window {
+	w := Window{Start: p.winStart, Accesses: p.mc.Accesses - p.winStart}
+	copy(w.Served[1:], p.mc.Served[1:len(w.Served)])
+	var misses uint64
+	for _, n := range p.mc.Served[1:] {
+		misses += n
+	}
+	w.Served[core.ServedL1] = w.Accesses - misses
+	return w
+}
+
+// closeWindowAt closes the in-progress window at exactly end accesses —
+// the retroactive form the miss-driven ingestion uses, where the probe's
+// access count advances in jumps rather than one at a time.
+func (p *Probe) closeWindowAt(end uint64) {
+	p.mc.Accesses = end
+	p.closeWindow()
+}
+
+// closeWindow finalizes the in-progress window and publishes its gauges.
+func (p *Probe) closeWindow() {
+	w := p.snapWindow()
+	p.windows = append(p.windows, w)
+	if p.tel != nil {
+		p.tel.publish(w)
+	}
+	p.winStart = p.mc.Accesses
+	p.mc.NextWin = p.mc.Accesses + p.winSize
+	p.mc.Served = [8]uint64{}
+}
+
+// Accesses returns the number of accesses observed so far. For a probe
+// attached through the hierarchy's miss-observer tap the count advances
+// with each delivered miss and at telemetry flushes (replay end,
+// Results), so mid-replay reads may trail the replay; completed replays
+// are exact.
+func (p *Probe) Accesses() uint64 { return p.mc.Accesses }
+
+// Windows returns the completed phase windows plus, when it holds any
+// accesses, a copy of the in-progress partial window. The probe's own
+// state is not flushed, so Windows may be called mid-replay.
+func (p *Probe) Windows() []Window {
+	out := make([]Window, len(p.windows), len(p.windows)+1)
+	copy(out, p.windows)
+	if p.winSize > 0 && p.mc.Accesses > p.winStart {
+		out = append(out, p.snapWindow())
+	}
+	return out
+}
+
+// Heat returns the per-set counts, or nil when the heatmap was not
+// enabled. The rows are assembled from the probe's per-metric arrays;
+// index = L1 set number.
+func (p *Probe) Heat() []SetCounts {
+	if p.heatAcc == nil {
+		return nil
+	}
+	out := make([]SetCounts, len(p.heatAcc))
+	for i := range out {
+		out[i] = SetCounts{
+			Accesses:  p.heatAcc[i],
+			Misses:    p.heatMiss[i],
+			Evictions: p.heatEvict[i],
+		}
+	}
+	return out
+}
+
+// Events returns the sampled miss events in chronological order.
+func (p *Probe) Events() []MissEvent {
+	out := make([]MissEvent, 0, p.ringCount)
+	if p.ringCount == len(p.ring) && len(p.ring) > 0 {
+		out = append(out, p.ring[p.ringNext:]...)
+		out = append(out, p.ring[:p.ringNext]...)
+		return out
+	}
+	return append(out, p.ring...)
+}
+
+// Dropped returns the number of sampled events the ring overwrote.
+func (p *Probe) Dropped() uint64 { return p.dropped }
+
+// Classes returns the 3C totals of the probe's shadow classifier, or a
+// zero Counts when Options.Classify was off.
+func (p *Probe) Classes() classify.Counts {
+	if p.cl == nil {
+		return classify.Counts{}
+	}
+	return p.cl.Counts()
+}
+
+// probeTel is the gauge set AttachTelemetry installs; it is written only
+// on window boundaries, per the delta-publication discipline.
+type probeTel struct {
+	windows  *telemetry.Counter
+	accesses *telemetry.Gauge
+	misses   *telemetry.Gauge
+	auxHits  *telemetry.Gauge
+	ratePPM  *telemetry.Gauge
+}
+
+func (t *probeTel) publish(w Window) {
+	t.windows.Inc()
+	t.accesses.Set(int64(w.Accesses))
+	t.misses.Set(int64(w.FullMisses()))
+	t.auxHits.Set(int64(w.AuxHits()))
+	t.ratePPM.Set(int64(w.MissRate() * 1e6))
+}
+
+// AttachTelemetry registers the probe's window gauges in reg under
+// introspect_<side>_*: a counter of completed windows and gauges holding
+// the last completed window's accesses, full misses, augmentation hits,
+// and miss rate in parts per million. Gauges move only at window
+// boundaries, so the per-access path stays telemetry-free. A nil
+// registry detaches.
+func (p *Probe) AttachTelemetry(reg *telemetry.Registry, side string) {
+	if reg == nil {
+		p.tel = nil
+		return
+	}
+	pre := "introspect_" + side + "_"
+	p.tel = &probeTel{
+		windows:  reg.Counter(pre+"windows_total", side+": completed phase windows"),
+		accesses: reg.Gauge(pre+"window_accesses", side+": accesses in the last completed window"),
+		misses:   reg.Gauge(pre+"window_full_misses", side+": full misses in the last completed window"),
+		auxHits:  reg.Gauge(pre+"window_aux_hits", side+": augmentation hits in the last completed window"),
+		ratePPM:  reg.Gauge(pre+"window_miss_rate_ppm", side+": last window's miss rate, parts per million"),
+	}
+}
+
+// SystemProbe introspects both first-level sides of a hierarchy.System.
+// It implements hierarchy.Observer, routing instruction fetches to the I
+// probe and loads/stores to the D probe.
+type SystemProbe struct {
+	I, D *Probe
+}
+
+// Attach builds probes for both first-level caches of sys (per opts)
+// and installs them as the system's observer, replacing any previous
+// one. Probes are per-system — under fan-out every consumer system gets
+// its own Attach call — and reading them never perturbs the simulation.
+//
+// Heatmaps are counted by the L1 arrays themselves: the probes' heat
+// slices are handed to cache.InstrumentSets, so the cache increments
+// them where it has already computed the set index. Without
+// classification the probes ride the hierarchy's cheap miss-observer
+// tap — no per-access observer call at all, misses and window
+// boundaries only. The 3C shadow classifier needs to see every access,
+// so Options.Classify keeps the full per-access tap.
+func Attach(sys *hierarchy.System, opts Options) *SystemProbe {
+	cfg := sys.Config()
+	sp := &SystemProbe{
+		I: NewProbe(cfg.L1I, opts),
+		D: NewProbe(cfg.L1D, opts),
+	}
+	sp.I.externalHeat()
+	sp.D.externalHeat()
+	sys.IFrontEnd().Cache().InstrumentSets(sp.I.heatAcc, sp.I.heatMiss, sp.I.heatEvict)
+	sys.DFrontEnd().Cache().InstrumentSets(sp.D.heatAcc, sp.D.heatMiss, sp.D.heatEvict)
+	if sp.I.cl != nil {
+		sys.AttachObserver(sp)
+		return sp
+	}
+	sys.AttachMissObserver(sp)
+	return sp
+}
+
+// externalHeat marks the heat array as maintained by an instrumented
+// cache; the probe's own paths then neither count into it nor need the
+// resident-lines eviction model.
+func (p *Probe) externalHeat() {
+	p.extHeat = true
+	p.resident = nil
+}
+
+// ObserveAccess implements hierarchy.Observer — the full per-access tap,
+// used only when the 3C shadow classifier must see every access. It
+// routes straight to the side's observe body, adding no intermediate
+// frame.
+func (sp *SystemProbe) ObserveAccess(a memtrace.Access, r core.Result) {
+	p := sp.D
+	if a.Kind == memtrace.Ifetch {
+		p = sp.I
+	}
+	if p.cl != nil {
+		c := p.cl.ObserveMiss(uint64(a.Addr), !r.L1Hit)
+		p.observe(uint64(a.Addr), r, c, true)
+		return
+	}
+	p.observe(uint64(a.Addr), r, 0, false)
+}
+
+// ObserveMiss implements hierarchy.MissObserver: the cheap tap's
+// per-miss delivery. The ingestion body (observeMissAt) is open-coded
+// here so the hierarchy's interface dispatch lands directly in the work
+// — a typical miss costs no further call.
+func (sp *SystemProbe) ObserveMiss(a memtrace.Access, r core.Result, index uint64) {
+	p := sp.D
+	if a.Kind == memtrace.Ifetch {
+		p = sp.I
+	}
+	if index >= p.mc.NextWin {
+		p.catchUpWindows(index)
+	}
+	if index >= p.mc.Accesses {
+		p.mc.Accesses = index + 1
+	}
+	p.mc.Served[r.Served&7]++
+	p.mc.SampleIn--
+	if p.mc.SampleIn < 0 {
+		p.sampleMiss(uint64(a.Addr), r, index, 0, false)
+	}
+}
+
+// Counters implements hierarchy.MissObserver: it hands the hierarchy
+// the side's hot counters so the common miss is booked inline and only
+// window-boundary and sample-due misses arrive through ObserveMiss.
+func (sp *SystemProbe) Counters(instr bool) *hierarchy.MissCounters {
+	if instr {
+		return &sp.I.mc
+	}
+	return &sp.D.mc
+}
+
+// SyncAccesses implements hierarchy.MissObserver: flush-time count
+// syncs.
+func (sp *SystemProbe) SyncAccesses(instr bool, accesses uint64) {
+	if instr {
+		sp.I.syncAccesses(accesses)
+	} else {
+		sp.D.syncAccesses(accesses)
+	}
+}
+
+var (
+	_ hierarchy.Observer     = (*SystemProbe)(nil)
+	_ hierarchy.MissObserver = (*SystemProbe)(nil)
+)
+
+// AttachTelemetry registers both sides' window gauges in reg
+// (introspect_l1i_*, introspect_l1d_*). A nil registry detaches.
+func (sp *SystemProbe) AttachTelemetry(reg *telemetry.Registry) {
+	sp.I.AttachTelemetry(reg, "l1i")
+	sp.D.AttachTelemetry(reg, "l1d")
+}
+
+// EmitMissEvents writes the probe's sampled miss trace to the journal as
+// one miss-dump header line followed by one miss-event line per sample.
+// side labels the lines ("inst", "data", or a CLI-chosen name). A nil
+// journal is a no-op, matching telemetry.Journal's convention.
+func (p *Probe) EmitMissEvents(j *telemetry.Journal, side string) {
+	if j == nil {
+		return
+	}
+	events := p.Events()
+	j.Emit(telemetry.Event{
+		Event:   "miss-dump",
+		Side:    side,
+		Total:   len(events),
+		Dropped: p.Dropped(),
+	})
+	for _, e := range events {
+		ev := telemetry.Event{
+			Event:  "miss-event",
+			Side:   side,
+			Access: e.Access,
+			Addr:   fmt.Sprintf("0x%x", e.Addr),
+			Set:    e.Set,
+			Tag:    fmt.Sprintf("0x%x", e.Tag),
+			Served: e.Served.String(),
+		}
+		if e.HasClass {
+			ev.Class = e.Class.String()
+		}
+		j.Emit(ev)
+	}
+}

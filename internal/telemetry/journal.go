@@ -2,7 +2,9 @@ package telemetry
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
+	"fmt"
 	"io"
 	"sync"
 	"time"
@@ -23,6 +25,15 @@ import (
 //	experiment-retry  a failed experiment is being re-run (RunOptions.Retries)
 //	checkpoint-saved  the checkpoint file was flushed (ID of the result)
 //	run-finish        the sweep ended (adds ElapsedS; Err if interrupted)
+//
+// Event kinds emitted by the introspection probes (internal/introspect):
+//
+//	miss-dump         header before one probe's sampled miss events
+//	                  (Side; Total events that follow; Dropped counts
+//	                  sampled events the bounded ring overwrote)
+//	miss-event        one sampled L1 miss (Side, Access index, Addr, Set,
+//	                  Tag, Served structure; Class when 3C classification
+//	                  was on)
 type Event struct {
 	Time     time.Time `json:"ts"`
 	Event    string    `json:"event"`
@@ -33,6 +44,18 @@ type Event struct {
 	ElapsedS float64   `json:"elapsed_s,omitempty"`
 	Cached   bool      `json:"cached,omitempty"`
 	Err      string    `json:"err,omitempty"`
+
+	// Introspection fields (miss-dump / miss-event lines). Addresses are
+	// hex strings ("0x2a40") so jq pipelines stay readable; zero-valued
+	// fields are omitted and decode back to their zero values.
+	Side    string `json:"side,omitempty"`
+	Access  uint64 `json:"access,omitempty"`
+	Addr    string `json:"addr,omitempty"`
+	Set     int    `json:"set,omitempty"`
+	Tag     string `json:"tag,omitempty"`
+	Served  string `json:"served,omitempty"`
+	Class   string `json:"class,omitempty"`
+	Dropped uint64 `json:"dropped,omitempty"`
 }
 
 // Journal appends Events to a writer as JSONL. A nil *Journal is the
@@ -91,18 +114,30 @@ func (j *Journal) Err() error {
 }
 
 // ReadEvents decodes a JSONL journal back into events — the round-trip
-// counterpart of Emit, used by tests and tooling.
+// counterpart of Emit, used by tests and tooling. It reads strictly line
+// by line with no line-length limit (a miss-event dump with long fields
+// must not trip a default bufio.Scanner token cap), and a malformed line
+// fails with an error naming its line number, returning the events
+// decoded before it.
 func ReadEvents(r io.Reader) ([]Event, error) {
 	var out []Event
-	dec := json.NewDecoder(r)
+	br := bufio.NewReader(r)
+	line := 0
 	for {
-		var e Event
-		if err := dec.Decode(&e); err != nil {
-			if err == io.EOF {
-				return out, nil
+		data, err := br.ReadBytes('\n')
+		if trimmed := bytes.TrimSpace(data); len(trimmed) > 0 {
+			line++
+			var e Event
+			if jerr := json.Unmarshal(trimmed, &e); jerr != nil {
+				return out, fmt.Errorf("telemetry: journal line %d: %w", line, jerr)
 			}
+			out = append(out, e)
+		}
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
 			return out, err
 		}
-		out = append(out, e)
 	}
 }

@@ -72,6 +72,74 @@ func TestJournalStickyError(t *testing.T) {
 func TestReadEventsRejectsGarbage(t *testing.T) {
 	_, err := ReadEvents(strings.NewReader("{\"event\":\"run-start\"}\nnot json\n"))
 	if err == nil {
-		t.Error("garbage line must fail decoding")
+		t.Fatal("garbage line must fail decoding")
+	}
+	if !strings.Contains(err.Error(), "line 2") {
+		t.Errorf("error must name the offending line: %v", err)
+	}
+}
+
+func TestJournalMissEventRoundTrip(t *testing.T) {
+	ts := time.Date(2026, 8, 7, 9, 0, 0, 0, time.UTC)
+	in := []Event{
+		{Event: "miss-dump", Side: "data", Total: 2, Dropped: 7},
+		{Event: "miss-event", Side: "data", Access: 1024, Addr: "0x2a40",
+			Set: 41, Tag: "0x15", Served: "victim", Class: "conflict"},
+		{Event: "miss-event", Side: "data", Access: 2048, Addr: "0x0",
+			Set: 0, Tag: "0x0", Served: "memory"},
+	}
+	var sb strings.Builder
+	j := NewJournal(&sb)
+	j.now = func() time.Time { return ts }
+	for _, e := range in {
+		j.Emit(e)
+	}
+	out, err := ReadEvents(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("round-trip produced %d events, want %d", len(out), len(in))
+	}
+	for i, e := range out {
+		want := in[i]
+		want.Time = ts
+		if e != want {
+			t.Errorf("event %d round-trip mismatch:\n got %+v\nwant %+v", i, e, want)
+		}
+	}
+}
+
+// TestReadEventsLongLine pins that ReadEvents has no line-length cap. A
+// large miss-dump journal can carry lines far past bufio.Scanner's 64KiB
+// default token limit; an implementation built on a default Scanner
+// fails this test with bufio.ErrTooLong.
+func TestReadEventsLongLine(t *testing.T) {
+	long := strings.Repeat("x", 2<<20) // ~2MiB, well past bufio.MaxScanTokenSize
+	var sb strings.Builder
+	j := NewJournal(&sb)
+	j.now = func() time.Time { return time.Date(2026, 8, 7, 9, 0, 0, 0, time.UTC) }
+	j.Emit(Event{Event: "experiment-finish", ID: "big", Err: long})
+	if err := j.Err(); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ReadEvents(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatalf("long journal line must decode, got: %v", err)
+	}
+	if len(out) != 1 || out[0].Err != long {
+		t.Fatal("long journal line did not round-trip intact")
+	}
+}
+
+// ReadEvents must also tolerate a final line with no trailing newline —
+// e.g. a journal truncated by a crash mid-flush but after the payload.
+func TestReadEventsNoTrailingNewline(t *testing.T) {
+	out, err := ReadEvents(strings.NewReader(`{"event":"run-start","total":3}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 1 || out[0].Total != 3 {
+		t.Fatalf("unterminated final line not decoded: %+v", out)
 	}
 }

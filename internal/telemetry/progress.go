@@ -10,7 +10,9 @@ import (
 
 // Progress renders a live single-line status to a terminal-ish writer
 // (normally stderr), driven by the same counters the /metrics endpoint
-// serves: replay throughput in accesses/sec, experiments done/total, and
+// serves: replay throughput in accesses/sec (instantaneous over the last
+// redraw window, with the cumulative average alongside), experiments
+// done/total, and
 // an ETA extrapolated from the completion rate. The line is redrawn in
 // place with a carriage return; Stop clears it so final output is clean.
 type Progress struct {
@@ -101,8 +103,16 @@ func (p *Progress) line(now time.Time) string {
 		acc := p.accesses.Value()
 		dt := now.Sub(p.lastTime).Seconds()
 		if dt > 0 {
+			// The leading figure is the instantaneous (windowed) rate —
+			// what the replay is doing right now — with the cumulative
+			// average alongside, so a slow phase late in a long replay
+			// reads as a dip instead of being flattened into the mean.
 			rate := float64(acc-p.lastAcc) / dt
-			parts = append(parts, fmt.Sprintf("%.1f MAcc/s", rate/1e6))
+			part := fmt.Sprintf("%.1f MAcc/s", rate/1e6)
+			if elapsed := now.Sub(p.start).Seconds(); elapsed > 0 {
+				part += fmt.Sprintf(" (avg %.1f)", float64(acc)/elapsed/1e6)
+			}
+			parts = append(parts, part)
 		}
 		parts = append(parts, fmt.Sprintf("%d accesses", acc))
 		p.lastAcc, p.lastTime = acc, now

@@ -17,20 +17,23 @@ func TestProgressLine(t *testing.T) {
 	p := NewProgress(&sb, acc, done, total)
 	start := p.start
 
-	// After 2s: 3 of 10 done, 4M accesses → 2 MAcc/s, ETA ~4.7s.
+	// After 2s: 3 of 10 done, 4M accesses → 2 MAcc/s, ETA ~4.7s. The
+	// windowed and cumulative rates agree on the first draw.
 	done.Set(3)
 	acc.Add(4_000_000)
 	line := p.line(start.Add(2 * time.Second))
-	for _, want := range []string{"3/10 experiments", "ETA", "2.0 MAcc/s", "4000000 accesses", "elapsed 2s"} {
+	for _, want := range []string{"3/10 experiments", "ETA", "2.0 MAcc/s (avg 2.0)", "4000000 accesses", "elapsed 2s"} {
 		if !strings.Contains(line, want) {
 			t.Errorf("progress line missing %q: %q", want, line)
 		}
 	}
 
-	// Rate is windowed: another second with no new accesses reads 0.
+	// Rate is windowed: another second with no new accesses reads 0 —
+	// but the cumulative average still reports the whole run (4M over
+	// 3s ≈ 1.3), so a stalled phase is visible without erasing history.
 	line = p.line(start.Add(3 * time.Second))
-	if !strings.Contains(line, "0.0 MAcc/s") {
-		t.Errorf("windowed rate not zero after idle second: %q", line)
+	if !strings.Contains(line, "0.0 MAcc/s (avg 1.3)") {
+		t.Errorf("line must show zero windowed rate and the cumulative average after an idle second: %q", line)
 	}
 }
 

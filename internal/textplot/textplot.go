@@ -196,6 +196,58 @@ func StackedBars(title string, labels []string, rows [][]Segment, width int) str
 	return sb.String()
 }
 
+// heatRamp maps normalized intensity to a glyph, darkest last. The
+// leading space means "no activity at all"; any nonzero value renders at
+// least the lightest visible glyph.
+const heatRamp = " .:-=+*#%@"
+
+// HeatMap renders values as a density grid, cols cells per row, one
+// glyph per value scaled to the maximum — the per-set cache pressure
+// view. Index labels on the left give each row's first cell, so cell k
+// of the row labelled n is index n+k. NaN and negative values render as
+// empty cells.
+func HeatMap(title string, values []float64, cols int) string {
+	if cols < 1 {
+		cols = 64
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s\n", title)
+	if len(values) == 0 {
+		return sb.String() + "(no data)\n"
+	}
+	maxVal, maxIdx := 0.0, 0
+	for i, v := range values {
+		if !math.IsNaN(v) && v > maxVal {
+			maxVal, maxIdx = v, i
+		}
+	}
+	labelW := len(fmt.Sprint(len(values) - 1))
+	if labelW < 4 {
+		labelW = 4
+	}
+	for row := 0; row < len(values); row += cols {
+		end := row + cols
+		if end > len(values) {
+			end = len(values)
+		}
+		cells := make([]byte, 0, cols)
+		for _, v := range values[row:end] {
+			g := heatRamp[0]
+			if !math.IsNaN(v) && v > 0 && maxVal > 0 {
+				n := int(v / maxVal * float64(len(heatRamp)-1))
+				if n < 1 {
+					n = 1
+				}
+				g = heatRamp[n]
+			}
+			cells = append(cells, g)
+		}
+		fmt.Fprintf(&sb, "  %*d |%s|\n", labelW, row, string(cells))
+	}
+	fmt.Fprintf(&sb, "  max %.4g at %d; ramp %q (low to high)\n", maxVal, maxIdx, heatRamp)
+	return sb.String()
+}
+
 // Table renders an aligned text table.
 func Table(headers []string, rows [][]string) string {
 	widths := make([]int, len(headers))

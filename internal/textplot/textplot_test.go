@@ -1,6 +1,7 @@
 package textplot
 
 import (
+	"math"
 	"strings"
 	"testing"
 )
@@ -104,6 +105,52 @@ func TestStackedBars(t *testing.T) {
 	}
 	// Zero-total row must not panic.
 	_ = StackedBars("z", []string{"a"}, [][]Segment{{{Name: "n", Glyph: '=', Value: 0}}}, 10)
+}
+
+func TestHeatMap(t *testing.T) {
+	values := make([]float64, 96)
+	values[0] = 1     // lightest visible glyph
+	values[40] = 100  // mid intensity
+	values[95] = 1000 // the maximum: darkest glyph
+	out := HeatMap("pressure", values, 64)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("96 values at 64 cols must give title + 2 rows + legend, got %d:\n%s", len(lines), out)
+	}
+	row0 := lines[1][strings.Index(lines[1], "|")+1:]
+	row1 := lines[2][strings.Index(lines[2], "|")+1:]
+	if len(row0) != 65 || len(row1) != 33 { // cells + closing '|'
+		t.Errorf("row widths %d/%d, want 65/33:\n%s", len(row0), len(row1), out)
+	}
+	if row0[0] != '.' {
+		t.Errorf("tiny nonzero value must render the lightest visible glyph, got %q", row0[0])
+	}
+	if row1[31] != '@' {
+		t.Errorf("maximum must render the darkest glyph, got %q", row1[31])
+	}
+	if row0[1] != ' ' {
+		t.Errorf("zero cell must be blank, got %q", row0[1])
+	}
+	if !strings.Contains(lines[3], "max 1000 at 95") {
+		t.Errorf("legend missing max: %q", lines[3])
+	}
+	// Row labels name the first cell of each row.
+	if !strings.Contains(lines[2], "64") {
+		t.Errorf("second row must be labelled 64: %q", lines[2])
+	}
+}
+
+func TestHeatMapEdgeCases(t *testing.T) {
+	if out := HeatMap("empty", nil, 8); !strings.Contains(out, "(no data)") {
+		t.Errorf("empty heatmap: %q", out)
+	}
+	// All-NaN / negative values render as blank cells without panicking.
+	out := HeatMap("nan", []float64{math.NaN(), -3}, 0)
+	row := strings.Split(out, "\n")[1]
+	inner := row[strings.Index(row, "|")+1 : strings.LastIndex(row, "|")]
+	if inner != "  " {
+		t.Errorf("NaN/negative cells must be blank, got %q", inner)
+	}
 }
 
 func TestTable(t *testing.T) {

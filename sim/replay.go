@@ -3,7 +3,6 @@ package sim
 import (
 	"context"
 	"fmt"
-	"math"
 
 	"jouppi/internal/fanout"
 	"jouppi/internal/memtrace"
@@ -28,8 +27,16 @@ func ReplayMany(name string, scale float64, cfgs []Config) ([]Results, error) {
 // fanout_consumers, fanout_broadcast_depth, fanout_consumer_lag_*).
 func ReplayManyContext(ctx context.Context, name string, scale float64,
 	reg *telemetry.Registry, cfgs []Config) ([]Results, error) {
-	if !(scale > 0) || math.IsInf(scale, 0) {
-		return nil, fmt.Errorf("sim: scale must be a positive finite number, got %v", scale)
+	return replayMany(ctx, name, scale, reg, cfgs, nil)
+}
+
+// replayMany is the shared fan-out replay body. attach, when non-nil, is
+// called once per freshly built consumer system before the replay starts
+// (the introspection hook); it must not touch the access stream.
+func replayMany(ctx context.Context, name string, scale float64,
+	reg *telemetry.Registry, cfgs []Config, attach func(i int, sys *System)) ([]Results, error) {
+	if err := checkScale(scale); err != nil {
+		return nil, err
 	}
 	b, err := benchmark(name)
 	if err != nil {
@@ -41,6 +48,9 @@ func ReplayManyContext(ctx context.Context, name string, scale float64,
 		sys, err := NewSystem(cfg)
 		if err != nil {
 			return nil, fmt.Errorf("sim: config %d: %w", i, err)
+		}
+		if attach != nil {
+			attach(i, sys)
 		}
 		systems[i] = sys
 		consumers[i] = fanout.Sink(sys.sys)

@@ -316,6 +316,14 @@ func BenchmarkDescription(name string) (string, error) {
 	return b.Description(), nil
 }
 
+// checkScale rejects non-positive and non-finite workload scales.
+func checkScale(scale float64) error {
+	if !(scale > 0) || math.IsInf(scale, 0) {
+		return fmt.Errorf("sim: scale must be a positive finite number, got %v", scale)
+	}
+	return nil
+}
+
 func benchmark(name string) (workload.Benchmark, error) {
 	switch name {
 	case "strided":
@@ -346,8 +354,8 @@ func RunBenchmark(name string, scale float64, cfg Config) (Results, error) {
 // time-bounded with context.WithTimeout. The access sequence is
 // bit-identical to RunBenchmark's.
 func RunBenchmarkContext(ctx context.Context, name string, scale float64, cfg Config) (Results, error) {
-	if !(scale > 0) || math.IsInf(scale, 0) {
-		return Results{}, fmt.Errorf("sim: scale must be a positive finite number, got %v", scale)
+	if err := checkScale(scale); err != nil {
+		return Results{}, err
 	}
 	b, err := benchmark(name)
 	if err != nil {
@@ -357,16 +365,26 @@ func RunBenchmarkContext(ctx context.Context, name string, scale float64, cfg Co
 	if err != nil {
 		return Results{}, err
 	}
+	if err := sys.replayBenchmark(ctx, b, scale); err != nil {
+		return Results{}, err
+	}
+	return sys.Results(), nil
+}
+
+// replayBenchmark streams b at scale through the system, booking the
+// instruction count. It is the shared body of RunBenchmarkContext and
+// RunBenchmarkIntrospected, so both replay bit-identically.
+func (s *System) replayBenchmark(ctx context.Context, b workload.Benchmark, scale float64) error {
 	if ctx.Done() == nil {
 		// The context can never be cancelled (Background/TODO): generate
 		// straight into the hierarchy with no goroutine hand-off.
 		var counts memtrace.Counts
 		b.Generate(scale, memtrace.SinkFunc(func(a memtrace.Access) {
 			counts.Observe(a)
-			sys.sys.Access(a)
+			s.sys.Access(a)
 		}))
-		sys.instructions = counts.Instructions()
-		return sys.Results(), nil
+		s.instructions = counts.Instructions()
+		return nil
 	}
 	// A cancellable context needs a pull-based replay loop that can stop
 	// between accesses; the workload source generates in a goroutine that
@@ -374,11 +392,11 @@ func RunBenchmarkContext(ctx context.Context, name string, scale float64, cfg Co
 	src := workload.NewSource(b, scale)
 	defer src.Close()
 	counting := memtrace.NewCountingSource(src)
-	if err := memtrace.EachContext(ctx, counting, sys.sys.Access); err != nil {
-		return Results{}, err
+	if err := memtrace.EachContext(ctx, counting, s.sys.Access); err != nil {
+		return err
 	}
-	sys.instructions = counting.Instructions()
-	return sys.Results(), nil
+	s.instructions = counting.Instructions()
+	return nil
 }
 
 // ExperimentInfo names one reproducible paper exhibit.
