@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all check fmt vet build test shuffle cover bench bench-json bench-gate fuzz
+.PHONY: all check fmt vet build test shuffle cover bench bench-json bench-gate fuzz loadtest loadtest-full
 
 all: check
 
@@ -27,16 +27,24 @@ test:
 shuffle:
 	$(GO) test -shuffle=on ./...
 
-# cover enforces the coverage floor on the fan-out engine: the broadcast
-# loop's cancellation, panic-relay, and backpressure paths are exactly the
-# branches a quick test run can silently stop exercising.
+# cover enforces coverage floors on the subsystems whose interesting
+# branches a quick test run can silently stop exercising: the fan-out
+# engine (cancellation, panic relay, backpressure) and the job queue
+# (retry classification, drain, admission, store quarantine).
 FANOUT_COVER_MIN ?= 85.0
+JOBQUEUE_COVER_MIN ?= 80.0
 cover:
 	$(GO) test -coverprofile=cover_fanout.out ./internal/fanout
 	@total=$$($(GO) tool cover -func=cover_fanout.out | awk '/^total:/ { sub(/%/, "", $$NF); print $$NF }'); \
 	rm -f cover_fanout.out; \
 	echo "internal/fanout coverage: $$total% (floor $(FANOUT_COVER_MIN)%)"; \
 	awk -v got="$$total" -v min="$(FANOUT_COVER_MIN)" \
+		'BEGIN { if (got+0 < min+0) { print "coverage below floor"; exit 1 } }'
+	$(GO) test -short -coverprofile=cover_jobqueue.out ./internal/jobqueue
+	@total=$$($(GO) tool cover -func=cover_jobqueue.out | awk '/^total:/ { sub(/%/, "", $$NF); print $$NF }'); \
+	rm -f cover_jobqueue.out; \
+	echo "internal/jobqueue coverage: $$total% (floor $(JOBQUEUE_COVER_MIN)%)"; \
+	awk -v got="$$total" -v min="$(JOBQUEUE_COVER_MIN)" \
 		'BEGIN { if (got+0 < min+0) { print "coverage below floor"; exit 1 } }'
 
 # fuzz gives each trace-decoder fuzz target a short budget — a smoke pass
@@ -46,6 +54,16 @@ fuzz:
 	$(GO) test ./internal/memtrace -run '^$$' -fuzz FuzzReadTrace -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/memtrace -run '^$$' -fuzz FuzzReadDinero -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/memtrace -run '^$$' -fuzz FuzzLenientReaders -fuzztime $(FUZZTIME)
+
+# loadtest runs the cachesimd chaos/load test under the race detector:
+# concurrent clients flood the daemon's HTTP API, a tenth of them with
+# fault-injected traces, and the test verifies zero lost jobs, zero
+# results diverging from a direct library replay, and 429-on-overload.
+# The default profile is CI-sized; loadtest-full opts into the large one.
+loadtest:
+	$(GO) test -race -run TestChaosLoad -v ./internal/jobqueue
+loadtest-full:
+	CACHESIMD_LOADTEST=full $(GO) test -race -run TestChaosLoad -v -timeout 30m ./internal/jobqueue
 
 # bench runs the micro-benchmarks briefly — enough to catch a throughput
 # cliff, not a full measurement run.

@@ -1,0 +1,144 @@
+// Command cachesimd serves the simulator as a fault-tolerant HTTP
+// daemon: clients POST simulation jobs (a built-in benchmark or an
+// uploaded trace, fanned out over a list of cache configurations), poll
+// or stream their progress, and fetch results that are cached
+// content-addressed on disk so identical submissions are answered
+// without re-simulating.
+//
+//	cachesimd -addr 127.0.0.1:8080 -workers 4 -cache-dir /var/cache/cachesimd
+//
+// The daemon degrades predictably under load (bounded queue, 429 +
+// Retry-After when full), retries transient failures with capped
+// exponential backoff, and drains gracefully on SIGTERM/SIGINT:
+// admission stops, queued jobs are rejected with a clear status,
+// in-flight jobs get -drain-timeout to finish, and the process exits 0.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"jouppi/internal/jobqueue"
+	"jouppi/internal/telemetry"
+	"jouppi/internal/version"
+)
+
+const (
+	exitOK      = 0
+	exitFailure = 1
+	exitUsage   = 2
+)
+
+// testHookRunner, when non-nil, replaces the queue's job runner. Only
+// tests set it, to hold jobs at a controlled point; nil means the
+// default runner.
+var testHookRunner jobqueue.Runner
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stop()
+	os.Exit(run(ctx, os.Args[1:], os.Stdout, os.Stderr, nil))
+}
+
+// run is the testable body of main. ready, when non-nil, receives the
+// bound listen address once the server is accepting connections.
+func run(ctx context.Context, args []string, stdout, stderr io.Writer, ready chan<- string) int {
+	fs := flag.NewFlagSet("cachesimd", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		addr         = fs.String("addr", "127.0.0.1:8080", "listen address (port 0 picks a free port)")
+		workers      = fs.Int("workers", 2, "simulation worker pool size")
+		queueDepth   = fs.Int("queue", 64, "admission queue depth (full queue = 429)")
+		jobTimeout   = fs.Duration("job-timeout", 5*time.Minute, "per-attempt time limit for each job (0 = unbounded)")
+		jobDeadline  = fs.Duration("job-deadline", 15*time.Minute, "whole-job time limit across retries (0 = unbounded)")
+		retries      = fs.Int("retries", 1, "extra attempts for retryably-failed jobs")
+		drainTimeout = fs.Duration("drain-timeout", 30*time.Second, "time in-flight jobs get to finish on shutdown")
+		cacheDir     = fs.String("cache-dir", "", "content-addressed result cache directory (empty = caching off)")
+		maxJobs      = fs.Int("max-jobs", 1024, "retained job records before the oldest finished ones are evicted")
+		showVer      = fs.Bool("version", false, "print build information and exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return exitUsage
+	}
+	if *showVer {
+		fmt.Fprintln(stdout, version.String("cachesimd"))
+		return exitOK
+	}
+
+	var store *jobqueue.Store
+	if *cacheDir != "" {
+		var err error
+		if store, err = jobqueue.OpenStore(*cacheDir); err != nil {
+			fmt.Fprintf(stderr, "cachesimd: %v\n", err)
+			return exitFailure
+		}
+		if n := store.Quarantined(); n > 0 {
+			fmt.Fprintf(stderr, "cachesimd: quarantined %d corrupt result cache entries under %s\n",
+				n, store.Dir())
+		}
+	}
+
+	reg := telemetry.NewRegistry()
+	queue := jobqueue.NewQueue(jobqueue.Options{
+		Workers:     *workers,
+		QueueDepth:  *queueDepth,
+		JobTimeout:  *jobTimeout,
+		JobDeadline: *jobDeadline,
+		Retries:     *retries,
+		Store:       store,
+		Registry:    reg,
+		MaxJobs:     *maxJobs,
+		Runner:      testHookRunner,
+		Version:     version.String("cachesimd"),
+	})
+	api := jobqueue.NewServer(queue, reg)
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintf(stderr, "cachesimd: %v\n", err)
+		queue.Drain(0)
+		return exitFailure
+	}
+	srv := &http.Server{Handler: api}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+	fmt.Fprintf(stderr, "cachesimd: listening on %s\n", ln.Addr())
+	if ready != nil {
+		ready <- ln.Addr().String()
+	}
+
+	select {
+	case <-ctx.Done():
+	case err := <-serveErr:
+		fmt.Fprintf(stderr, "cachesimd: serve: %v\n", err)
+		queue.Drain(0)
+		return exitFailure
+	}
+
+	// Graceful drain: flip /healthz first so load balancers stop routing
+	// here, stop admitting and settle the queue, then close the listener
+	// once the workers are idle so event streams finish cleanly.
+	fmt.Fprintln(stderr, "cachesimd: shutdown signal received, draining")
+	api.SetDraining()
+	sum := queue.Drain(*drainTimeout)
+	shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		fmt.Fprintf(stderr, "cachesimd: shutdown: %v\n", err)
+	}
+	how := "in-flight jobs completed"
+	if sum.Forced {
+		how = "drain deadline expired, in-flight jobs cancelled"
+	}
+	fmt.Fprintf(stderr, "cachesimd: drained (%s, %d queued jobs rejected)\n", how, sum.Rejected)
+	return exitOK
+}

@@ -1,0 +1,272 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"jouppi/internal/jobqueue"
+)
+
+// startDaemon runs the daemon in-process with a cancellable context
+// standing in for SIGTERM, returning its base URL and a way to stop it.
+func startDaemon(t *testing.T, args ...string) (url string, shutdown func() int, stderr *bytes.Buffer) {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	stderr = &bytes.Buffer{}
+	ready := make(chan string, 1)
+	code := make(chan int, 1)
+	go func() {
+		code <- run(ctx, append([]string{"-addr", "127.0.0.1:0"}, args...),
+			io.Discard, stderr, ready)
+	}()
+	select {
+	case addr := <-ready:
+		url = "http://" + addr
+	case c := <-code:
+		t.Fatalf("daemon exited %d before listening: %s", c, stderr)
+	case <-time.After(30 * time.Second):
+		t.Fatal("daemon never started listening")
+	}
+	shutdown = func() int {
+		cancel()
+		select {
+		case c := <-code:
+			return c
+		case <-time.After(60 * time.Second):
+			t.Fatal("daemon never exited after shutdown signal")
+			return -1
+		}
+	}
+	t.Cleanup(cancel)
+	return url, shutdown, stderr
+}
+
+func postJob(t *testing.T, url, body string) (int, map[string]any) {
+	t.Helper()
+	resp, err := http.Post(url+"/jobs", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out map[string]any
+	_ = json.NewDecoder(resp.Body).Decode(&out)
+	return resp.StatusCode, out
+}
+
+func getJob(t *testing.T, url, id string) (int, map[string]any) {
+	t.Helper()
+	resp, err := http.Get(url + "/jobs/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out map[string]any
+	_ = json.NewDecoder(resp.Body).Decode(&out)
+	return resp.StatusCode, out
+}
+
+// waitState polls a job until it reaches the wanted state.
+func waitState(t *testing.T, url, id, want string) {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for time.Now().Before(deadline) {
+		if _, st := getJob(t, url, id); st["state"] == want {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("job %s never reached state %q", id, want)
+}
+
+func TestVersionFlag(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run(context.Background(), []string{"-version"}, &stdout, &stderr, nil); code != exitOK {
+		t.Fatalf("exit %d, stderr %s", code, &stderr)
+	}
+	if !strings.HasPrefix(stdout.String(), "cachesimd ") {
+		t.Fatalf("version output %q", stdout.String())
+	}
+}
+
+func TestBadFlagsExitUsage(t *testing.T) {
+	var stderr bytes.Buffer
+	if code := run(context.Background(), []string{"-nonesuch"}, io.Discard, &stderr, nil); code != exitUsage {
+		t.Fatalf("exit %d, want %d", code, exitUsage)
+	}
+}
+
+func TestBadListenAddressExitFailure(t *testing.T) {
+	var stderr bytes.Buffer
+	code := run(context.Background(), []string{"-addr", "256.256.256.256:0"}, io.Discard, &stderr, nil)
+	if code != exitFailure {
+		t.Fatalf("exit %d, want %d", code, exitFailure)
+	}
+}
+
+// TestEndToEndJobAndCache drives a full client round trip: submit, poll
+// to completion, resubmit for a cache hit, and watch /metrics move.
+func TestEndToEndJobAndCache(t *testing.T) {
+	url, shutdown, _ := startDaemon(t, "-workers", "2", "-cache-dir", t.TempDir())
+
+	body := `{"benchmark": "liver", "scale": 0.02, "configs": "misscache=2;victim=4"}`
+	code, st := postJob(t, url, body)
+	if code != http.StatusAccepted {
+		t.Fatalf("POST /jobs = %d (%v)", code, st)
+	}
+	id, _ := st["id"].(string)
+	deadline := time.Now().Add(60 * time.Second)
+	var state string
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(url + "/jobs/" + id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got map[string]any
+		_ = json.NewDecoder(resp.Body).Decode(&got)
+		resp.Body.Close()
+		state, _ = got["state"].(string)
+		if state == "done" || state == "failed" {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if state != "done" {
+		t.Fatalf("job settled as %q", state)
+	}
+
+	// The identical submission is answered from the on-disk cache: 200
+	// (already terminal), flagged as a cache hit.
+	code, st = postJob(t, url, body)
+	if code != http.StatusOK {
+		t.Fatalf("resubmit = %d, want 200", code)
+	}
+	if hit, _ := st["cache_hit"].(bool); !hit {
+		t.Fatalf("resubmit not a cache hit: %v", st)
+	}
+
+	resp, err := http.Get(url + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prom, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !bytes.Contains(prom, []byte("jobqueue_cache_hits_total 1")) {
+		t.Fatal("/metrics does not show the cache hit")
+	}
+
+	if code := shutdown(); code != exitOK {
+		t.Fatalf("shutdown exit %d", code)
+	}
+}
+
+// TestGracefulDrain is the end-to-end drain scenario: with one worker
+// occupied and more jobs queued, a termination signal must let the
+// in-flight job finish, reject the queued ones with a clear status,
+// refuse new work, and exit 0 within the drain deadline.
+//
+// Timing cannot occupy the worker reliably here — on a loaded
+// single-core machine the HTTP round trips contend with replay for
+// CPU, so any job sized "long enough" can finish before the signal
+// lands. Instead the runner hook holds the in-flight job on a token
+// channel, and every assertion is ordered by observed state, not by
+// sleeps: the signal is sent while the worker is provably occupied,
+// the rejections are read back through the still-open API, and only
+// then is the in-flight job released to finish.
+func TestGracefulDrain(t *testing.T) {
+	tokens := make(chan struct{})
+	testHookRunner = func(ctx context.Context, spec *jobqueue.Spec, version string) (*jobqueue.ResultBody, error) {
+		select {
+		case <-tokens:
+			return jobqueue.DefaultRunner(ctx, spec, version)
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	defer func() { testHookRunner = nil }()
+
+	url, shutdown, stderr := startDaemon(t,
+		"-workers", "1", "-queue", "8", "-drain-timeout", "60s")
+
+	// The first job occupies the single worker (held by the hook); the
+	// next three sit queued. Distinct configs keep them from dup-joining.
+	code, st := postJob(t, url, `{"benchmark": "liver", "scale": 0.01, "configs": "sys=improved"}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("POST = %d", code)
+	}
+	longID, _ := st["id"].(string)
+	var queuedIDs []string
+	for _, victim := range []int{1, 2, 4} {
+		code, st = postJob(t, url, fmt.Sprintf(`{"benchmark": "liver", "scale": 0.01, "configs": "victim=%d"}`, victim))
+		if code != http.StatusAccepted {
+			t.Fatalf("POST queued = %d", code)
+		}
+		id, _ := st["id"].(string)
+		queuedIDs = append(queuedIDs, id)
+	}
+
+	// Only signal once the worker has provably picked up the first job;
+	// otherwise the drain could reject all four.
+	waitState(t, url, longID, "running")
+
+	done := make(chan int, 1)
+	go func() { done <- shutdown() }()
+
+	// The drain rejects queued jobs before waiting for in-flight ones,
+	// and keeps the listener open until the workers are idle — so the
+	// rejections are observable through the API while the held job is
+	// still running.
+	deadline := time.Now().Add(60 * time.Second)
+	for _, id := range queuedIDs {
+		for {
+			if time.Now().After(deadline) {
+				t.Fatalf("job %s never rejected; stderr:\n%s", id, stderr)
+			}
+			code, st := getJob(t, url, id)
+			if code != http.StatusOK {
+				t.Fatalf("GET /jobs/%s = %d during drain", id, code)
+			}
+			if state, _ := st["state"].(string); state == "rejected" {
+				if errmsg, _ := st["error"].(string); !strings.Contains(errmsg, "draining") {
+					t.Fatalf("job %s rejected with error %q", id, errmsg)
+				}
+				break
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}
+
+	// While draining, new submissions get 503.
+	code, _ = postJob(t, url, `{"benchmark": "liver", "scale": 0.01, "configs": "misscache=2"}`)
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("submission while draining = %d, want 503", code)
+	}
+
+	// Release the in-flight job; the drain must now complete with it.
+	close(tokens)
+	select {
+	case code := <-done:
+		if code != exitOK {
+			t.Fatalf("drain exit %d, stderr:\n%s", code, stderr)
+		}
+	case <-time.After(120 * time.Second):
+		t.Fatal("daemon did not exit within the drain window")
+	}
+	log := stderr.String()
+	if !strings.Contains(log, "draining") || !strings.Contains(log, "drained") {
+		t.Fatalf("drain not narrated on stderr:\n%s", log)
+	}
+	if !strings.Contains(log, "in-flight jobs completed") {
+		t.Fatalf("in-flight job was not allowed to finish:\n%s", log)
+	}
+	if !strings.Contains(log, "3 queued jobs rejected") {
+		t.Fatalf("queued jobs not rejected:\n%s", log)
+	}
+	_ = longID
+}

@@ -1,0 +1,73 @@
+// Package atomicfile writes files that survive crashes and power loss.
+// The usual write-then-rename dance gives atomicity against process
+// crashes, but not against power loss: without an fsync the renamed
+// file can come back from an unclean shutdown as zero bytes or a torn
+// prefix, because the rename (metadata) can reach the disk before the
+// data does. WriteFile orders the three durability points explicitly —
+// file data, file metadata, then the directory entry — so after it
+// returns, either the old content or the complete new content is on
+// disk, never a mixture.
+package atomicfile
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// WriteFile atomically and durably replaces path with data:
+//
+//  1. the data is written to a temporary file in path's directory,
+//  2. the temporary file is fsynced (data + metadata reach the disk),
+//  3. it is renamed over path,
+//  4. the directory is fsynced (the rename itself reaches the disk).
+//
+// A failure at any step removes the temporary file and leaves any
+// previous content of path untouched.
+func WriteFile(path string, data []byte, perm os.FileMode) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, "."+filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("atomicfile: %w", err)
+	}
+	tmpName := tmp.Name()
+	fail := func(err error) error {
+		tmp.Close()
+		os.Remove(tmpName)
+		return fmt.Errorf("atomicfile: writing %s: %w", path, err)
+	}
+	if _, err := tmp.Write(data); err != nil {
+		return fail(err)
+	}
+	if err := tmp.Chmod(perm); err != nil {
+		return fail(err)
+	}
+	if err := tmp.Sync(); err != nil {
+		return fail(err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("atomicfile: writing %s: %w", path, err)
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("atomicfile: writing %s: %w", path, err)
+	}
+	return syncDir(dir)
+}
+
+// syncDir fsyncs a directory so a just-completed rename in it is
+// durable. Some platforms (and some filesystems) refuse to fsync a
+// directory; that is reported as an error only if it is not the
+// well-known "not supported" case, which is treated as best-effort.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("atomicfile: syncing %s: %w", dir, err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil && !os.IsPermission(err) {
+		return fmt.Errorf("atomicfile: syncing %s: %w", dir, err)
+	}
+	return nil
+}

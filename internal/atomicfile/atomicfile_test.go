@@ -1,0 +1,84 @@
+package atomicfile
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestWriteFileCreatesAndReplaces(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.json")
+
+	if err := WriteFile(path, []byte("first"), 0o644); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil || string(got) != "first" {
+		t.Fatalf("read back %q, %v; want \"first\"", got, err)
+	}
+
+	if err := WriteFile(path, []byte("second"), 0o644); err != nil {
+		t.Fatalf("WriteFile replace: %v", err)
+	}
+	got, _ = os.ReadFile(path)
+	if string(got) != "second" {
+		t.Fatalf("after replace read back %q, want \"second\"", got)
+	}
+}
+
+func TestWriteFileLeavesNoTempFiles(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.bin")
+	for i := 0; i < 3; i++ {
+		if err := WriteFile(path, []byte("x"), 0o600); err != nil {
+			t.Fatalf("WriteFile: %v", err)
+		}
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		if strings.Contains(e.Name(), ".tmp-") {
+			t.Fatalf("temp file %s left behind", e.Name())
+		}
+	}
+	if len(ents) != 1 {
+		t.Fatalf("directory has %d entries, want 1", len(ents))
+	}
+}
+
+func TestWriteFileFailureKeepsOldContent(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "keep.txt")
+	if err := WriteFile(path, []byte("precious"), 0o644); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	// Writing into a nonexistent directory must fail without touching
+	// anything else.
+	bad := filepath.Join(dir, "nope", "keep.txt")
+	if err := WriteFile(bad, []byte("x"), 0o644); err == nil {
+		t.Fatal("WriteFile into missing directory succeeded")
+	}
+	got, _ := os.ReadFile(path)
+	if string(got) != "precious" {
+		t.Fatalf("old file damaged: %q", got)
+	}
+}
+
+func TestWriteFileAppliesPermissions(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "mode.txt")
+	if err := WriteFile(path, []byte("x"), 0o600); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	st, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Mode().Perm() != 0o600 {
+		t.Fatalf("mode = %v, want 0600", st.Mode().Perm())
+	}
+}

@@ -1,0 +1,111 @@
+// Package backoff implements capped exponential backoff with jitter —
+// the retry pacing shared by experiments.RunAll and the cachesimd job
+// queue. Retrying a failed run immediately is the worst possible
+// schedule: whatever broke (an overloaded disk, a transient OOM, a
+// stalled NFS mount) is usually still broken a microsecond later, and a
+// thousand simultaneous retries amplify the very overload that caused
+// the failures. Exponential spacing gives the fault time to clear, the
+// cap keeps the wait bounded, and jitter decorrelates retries that
+// failed together so they do not stampede back together.
+package backoff
+
+import (
+	"context"
+	"math/rand"
+	"time"
+)
+
+// Default policy parameters, applied by Policy for zero-valued fields.
+const (
+	DefaultBase   = 100 * time.Millisecond
+	DefaultMax    = 30 * time.Second
+	DefaultFactor = 2.0
+	DefaultJitter = 0.5
+)
+
+// Policy describes a capped exponential backoff schedule. The zero
+// Policy is usable and applies the defaults above. A Policy is immutable
+// and safe for concurrent use by any number of retry loops.
+type Policy struct {
+	// Base is the nominal delay before the first retry (attempt 0).
+	Base time.Duration
+	// Max caps the nominal delay; growth stops there.
+	Max time.Duration
+	// Factor multiplies the delay per attempt; values below 1 are
+	// treated as the default.
+	Factor float64
+	// Jitter is the fraction of the nominal delay that is randomized:
+	// the actual delay is uniform in [delay*(1-Jitter), delay]. 0 means
+	// fully deterministic; 1 means anywhere from 0 to the nominal delay.
+	// Values outside [0, 1] are clamped.
+	Jitter float64
+	// Rand is the randomness source for jitter, returning values in
+	// [0, 1); nil uses math/rand's thread-safe global source. Tests
+	// substitute a deterministic function.
+	Rand func() float64
+}
+
+func (p Policy) withDefaults() Policy {
+	if p.Base <= 0 {
+		p.Base = DefaultBase
+	}
+	if p.Max <= 0 {
+		p.Max = DefaultMax
+	}
+	if p.Factor < 1 {
+		p.Factor = DefaultFactor
+	}
+	if p.Jitter < 0 {
+		p.Jitter = 0
+	}
+	if p.Jitter > 1 {
+		p.Jitter = 1
+	}
+	if p.Rand == nil {
+		p.Rand = rand.Float64
+	}
+	return p
+}
+
+// Delay returns the jittered delay before retry number attempt
+// (0-based: attempt 0 paces the first retry).
+func (p Policy) Delay(attempt int) time.Duration {
+	p = p.withDefaults()
+	d := float64(p.Base)
+	for i := 0; i < attempt; i++ {
+		d *= p.Factor
+		if d >= float64(p.Max) {
+			d = float64(p.Max)
+			break
+		}
+	}
+	if d > float64(p.Max) {
+		d = float64(p.Max)
+	}
+	if p.Jitter > 0 {
+		d -= d * p.Jitter * p.Rand()
+	}
+	return time.Duration(d)
+}
+
+// Sleep blocks for Delay(attempt) or until ctx is done, whichever comes
+// first, returning ctx's error if it was cut short. A cancelled context
+// interrupts the sleep promptly — a drain or Ctrl-C must never wait out
+// a 30-second backoff.
+func (p Policy) Sleep(ctx context.Context, attempt int) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	d := p.Delay(attempt)
+	if d <= 0 {
+		return nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}

@@ -1,0 +1,114 @@
+package backoff
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// noJitter pins the schedule to its nominal delays.
+func noJitter(p Policy) Policy {
+	p.Jitter = 0
+	return p
+}
+
+func TestDelayGrowsExponentiallyAndCaps(t *testing.T) {
+	p := noJitter(Policy{Base: 100 * time.Millisecond, Max: 1 * time.Second, Factor: 2})
+	want := []time.Duration{
+		100 * time.Millisecond, // attempt 0
+		200 * time.Millisecond,
+		400 * time.Millisecond,
+		800 * time.Millisecond,
+		1 * time.Second, // capped
+		1 * time.Second, // stays capped
+	}
+	for attempt, w := range want {
+		if got := p.Delay(attempt); got != w {
+			t.Errorf("Delay(%d) = %v, want %v", attempt, got, w)
+		}
+	}
+}
+
+func TestDelayJitterStaysInRange(t *testing.T) {
+	// With Rand pinned to its extremes the delay must span exactly
+	// [delay*(1-Jitter), delay].
+	base := Policy{Base: 1 * time.Second, Max: time.Minute, Factor: 2, Jitter: 0.5}
+
+	lo := base
+	lo.Rand = func() float64 { return 0.999999999 }
+	hi := base
+	hi.Rand = func() float64 { return 0 }
+
+	if got := hi.Delay(0); got != 1*time.Second {
+		t.Errorf("zero-jitter draw: Delay(0) = %v, want 1s", got)
+	}
+	if got := lo.Delay(0); got < 500*time.Millisecond || got > 1*time.Second {
+		t.Errorf("max-jitter draw: Delay(0) = %v, want in [500ms, 1s]", got)
+	}
+}
+
+func TestZeroPolicyUsesDefaults(t *testing.T) {
+	var p Policy
+	p.Rand = func() float64 { return 0 }
+	if got := p.Delay(0); got != DefaultBase {
+		t.Errorf("zero policy Delay(0) = %v, want %v", got, DefaultBase)
+	}
+	// Far out in the schedule the cap must hold.
+	if got := p.Delay(50); got != DefaultMax {
+		t.Errorf("zero policy Delay(50) = %v, want %v", got, DefaultMax)
+	}
+}
+
+func TestDelayClampsOutOfRangeJitter(t *testing.T) {
+	p := Policy{Base: time.Second, Max: time.Minute, Factor: 2, Jitter: 7,
+		Rand: func() float64 { return 1 - 1e-12 }}
+	if got := p.Delay(0); got < 0 || got > time.Second {
+		t.Errorf("clamped jitter produced out-of-range delay %v", got)
+	}
+	n := Policy{Base: time.Second, Max: time.Minute, Factor: 2, Jitter: -3,
+		Rand: func() float64 { return 0.5 }}
+	if got := n.Delay(0); got != time.Second {
+		t.Errorf("negative jitter should clamp to deterministic delay, got %v", got)
+	}
+}
+
+func TestSleepCompletes(t *testing.T) {
+	p := noJitter(Policy{Base: 1 * time.Millisecond, Max: time.Second, Factor: 2})
+	if err := p.Sleep(context.Background(), 0); err != nil {
+		t.Fatalf("Sleep: %v", err)
+	}
+}
+
+func TestSleepInterruptedPromptly(t *testing.T) {
+	// A 30s nominal delay cancelled after 10ms must return in far less
+	// than the delay — this pins the satellite requirement that
+	// cancellation interrupts a backoff sleep promptly.
+	p := noJitter(Policy{Base: 30 * time.Second, Max: time.Minute, Factor: 2})
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	err := p.Sleep(ctx, 0)
+	elapsed := time.Since(start)
+	if err != context.Canceled {
+		t.Fatalf("Sleep returned %v, want context.Canceled", err)
+	}
+	if elapsed > 5*time.Second {
+		t.Fatalf("cancelled Sleep took %v — not prompt", elapsed)
+	}
+}
+
+func TestSleepOnDoneContextReturnsImmediately(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	p := noJitter(Policy{Base: time.Hour, Max: time.Hour, Factor: 2})
+	start := time.Now()
+	if err := p.Sleep(ctx, 3); err != context.Canceled {
+		t.Fatalf("Sleep = %v, want context.Canceled", err)
+	}
+	if time.Since(start) > time.Second {
+		t.Fatal("Sleep on a done context blocked")
+	}
+}

@@ -4,7 +4,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
-	"path/filepath"
+
+	"jouppi/internal/atomicfile"
 )
 
 // CheckpointVersion is the checkpoint file format version Save writes
@@ -52,31 +53,18 @@ func (c *Checkpoint) Add(r *Result) {
 	c.Results = append(c.Results, r)
 }
 
-// Save writes the checkpoint atomically: the JSON goes to a temporary
-// file in the destination directory which is then renamed over path, so
-// a crash mid-save leaves the previous checkpoint intact rather than a
-// torn file.
+// Save writes the checkpoint atomically and durably: the JSON goes to a
+// temporary file in the destination directory which is fsynced and then
+// renamed over path, followed by a directory fsync. A crash — or a
+// power loss — mid-save leaves the previous checkpoint intact rather
+// than a torn file, and a completed Save is actually on the disk, not
+// just in the page cache, before the caller reports it saved.
 func (c *Checkpoint) Save(path string) error {
 	data, err := json.MarshalIndent(c, "", "  ")
 	if err != nil {
 		return fmt.Errorf("experiments: encoding checkpoint: %w", err)
 	}
-	dir := filepath.Dir(path)
-	tmp, err := os.CreateTemp(dir, ".checkpoint-*.json")
-	if err != nil {
-		return fmt.Errorf("experiments: saving checkpoint: %w", err)
-	}
-	if _, err := tmp.Write(append(data, '\n')); err != nil {
-		tmp.Close()
-		os.Remove(tmp.Name())
-		return fmt.Errorf("experiments: saving checkpoint: %w", err)
-	}
-	if err := tmp.Close(); err != nil {
-		os.Remove(tmp.Name())
-		return fmt.Errorf("experiments: saving checkpoint: %w", err)
-	}
-	if err := os.Rename(tmp.Name(), path); err != nil {
-		os.Remove(tmp.Name())
+	if err := atomicfile.WriteFile(path, append(data, '\n'), 0o644); err != nil {
 		return fmt.Errorf("experiments: saving checkpoint: %w", err)
 	}
 	return nil

@@ -116,3 +116,39 @@ func TestCheckpointSaveIsAtomic(t *testing.T) {
 		t.Errorf("directory contains %v, want only ck.json", names)
 	}
 }
+
+// A torn checkpoint — the prefix a power loss or interrupted copy
+// leaves behind — must be detected and reported by LoadCheckpoint, not
+// silently resumed as a shorter sweep. Every truncation point of a
+// valid checkpoint must either load the full file (only the final
+// newline missing) or fail with an error naming the file.
+func TestLoadCheckpointDetectsTornFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "ck.json")
+	c := NewCheckpoint(0.25)
+	c.Add(&Result{ID: "fig22", Title: "Figure 2-2", Text: "table\n"})
+	c.Add(&Result{ID: "fig31", Title: "Figure 3-1", Text: "chart\n"})
+	if err := c.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	full, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	torn := filepath.Join(dir, "torn.json")
+	for cut := 0; cut < len(full)-1; cut++ {
+		if err := os.WriteFile(torn, full[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		got, err := LoadCheckpoint(torn, 0.25)
+		if err == nil {
+			t.Fatalf("truncation at byte %d of %d silently loaded %d results",
+				cut, len(full), len(got.Results))
+		}
+		if cut > 0 && !strings.Contains(err.Error(), "torn.json") &&
+			!os.IsNotExist(err) {
+			t.Fatalf("truncation at byte %d: error %q does not name the file", cut, err)
+		}
+	}
+}

@@ -53,6 +53,12 @@ func (c Config) WithContext(ctx context.Context) Config {
 	return c
 }
 
+// Context returns the run's context, never nil. Experiments defined
+// outside this package (the cachesimd job queue wraps each job as an
+// Experiment to inherit RunAll's isolation, timeout, and retry
+// machinery) need it to thread cancellation into their replay loops.
+func (c Config) Context() context.Context { return c.context() }
+
 // context returns the run's context, never nil.
 func (c Config) context() context.Context {
 	if c.ctx == nil {

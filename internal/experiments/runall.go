@@ -6,6 +6,7 @@ import (
 	"runtime/debug"
 	"time"
 
+	"jouppi/internal/backoff"
 	"jouppi/internal/fanout"
 	"jouppi/internal/telemetry"
 )
@@ -33,6 +34,18 @@ type RunOptions struct {
 	// this many extra times before its failure is accepted. Cancellation
 	// of the run's context is never retried — the whole sweep is ending.
 	Retries int
+	// Backoff, when non-nil, paces retries: before re-attempt n the
+	// runner sleeps Backoff.Delay(n), cut short immediately if the run's
+	// context is cancelled during the wait. Nil retries immediately
+	// (the historical behaviour). The same policy type paces the
+	// cachesimd job queue, so a daemon and a CLI sweep retry alike.
+	Backoff *backoff.Policy
+	// Retryable, when non-nil, classifies a failure: a failed Result for
+	// which it returns false is accepted immediately, with no retry. Nil
+	// treats every failure as retryable. This is how a caller marks
+	// permanent failures — a corrupt input that will fail identically on
+	// every attempt should not burn the retry budget.
+	Retryable func(r *Result) bool
 
 	// Telemetry, when non-nil, receives the suite's live counters (the
 	// experiments_* set and sim_replay_accesses_total) so a /metrics
@@ -172,11 +185,21 @@ func runOne(ctx context.Context, e Experiment, cfg Config, opts RunOptions,
 		if !res.Failed() || attempt >= opts.Retries || ctx.Err() != nil {
 			return res, false
 		}
+		if opts.Retryable != nil && !opts.Retryable(res) {
+			return res, false
+		}
 		if tel != nil {
 			tel.retries.Inc()
 		}
 		opts.Journal.Emit(telemetry.Event{Event: "experiment-retry",
 			ID: e.ID, Title: e.Title, Seq: seq, Total: total, Err: res.Err})
+		if opts.Backoff != nil {
+			// Pace the re-attempt; a cancellation during the wait ends
+			// the retry loop immediately with the last failure.
+			if err := opts.Backoff.Sleep(ctx, attempt); err != nil {
+				return res, false
+			}
+		}
 	}
 }
 

@@ -1,0 +1,96 @@
+package experiments
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"jouppi/internal/backoff"
+)
+
+// failNTimes returns an experiment that fails its first n runs and
+// succeeds afterwards, recording attempt times.
+func failNTimes(n int, times *[]time.Time) Experiment {
+	attempt := 0
+	return Experiment{ID: "flaky", Title: "Flaky", Run: func(cfg Config) *Result {
+		*times = append(*times, time.Now())
+		attempt++
+		if attempt <= n {
+			return &Result{ID: "flaky", Title: "Flaky", Err: "transient"}
+		}
+		return &Result{ID: "flaky", Title: "Flaky", Text: "ok\n"}
+	}}
+}
+
+func TestRunAllBackoffPacesRetries(t *testing.T) {
+	var times []time.Time
+	pol := backoff.Policy{Base: 30 * time.Millisecond, Max: time.Second, Factor: 1, Jitter: 0}
+	res, err := RunAll(context.Background(), Config{Scale: 0.01}, RunOptions{
+		Experiments: []Experiment{failNTimes(2, &times)},
+		Retries:     3,
+		Backoff:     &pol,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0].Failed() {
+		t.Fatalf("experiment did not recover: %s", res[0].Err)
+	}
+	if len(times) != 3 {
+		t.Fatalf("ran %d attempts, want 3", len(times))
+	}
+	for i := 1; i < len(times); i++ {
+		if gap := times[i].Sub(times[i-1]); gap < 30*time.Millisecond {
+			t.Errorf("retry %d came %v after the failure, want ≥ 30ms of backoff", i, gap)
+		}
+	}
+}
+
+func TestRunAllCancellationInterruptsBackoffSleep(t *testing.T) {
+	// An experiment that always fails, a huge backoff, and a context
+	// cancelled mid-sleep: RunAll must return promptly with the last
+	// failure rather than waiting out the delay.
+	alwaysFail := Experiment{ID: "down", Title: "Down", Run: func(cfg Config) *Result {
+		return &Result{ID: "down", Title: "Down", Err: "still broken"}
+	}}
+	pol := backoff.Policy{Base: time.Hour, Max: time.Hour, Factor: 1, Jitter: 0}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	res, _ := RunAll(ctx, Config{Scale: 0.01}, RunOptions{
+		Experiments: []Experiment{alwaysFail},
+		Retries:     5,
+		Backoff:     &pol,
+	})
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("RunAll took %v — cancellation did not interrupt the backoff sleep", elapsed)
+	}
+	if len(res) != 1 || !res[0].Failed() {
+		t.Fatalf("results = %+v, want the single failure", res)
+	}
+}
+
+func TestRunAllRetryableStopsPermanentFailures(t *testing.T) {
+	attempts := 0
+	permanent := Experiment{ID: "corrupt", Title: "Corrupt", Run: func(cfg Config) *Result {
+		attempts++
+		return &Result{ID: "corrupt", Title: "Corrupt", Err: "permanent: bad input"}
+	}}
+	res, err := RunAll(context.Background(), Config{Scale: 0.01}, RunOptions{
+		Experiments: []Experiment{permanent},
+		Retries:     5,
+		Retryable:   func(r *Result) bool { return false },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if attempts != 1 {
+		t.Fatalf("permanent failure ran %d times, want 1", attempts)
+	}
+	if !res[0].Failed() {
+		t.Fatal("failure lost")
+	}
+}

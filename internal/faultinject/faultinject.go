@@ -21,6 +21,7 @@
 package faultinject
 
 import (
+	"bytes"
 	"fmt"
 	"math/bits"
 	"math/rand"
@@ -253,6 +254,56 @@ func FlipBits(data []byte, seed int64, n int) []byte {
 		out[pos] ^= 1 << rng.Intn(8)
 	}
 	return out
+}
+
+// headerLen returns the length of data's header region: the first line
+// (terminator included) for text formats like din, or the JTR1 fixed
+// 16-byte header, whichever is shorter — capped at len(data).
+func headerLen(data []byte) int {
+	h := 16
+	if i := bytes.IndexByte(data, '\n'); i >= 0 && i+1 < h {
+		h = i + 1
+	}
+	if h > len(data) {
+		h = len(data)
+	}
+	return h
+}
+
+// TruncateHeader corrupts the header region of an encoded trace — the
+// JTR1 16-byte magic/count header or a din file's first line — rather
+// than its body. Body damage exercises the record-level lenient decode
+// paths; header damage exercises the very first branch of a reader,
+// where a parser that trusts its header (magic, record count, first
+// line's shape) meets an interrupted or bit-rotted write. The seeded
+// corruption is one of: cutting the file inside the header, flipping
+// bits within it, or zeroing it while the body survives.
+func TruncateHeader(data []byte, seed int64) []byte {
+	if len(data) == 0 {
+		return nil
+	}
+	rng := rand.New(rand.NewSource(seed))
+	h := headerLen(data)
+	switch rng.Intn(3) {
+	case 0:
+		// Cut mid-header: the shape a copy interrupted at the very
+		// start leaves behind.
+		return append([]byte(nil), data[:rng.Intn(h)]...)
+	case 1:
+		// Flip 1–4 bits inside the header; the body is untouched.
+		out := append([]byte(nil), data...)
+		for i, n := 0, 1+rng.Intn(4); i < n; i++ {
+			out[rng.Intn(h)] ^= 1 << rng.Intn(8)
+		}
+		return out
+	default:
+		// Zero the header: the block a torn write never flushed.
+		out := append([]byte(nil), data...)
+		for i := 0; i < h; i++ {
+			out[i] = 0
+		}
+		return out
+	}
 }
 
 // DuplicateSpan returns data with a seeded span of up to span bytes

@@ -219,3 +219,56 @@ func TestByteCorruptors(t *testing.T) {
 		t.Error("corruptor modified its input")
 	}
 }
+
+func TestTruncateHeaderDamagesOnlyTheHeaderRegion(t *testing.T) {
+	// A JTR1-shaped input: 16-byte header then body. Whatever corruption
+	// mode the seed picks, the body past the header must survive intact
+	// (when the output is long enough to contain it at all).
+	data := append([]byte("JTR1\x00\x00\x00\x00\x08\x00\x00\x00\x00\x00\x00\x00"),
+		bytes.Repeat([]byte{0x11, 0x22, 0x33, 0x44}, 16)...)
+	sawChange := false
+	for seed := int64(0); seed < 32; seed++ {
+		out := TruncateHeader(data, seed)
+		if len(out) > len(data) {
+			t.Fatalf("seed %d: output grew: %d > %d", seed, len(out), len(data))
+		}
+		if len(out) == len(data) {
+			if !bytes.Equal(out[16:], data[16:]) {
+				t.Fatalf("seed %d: body bytes were damaged", seed)
+			}
+			if !bytes.Equal(out[:16], data[:16]) {
+				sawChange = true
+			}
+		} else {
+			if len(out) >= 16 {
+				t.Fatalf("seed %d: truncation cut outside the header: len %d", seed, len(out))
+			}
+			sawChange = true
+		}
+		if !bytes.Equal(out, TruncateHeader(data, seed)) {
+			t.Fatalf("seed %d: TruncateHeader is not deterministic", seed)
+		}
+	}
+	if !sawChange {
+		t.Error("32 seeds never corrupted the header")
+	}
+
+	// A din-shaped input: the header region is the first line only.
+	din := []byte("2 1000\n0 2000\n1 3000\n")
+	for seed := int64(0); seed < 32; seed++ {
+		out := TruncateHeader(din, seed)
+		if len(out) == len(din) && !bytes.Equal(out[7:], din[7:]) {
+			t.Fatalf("seed %d: bytes past the first line were damaged", seed)
+		}
+		if len(out) < len(din) && len(out) >= 7 {
+			t.Fatalf("seed %d: truncation cut outside the first line: len %d", seed, len(out))
+		}
+	}
+
+	if TruncateHeader(nil, 1) != nil {
+		t.Error("TruncateHeader(nil) != nil")
+	}
+	if !bytes.Equal(din, []byte("2 1000\n0 2000\n1 3000\n")) {
+		t.Error("TruncateHeader modified its input")
+	}
+}

@@ -1,0 +1,91 @@
+package jobqueue
+
+import (
+	"context"
+	"sync"
+)
+
+// eventLog is an append-only byte log with broadcast: one writer (the
+// job's journal) appends JSONL event lines, any number of readers
+// stream them live. It backs GET /jobs/{id}/events — a client can
+// attach mid-run, replay everything emitted so far, and then follow new
+// events until the job reaches a terminal state and the log closes.
+type eventLog struct {
+	mu     sync.Mutex
+	data   []byte
+	closed bool
+	// change is closed and replaced on every append/close, waking every
+	// blocked reader; readers grab the current channel under the lock
+	// and wait on it outside.
+	change chan struct{}
+}
+
+func newEventLog() *eventLog {
+	return &eventLog{change: make(chan struct{})}
+}
+
+// Write implements io.Writer for telemetry.NewJournal.
+func (l *eventLog) Write(p []byte) (int, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		// A late write after close (a journal flush racing job
+		// completion) is dropped rather than resurrecting the stream.
+		return len(p), nil
+	}
+	l.data = append(l.data, p...)
+	l.wake()
+	return len(p), nil
+}
+
+// Close marks the log complete; readers drain what remains and stop.
+func (l *eventLog) Close() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if !l.closed {
+		l.closed = true
+		l.wake()
+	}
+}
+
+// wake must be called with mu held.
+func (l *eventLog) wake() {
+	close(l.change)
+	l.change = make(chan struct{})
+}
+
+// snapshot returns the bytes past from, whether the log is closed, and
+// the channel that signals the next change.
+func (l *eventLog) snapshot(from int) (chunk []byte, closed bool, change <-chan struct{}) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if from < len(l.data) {
+		chunk = l.data[from:len(l.data):len(l.data)]
+	}
+	return chunk, l.closed, l.change
+}
+
+// stream sends the log to emit from the beginning, blocking for new
+// data until the log closes or ctx is done. emit is called with chunks
+// that are never modified afterwards.
+func (l *eventLog) stream(ctx context.Context, emit func([]byte) error) error {
+	off := 0
+	for {
+		chunk, closed, change := l.snapshot(off)
+		if len(chunk) > 0 {
+			if err := emit(chunk); err != nil {
+				return err
+			}
+			off += len(chunk)
+			continue
+		}
+		if closed {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-change:
+		}
+	}
+}

@@ -1,0 +1,161 @@
+package jobqueue
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+
+	"jouppi/internal/atomicfile"
+)
+
+// storeHeader prefixes every result entry; the hex digest that follows
+// it covers the body bytes exactly. An entry that fails its own
+// checksum — a torn write from before fsync discipline, bit rot, a
+// stray editor — is quarantined, never served.
+const storeHeader = "cachesimd-result v1 sha256="
+
+// storeExt is the result entry filename extension; entry names are
+// "<cache key>.res" where the key is already a hex digest.
+const storeExt = ".res"
+
+// Store is the daemon's content-addressed on-disk result cache. Entries
+// are written atomically and durably (write-temp + fsync + rename, see
+// internal/atomicfile) and validated by checksum on every read, so a
+// crash mid-write can never surface a torn result and a damaged entry
+// degrades to a cache miss instead of a wrong answer.
+//
+// Keys are derived by Spec.CacheKey from the trace digest, the
+// canonicalized configuration list, and the build version, so a hit is
+// byte-identical to the run that populated it and a new binary never
+// serves results computed by old code.
+type Store struct {
+	dir string
+
+	mu          sync.Mutex
+	quarantined int
+}
+
+// OpenStore opens (creating if necessary) a result store rooted at dir
+// and validates every existing entry. Corrupt entries are moved into
+// dir/quarantine — preserved for post-mortems, never served — and
+// counted, not fatal: a damaged cache must degrade to misses, not keep
+// the daemon from starting.
+func OpenStore(dir string) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("jobqueue: opening result store: %w", err)
+	}
+	s := &Store{dir: dir}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("jobqueue: opening result store: %w", err)
+	}
+	for _, e := range ents {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), storeExt) {
+			continue
+		}
+		path := filepath.Join(dir, e.Name())
+		data, err := os.ReadFile(path)
+		if err != nil || decodeEntry(data) == nil {
+			if qerr := s.quarantine(path); qerr != nil {
+				return nil, qerr
+			}
+		}
+	}
+	return s, nil
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+// Quarantined returns how many corrupt entries have been quarantined
+// since the store was opened (startup scan plus read-time detections).
+// A nil store (caching disabled) reports zero.
+func (s *Store) Quarantined() int {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.quarantined
+}
+
+// decodeEntry validates an entry's header and checksum, returning the
+// body or nil if the entry is damaged in any way.
+func decodeEntry(data []byte) []byte {
+	nl := bytes.IndexByte(data, '\n')
+	if nl < 0 {
+		return nil
+	}
+	header := string(data[:nl])
+	if !strings.HasPrefix(header, storeHeader) {
+		return nil
+	}
+	want := strings.TrimPrefix(header, storeHeader)
+	body := data[nl+1:]
+	sum := sha256.Sum256(body)
+	if hex.EncodeToString(sum[:]) != want {
+		return nil
+	}
+	return body
+}
+
+// quarantine moves a damaged entry aside, preserving it for inspection.
+func (s *Store) quarantine(path string) error {
+	qdir := filepath.Join(s.dir, "quarantine")
+	if err := os.MkdirAll(qdir, 0o755); err != nil {
+		return fmt.Errorf("jobqueue: quarantining %s: %w", path, err)
+	}
+	dst := filepath.Join(qdir, filepath.Base(path))
+	for i := 1; ; i++ {
+		if _, err := os.Stat(dst); os.IsNotExist(err) {
+			break
+		}
+		dst = filepath.Join(qdir, fmt.Sprintf("%s.%d", filepath.Base(path), i))
+	}
+	if err := os.Rename(path, dst); err != nil {
+		return fmt.Errorf("jobqueue: quarantining %s: %w", path, err)
+	}
+	s.mu.Lock()
+	s.quarantined++
+	s.mu.Unlock()
+	return nil
+}
+
+// Get returns the cached body for key, if present and intact. A corrupt
+// entry found at read time is quarantined and reported as a miss.
+func (s *Store) Get(key string) ([]byte, bool) {
+	if s == nil {
+		return nil, false
+	}
+	path := filepath.Join(s.dir, key+storeExt)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, false
+	}
+	body := decodeEntry(data)
+	if body == nil {
+		_ = s.quarantine(path)
+		return nil, false
+	}
+	return body, true
+}
+
+// Put stores body under key, atomically and durably. A nil store
+// silently drops the write (caching disabled).
+func (s *Store) Put(key string, body []byte) error {
+	if s == nil {
+		return nil
+	}
+	sum := sha256.Sum256(body)
+	entry := make([]byte, 0, len(storeHeader)+64+1+len(body))
+	entry = append(entry, storeHeader...)
+	entry = append(entry, hex.EncodeToString(sum[:])...)
+	entry = append(entry, '\n')
+	entry = append(entry, body...)
+	return atomicfile.WriteFile(filepath.Join(s.dir, key+storeExt), entry, 0o644)
+}

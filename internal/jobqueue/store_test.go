@@ -1,0 +1,148 @@
+package jobqueue
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestStoreRoundTrip(t *testing.T) {
+	s, err := OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := strings.Repeat("ab", 32)
+	body := []byte(`{"configs":[{"label":"baseline"}]}` + "\n")
+	if _, ok := s.Get(key); ok {
+		t.Fatal("hit before put")
+	}
+	if err := s.Put(key, body); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s.Get(key)
+	if !ok || !bytes.Equal(got, body) {
+		t.Fatalf("Get = %q, %v; want the stored body", got, ok)
+	}
+
+	// A fresh open over the same directory must serve the same bytes.
+	s2, err := OpenStore(s.Dir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok = s2.Get(key)
+	if !ok || !bytes.Equal(got, body) {
+		t.Fatal("entry lost across reopen")
+	}
+	if s2.Quarantined() != 0 {
+		t.Fatalf("clean store quarantined %d entries", s2.Quarantined())
+	}
+}
+
+func TestStoreQuarantinesCorruptEntryAtOpen(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := strings.Repeat("aa", 32)
+	bad := strings.Repeat("bb", 32)
+	if err := s.Put(good, []byte("good result\n")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(bad, []byte("doomed result\n")); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the second entry's body the way a torn write would.
+	path := filepath.Join(dir, bad+storeExt)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data[:len(data)-3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := OpenStore(dir)
+	if err != nil {
+		t.Fatalf("corrupt entry was fatal at open: %v", err)
+	}
+	if s2.Quarantined() != 1 {
+		t.Fatalf("Quarantined = %d, want 1", s2.Quarantined())
+	}
+	if _, ok := s2.Get(bad); ok {
+		t.Fatal("corrupt entry served")
+	}
+	if got, ok := s2.Get(good); !ok || string(got) != "good result\n" {
+		t.Fatal("intact entry lost in the purge")
+	}
+	// The damaged bytes are preserved for inspection, not deleted.
+	qents, err := os.ReadDir(filepath.Join(dir, "quarantine"))
+	if err != nil || len(qents) != 1 {
+		t.Fatalf("quarantine dir: %v entries, err %v", len(qents), err)
+	}
+}
+
+func TestStoreQuarantinesCorruptEntryAtRead(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := strings.Repeat("cc", 32)
+	if err := s.Put(key, []byte("result\n")); err != nil {
+		t.Fatal(err)
+	}
+	// Flip a body byte after the startup scan: read-time detection.
+	path := filepath.Join(dir, key+storeExt)
+	data, _ := os.ReadFile(path)
+	data[len(data)-2] ^= 0x40
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get(key); ok {
+		t.Fatal("bit-rotted entry served")
+	}
+	if s.Quarantined() != 1 {
+		t.Fatalf("Quarantined = %d, want 1", s.Quarantined())
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatal("corrupt entry still in the serving directory")
+	}
+}
+
+func TestStoreHeaderOnlyAndForeignFiles(t *testing.T) {
+	dir := t.TempDir()
+	// A file with a valid-looking name but no newline, and a foreign file
+	// that is not a result entry at all.
+	if err := os.WriteFile(filepath.Join(dir, strings.Repeat("dd", 32)+storeExt), []byte("no newline"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "README.txt"), []byte("hands off"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Quarantined() != 1 {
+		t.Fatalf("Quarantined = %d, want 1 (the truncated entry, not the README)", s.Quarantined())
+	}
+	if _, err := os.Stat(filepath.Join(dir, "README.txt")); err != nil {
+		t.Fatal("foreign file was touched")
+	}
+}
+
+func TestNilStoreIsDisabledCache(t *testing.T) {
+	var s *Store
+	if _, ok := s.Get("k"); ok {
+		t.Fatal("nil store hit")
+	}
+	if err := s.Put("k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if s.Quarantined() != 0 {
+		t.Fatal("nil store quarantined")
+	}
+}

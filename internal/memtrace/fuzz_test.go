@@ -30,6 +30,7 @@ func addFaultSeeds(f *testing.F, data []byte) {
 		f.Add(faultinject.Truncate(data, seed))
 		f.Add(faultinject.FlipBits(data, seed, 4))
 		f.Add(faultinject.DuplicateSpan(data, seed, 8))
+		f.Add(faultinject.TruncateHeader(data, seed))
 	}
 }
 
@@ -76,6 +77,7 @@ func FuzzReadDinero(f *testing.F) {
 		f.Add(string(faultinject.Truncate(din, seed)))
 		f.Add(string(faultinject.FlipBits(din, seed, 4)))
 		f.Add(string(faultinject.DuplicateSpan(din, seed, 7)))
+		f.Add(string(faultinject.TruncateHeader(din, seed)))
 	}
 
 	f.Fuzz(func(t *testing.T, data string) {
