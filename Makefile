@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all check fmt vet build test shuffle cover bench bench-json bench-gate fuzz loadtest loadtest-full
+.PHONY: all check fmt vet build test shuffle cover bench bench-json bench-gate fuzz loadtest loadtest-full trace-e2e
 
 all: check
 
@@ -64,6 +64,12 @@ loadtest:
 	$(GO) test -race -run TestChaosLoad -v ./internal/jobqueue
 loadtest-full:
 	CACHESIMD_LOADTEST=full $(GO) test -race -run TestChaosLoad -v -timeout 30m ./internal/jobqueue
+
+# trace-e2e boots cachesimd in-process, submits a job, and asserts the
+# same job ID appears in /debug/traces (span tree + SLO summary) and in
+# the structured log, plus the slowloris read-header-timeout hardening.
+trace-e2e:
+	$(GO) test -race -run 'TestTraceEndToEnd|TestStalledHeaderConnectionDropped' -v ./cmd/cachesimd
 
 # bench runs the micro-benchmarks briefly — enough to catch a throughput
 # cliff, not a full measurement run.

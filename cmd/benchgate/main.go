@@ -8,6 +8,9 @@
 //   - the introspection-on overhead of the in-memory replay (phase
 //     windows + heatmaps + sampled miss trace, no 3C classifier)
 //     exceeds -max-introspect-overhead percent, or
+//   - the trace-attached fan-out replay (a root span carried through the
+//     context, spans at replay/consumer granularity) runs more than
+//     -max-trace-overhead percent slower than the detached path, or
 //   - allocations per op on the file-backed replay regress beyond
 //     -alloc-slack times the committed baseline — the zero-alloc decode
 //     path must stay O(1) allocations per replay, not per line.
@@ -49,6 +52,7 @@ type report struct {
 	OverheadP  float64    `json:"overhead_percent"`
 	Intro      entry      `json:"introspect_on"`
 	IntroOverP float64    `json:"introspect_overhead_percent"`
+	TraceOverP float64    `json:"trace_overhead_percent"`
 	File       fileReplay `json:"file_replay"`
 }
 
@@ -76,6 +80,8 @@ func main() {
 		"maximum telemetry-on overhead in percent, per replay arm")
 	maxIntrospect := flag.Float64("max-introspect-overhead", 5,
 		"maximum introspection-on overhead in percent on the in-memory replay")
+	maxTrace := flag.Float64("max-trace-overhead", 5,
+		"maximum trace-attached overhead in percent on the fan-out replay")
 	allocSlack := flag.Float64("alloc-slack", 1.5,
 		"allowed multiple of baseline allocs/op on the file-backed replay")
 	flag.Parse()
@@ -113,6 +119,12 @@ func main() {
 		fail("in-memory replay: introspection-on overhead %.1f%% exceeds budget %.1f%% (off %d ns/op, introspected %d ns/op)",
 			measured.IntroOverP, *maxIntrospect, measured.Off.NsPerOp, measured.Intro.NsPerOp)
 	}
+	// Pre-tracing baselines carry no trace column (unmarshals to 0) and
+	// pass trivially, so old artifacts keep loading.
+	if measured.TraceOverP > *maxTrace {
+		fail("fan-out replay: trace-attached overhead %.1f%% exceeds budget %.1f%%",
+			measured.TraceOverP, *maxTrace)
+	}
 	// Alloc regression: the decode path is zero-alloc per record, so
 	// allocs/op on a file-backed replay is a small fixed count. A growth
 	// beyond slack means someone reintroduced per-line allocation.
@@ -136,9 +148,10 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("benchgate: ok — in-memory overhead %.1f%%, introspection overhead %.1f%% (budget %.1f%%), "+
-		"file-backed overhead %.1f%% (budget %.1f%%); "+
+		"trace overhead %.1f%% (budget %.1f%%), file-backed overhead %.1f%% (budget %.1f%%); "+
 		"file-backed allocs/op off=%d on=%d (baseline %d/%d, slack %.2f)\n",
 		measured.OverheadP, measured.IntroOverP, *maxIntrospect,
+		measured.TraceOverP, *maxTrace,
 		measured.File.OverheadP, *maxOverhead,
 		measured.File.Off.AllocsPerOp, measured.File.On.AllocsPerOp,
 		baseline.File.Off.AllocsPerOp, baseline.File.On.AllocsPerOp, *allocSlack)

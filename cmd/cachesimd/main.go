@@ -20,6 +20,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -64,7 +65,18 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer, ready cha
 		drainTimeout = fs.Duration("drain-timeout", 30*time.Second, "time in-flight jobs get to finish on shutdown")
 		cacheDir     = fs.String("cache-dir", "", "content-addressed result cache directory (empty = caching off)")
 		maxJobs      = fs.Int("max-jobs", 1024, "retained job records before the oldest finished ones are evicted")
-		showVer      = fs.Bool("version", false, "print build information and exit")
+		logFormat    = fs.String("log-format", "text", "structured log format: text or json")
+		readHeaderTO = fs.Duration("read-header-timeout", telemetry.DefaultReadHeaderTimeout,
+			"time a client gets to send request headers (slowloris bound)")
+		readTO = fs.Duration("read-timeout", telemetry.DefaultReadTimeout,
+			"time a client gets to send a whole request, body included")
+		idleTO = fs.Duration("idle-timeout", telemetry.DefaultIdleTimeout,
+			"idle keep-alive connection lifetime")
+		traceCap     = fs.Int("trace-capacity", 256, "finished job traces retained for /debug/traces")
+		sloQueueWait = fs.Duration("slo-queue-wait", 0,
+			"queue-wait p99 bound that triggers a CPU profile capture (0 = off; needs -profile-dir)")
+		profileDir = fs.String("profile-dir", "", "directory for SLO-triggered CPU profiles")
+		showVer    = fs.Bool("version", false, "print build information and exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return exitUsage
@@ -74,44 +86,68 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer, ready cha
 		return exitOK
 	}
 
+	// Every log record below carries key/value context (job IDs, span
+	// IDs, addresses), so one job can be followed across logs, spans,
+	// journal events, and metrics by a single ID.
+	var handler slog.Handler
+	switch *logFormat {
+	case "json":
+		handler = slog.NewJSONHandler(stderr, nil)
+	case "text":
+		handler = slog.NewTextHandler(stderr, nil)
+	default:
+		fmt.Fprintf(stderr, "cachesimd: unknown -log-format %q (have text, json)\n", *logFormat)
+		return exitUsage
+	}
+	logger := slog.New(handler)
+
 	var store *jobqueue.Store
 	if *cacheDir != "" {
 		var err error
 		if store, err = jobqueue.OpenStore(*cacheDir); err != nil {
-			fmt.Fprintf(stderr, "cachesimd: %v\n", err)
+			logger.Error("opening result store failed", "dir", *cacheDir, "err", err)
 			return exitFailure
 		}
 		if n := store.Quarantined(); n > 0 {
-			fmt.Fprintf(stderr, "cachesimd: quarantined %d corrupt result cache entries under %s\n",
-				n, store.Dir())
+			logger.Warn("quarantined corrupt result cache entries",
+				"count", n, "dir", store.Dir())
 		}
 	}
 
 	reg := telemetry.NewRegistry()
 	queue := jobqueue.NewQueue(jobqueue.Options{
-		Workers:     *workers,
-		QueueDepth:  *queueDepth,
-		JobTimeout:  *jobTimeout,
-		JobDeadline: *jobDeadline,
-		Retries:     *retries,
-		Store:       store,
-		Registry:    reg,
-		MaxJobs:     *maxJobs,
-		Runner:      testHookRunner,
-		Version:     version.String("cachesimd"),
+		Workers:       *workers,
+		QueueDepth:    *queueDepth,
+		JobTimeout:    *jobTimeout,
+		JobDeadline:   *jobDeadline,
+		Retries:       *retries,
+		Store:         store,
+		Registry:      reg,
+		MaxJobs:       *maxJobs,
+		Runner:        testHookRunner,
+		Version:       version.String("cachesimd"),
+		Logger:        logger,
+		TraceCapacity: *traceCap,
+		QueueWaitP99:  *sloQueueWait,
+		ProfileDir:    *profileDir,
 	})
 	api := jobqueue.NewServer(queue, reg)
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
-		fmt.Fprintf(stderr, "cachesimd: %v\n", err)
+		logger.Error("listen failed", "addr", *addr, "err", err)
 		queue.Drain(0)
 		return exitFailure
 	}
-	srv := &http.Server{Handler: api}
+	srv := &http.Server{
+		Handler:           api,
+		ReadHeaderTimeout: *readHeaderTO,
+		ReadTimeout:       *readTO,
+		IdleTimeout:       *idleTO,
+	}
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- srv.Serve(ln) }()
-	fmt.Fprintf(stderr, "cachesimd: listening on %s\n", ln.Addr())
+	logger.Info("listening", "addr", ln.Addr().String())
 	if ready != nil {
 		ready <- ln.Addr().String()
 	}
@@ -119,7 +155,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer, ready cha
 	select {
 	case <-ctx.Done():
 	case err := <-serveErr:
-		fmt.Fprintf(stderr, "cachesimd: serve: %v\n", err)
+		logger.Error("serve failed", "err", err)
 		queue.Drain(0)
 		return exitFailure
 	}
@@ -127,18 +163,18 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer, ready cha
 	// Graceful drain: flip /healthz first so load balancers stop routing
 	// here, stop admitting and settle the queue, then close the listener
 	// once the workers are idle so event streams finish cleanly.
-	fmt.Fprintln(stderr, "cachesimd: shutdown signal received, draining")
+	logger.Info("shutdown signal received, draining")
 	api.SetDraining()
 	sum := queue.Drain(*drainTimeout)
 	shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel()
 	if err := srv.Shutdown(shutCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
-		fmt.Fprintf(stderr, "cachesimd: shutdown: %v\n", err)
+		logger.Error("shutdown failed", "err", err)
 	}
 	how := "in-flight jobs completed"
 	if sum.Forced {
 		how = "drain deadline expired, in-flight jobs cancelled"
 	}
-	fmt.Fprintf(stderr, "cachesimd: drained (%s, %d queued jobs rejected)\n", how, sum.Rejected)
+	logger.Info("drained", "how", how, "rejected", sum.Rejected)
 	return exitOK
 }

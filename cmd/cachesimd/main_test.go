@@ -265,7 +265,7 @@ func TestGracefulDrain(t *testing.T) {
 	if !strings.Contains(log, "in-flight jobs completed") {
 		t.Fatalf("in-flight job was not allowed to finish:\n%s", log)
 	}
-	if !strings.Contains(log, "3 queued jobs rejected") {
+	if !strings.Contains(log, "rejected=3") {
 		t.Fatalf("queued jobs not rejected:\n%s", log)
 	}
 	_ = longID

@@ -37,7 +37,7 @@ func TestSIGTERMDrainEndToEnd(t *testing.T) {
 	}
 	defer cmd.Process.Kill()
 
-	// The daemon prints "listening on <addr>" once it accepts traffic.
+	// The daemon logs msg=listening addr=<addr> once it accepts traffic.
 	var (
 		mu     sync.Mutex
 		stderr bytes.Buffer
@@ -50,10 +50,13 @@ func TestSIGTERMDrainEndToEnd(t *testing.T) {
 			mu.Lock()
 			stderr.WriteString(line + "\n")
 			mu.Unlock()
-			if _, rest, ok := strings.Cut(line, "listening on "); ok {
-				select {
-				case addrCh <- strings.TrimSpace(rest):
-				default:
+			if strings.Contains(line, "msg=listening") {
+				if _, rest, ok := strings.Cut(line, "addr="); ok {
+					addr, _, _ := strings.Cut(rest, " ")
+					select {
+					case addrCh <- strings.TrimSpace(addr):
+					default:
+					}
 				}
 			}
 		}

@@ -1,0 +1,142 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"net"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestStalledHeaderConnectionDropped checks the slowloris hardening: a
+// client that opens a connection and never finishes its request headers
+// is cut off at -read-header-timeout instead of pinning the connection
+// forever.
+func TestStalledHeaderConnectionDropped(t *testing.T) {
+	url, shutdown, _ := startDaemon(t, "-read-header-timeout", "150ms")
+	defer shutdown()
+
+	conn, err := net.Dial("tcp", strings.TrimPrefix(url, "http://"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// A partial request line with no terminating CRLFCRLF: the server is
+	// now waiting on headers that never come.
+	if _, err := conn.Write([]byte("GET /healthz HTTP/1.1\r\nHost: stalled\r\n")); err != nil {
+		t.Fatal(err)
+	}
+	// Well past the header timeout the server must have closed the
+	// connection: the read returns an error (EOF/reset), not a hang.
+	_ = conn.SetReadDeadline(time.Now().Add(10 * time.Second))
+	buf := make([]byte, 1)
+	_, err = conn.Read(buf)
+	if err == nil {
+		t.Fatal("server answered a half-sent request")
+	}
+	if ne, ok := err.(net.Error); ok && ne.Timeout() {
+		t.Fatalf("connection still open after read-header-timeout: %v", err)
+	}
+
+	// The server is still healthy for well-formed clients.
+	resp, err := http.Get(url + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz after stalled conn = %d", resp.StatusCode)
+	}
+}
+
+// TestTraceEndToEnd boots the daemon, runs one job, and checks the same
+// job ID appears in the structured log, in /debug/traces (with a span
+// tree and SLO summary), and in the trace's own span IDs — the "one ID
+// follows the job everywhere" contract.
+func TestTraceEndToEnd(t *testing.T) {
+	url, shutdown, stderr := startDaemon(t, "-workers", "1")
+	defer shutdown()
+
+	code, st := postJob(t, url, `{"benchmark": "liver", "scale": 0.02, "configs": "victim=2"}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit status %d: %v", code, st)
+	}
+	id := st["id"].(string)
+	waitState(t, url, id, "done")
+
+	// /debug/traces carries the job's span tree.
+	resp, err := http.Get(url + "/debug/traces?id=" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/debug/traces?id=%s status %d", id, resp.StatusCode)
+	}
+	var out struct {
+		Traces []struct {
+			ID    string `json:"id"`
+			Root  string `json:"root"`
+			Spans []struct {
+				Name string `json:"name"`
+			} `json:"spans"`
+		} `json:"traces"`
+		SLO []struct {
+			Span  string `json:"span"`
+			Count uint64 `json:"count"`
+		} `json:"slo"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatalf("bad /debug/traces JSON: %v", err)
+	}
+	if len(out.Traces) != 1 || out.Traces[0].ID != id || out.Traces[0].Root != "job" {
+		t.Fatalf("traces = %+v, want the job's trace", out.Traces)
+	}
+	names := map[string]bool{}
+	for _, s := range out.Traces[0].Spans {
+		names[s.Name] = true
+	}
+	for _, want := range []string{"queue-wait", "run", "attempt", "replay", "job"} {
+		if !names[want] {
+			t.Fatalf("span %q missing from trace %v", want, out.Traces[0].Spans)
+		}
+	}
+	// Every SLO stage observed the one finished job.
+	stages := map[string]uint64{}
+	for _, s := range out.SLO {
+		stages[s.Span] = s.Count
+	}
+	for _, want := range []string{"queue-wait", "attempt", "job"} {
+		if stages[want] != 1 {
+			t.Fatalf("SLO stage %q count = %d, want 1 (%v)", want, stages[want], out.SLO)
+		}
+	}
+
+	// The structured log carries the same job ID at every lifecycle step.
+	log := stderr.String()
+	for _, msg := range []string{"job admitted", "job running", "job finished"} {
+		found := false
+		sc := bufio.NewScanner(strings.NewReader(log))
+		for sc.Scan() {
+			line := sc.Text()
+			if strings.Contains(line, "msg="+jsonQuote(msg)) && strings.Contains(line, "job="+id) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("no %q log line carrying job=%s:\n%s", msg, id, log)
+		}
+	}
+}
+
+// jsonQuote renders a slog text-handler value: quoted when it contains
+// spaces, bare otherwise.
+func jsonQuote(s string) string {
+	if strings.ContainsAny(s, " ") {
+		return `"` + s + `"`
+	}
+	return s
+}

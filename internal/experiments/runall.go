@@ -9,6 +9,7 @@ import (
 	"jouppi/internal/backoff"
 	"jouppi/internal/fanout"
 	"jouppi/internal/telemetry"
+	"jouppi/internal/trace"
 )
 
 // RunOptions controls a resilient suite run.
@@ -166,9 +167,19 @@ func runOne(ctx context.Context, e Experiment, cfg Config, opts RunOptions,
 	for attempt := 0; ; attempt++ {
 		opts.Journal.Emit(telemetry.Event{Event: "experiment-start",
 			ID: e.ID, Title: e.Title, Seq: seq, Total: total})
+		// Each attempt is one span: its extent covers the shielded run
+		// (including a timeout overrun being cut off), so per-attempt SLO
+		// series separate run time from queueing and backoff. Detached
+		// contexts make Start a no-op returning ctx unchanged.
+		actx, asp := trace.Start(ctx, "attempt",
+			trace.String("experiment", e.ID), trace.Int("attempt", attempt+1))
 		start := time.Now()
-		res = runShielded(ctx, e, cfg, opts.Timeout)
+		res = runShielded(actx, e, cfg, opts.Timeout)
 		elapsed := time.Since(start)
+		if res.Err != "" {
+			asp.SetAttr("err", res.Err)
+		}
+		asp.End()
 		if tel != nil {
 			tel.duration.Observe(elapsed.Seconds())
 			if res.Stack != "" {
@@ -195,8 +206,13 @@ func runOne(ctx context.Context, e Experiment, cfg Config, opts RunOptions,
 			ID: e.ID, Title: e.Title, Seq: seq, Total: total, Err: res.Err})
 		if opts.Backoff != nil {
 			// Pace the re-attempt; a cancellation during the wait ends
-			// the retry loop immediately with the last failure.
-			if err := opts.Backoff.Sleep(ctx, attempt); err != nil {
+			// the retry loop immediately with the last failure. The sleep
+			// is its own span so an SLO breach can distinguish "slow
+			// because retrying" from "slow because running".
+			_, bsp := trace.Start(ctx, "backoff", trace.Int("attempt", attempt+1))
+			err := opts.Backoff.Sleep(ctx, attempt)
+			bsp.End()
+			if err != nil {
 				return res, false
 			}
 		}

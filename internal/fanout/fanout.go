@@ -32,6 +32,7 @@ import (
 
 	"jouppi/internal/memtrace"
 	"jouppi/internal/telemetry"
+	"jouppi/internal/trace"
 )
 
 // Errors reported by Replay before any record is consumed.
@@ -268,6 +269,13 @@ func (e *Engine) replayFanout(ctx context.Context, src memtrace.Source, consumer
 	for i, c := range consumers {
 		go func(i int, c Consumer, ch chan *sharedChunk) {
 			defer wg.Done()
+			// Each consumer goroutine is one span: N configurations
+			// replaying concurrently close N sibling spans from N
+			// goroutines, which is exactly what the span system's
+			// concurrency contract covers. Detached (no span in ctx)
+			// this is a single context lookup per replay.
+			_, csp := trace.Start(ctx, "consumer", trace.Int("consumer", i))
+			defer csp.End()
 			defer func() {
 				if v := recover(); v != nil {
 					panicOnce.Do(func() {

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"jouppi/internal/telemetry"
+	"jouppi/internal/trace"
 )
 
 // maxRequestBytes bounds a POST /jobs body; an uploaded trace has to
@@ -92,6 +93,7 @@ func (r *SubmitRequest) ToSpec() (*Spec, error) {
 //	GET  /jobs/{id}/events  the job's JSONL event journal, streamed live
 //	                        until the job is terminal
 //	GET  /healthz           liveness, drain state, store quarantine count
+//	GET  /debug/traces      finished job span trees + per-stage SLO summary
 //	GET  /metrics, /vars, /debug/...  the telemetry endpoints
 type Server struct {
 	queue *Queue
@@ -113,6 +115,9 @@ func NewServer(q *Queue, reg *telemetry.Registry) *Server {
 	s.mux.Handle("GET /metrics", tel)
 	s.mux.Handle("GET /vars", tel)
 	s.mux.Handle("GET /debug/", tel)
+	// More specific than /debug/, so it wins routing: the finished-job
+	// span trees and the per-stage SLO summary.
+	s.mux.Handle("GET /debug/traces", trace.Handler(q.Tracer(), q.SLO()))
 	return s
 }
 

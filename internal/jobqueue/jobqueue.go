@@ -17,12 +17,15 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
+	"log/slog"
 	"sync"
 	"time"
 
 	"jouppi/internal/backoff"
 	"jouppi/internal/experiments"
 	"jouppi/internal/telemetry"
+	"jouppi/internal/trace"
 )
 
 // Queue admission errors.
@@ -73,6 +76,14 @@ type Job struct {
 	key    string
 	spec   *Spec
 	events *eventLog
+	// jnl is the job's journal over events: RunAll lifecycle events and
+	// span closes interleave on it, so /jobs/{id}/events is the complete
+	// per-job timeline.
+	jnl *telemetry.Journal
+	// root is the job's root span (admission to terminal state);
+	// queueWait covers admission to worker pickup. Both nil-safe.
+	root      *trace.Span
+	queueWait *trace.Span
 	// done closes when the job reaches a terminal state.
 	done chan struct{}
 
@@ -162,6 +173,23 @@ type Options struct {
 	Runner Runner
 	// Version is the build identity folded into cache keys and results.
 	Version string
+	// Logger receives structured job-lifecycle logs, every record
+	// carrying the job ID (and span ID where one exists) so a single job
+	// can be followed across logs, spans, journal events, and metrics by
+	// one ID. Nil discards.
+	Logger *slog.Logger
+	// TraceCapacity bounds the ring of finished job traces served at
+	// /debug/traces (256 when 0).
+	TraceCapacity int
+	// QueueWaitP99 and ProfileDir arm the SLO profile trigger: when the
+	// queue-wait p99 exceeds QueueWaitP99, a pprof CPU profile is
+	// captured into ProfileDir (one per cooldown window). Both must be
+	// set; ProfileDuration/ProfileCooldown override the 2s capture and
+	// 10m cooldown defaults.
+	QueueWaitP99    time.Duration
+	ProfileDir      string
+	ProfileDuration time.Duration
+	ProfileCooldown time.Duration
 }
 
 // queueTel is the metric set a Queue publishes.
@@ -202,8 +230,12 @@ func newQueueTel(reg *telemetry.Registry) *queueTel {
 
 // Queue is the daemon's bounded job queue and worker pool.
 type Queue struct {
-	opts Options
-	tel  *queueTel
+	opts   Options
+	tel    *queueTel
+	log    *slog.Logger
+	tracer *trace.Tracer
+	slo    *trace.SLO
+	prof   *trace.CPUProfile
 
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
@@ -236,22 +268,62 @@ func NewQueue(opts Options) *Queue {
 	if reg == nil {
 		reg = telemetry.NewRegistry()
 	}
+	log := opts.Logger
+	if log == nil {
+		log = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	q := &Queue{
 		opts:       opts,
 		tel:        newQueueTel(reg),
+		log:        log,
 		baseCtx:    ctx,
 		baseCancel: cancel,
 		ch:         make(chan *Job, opts.QueueDepth),
 		jobs:       make(map[string]*Job),
 		byKey:      make(map[string]*Job),
 	}
+	// SLO latency series are derived from span closes: each close is one
+	// Observe of a whole interval (the delta discipline — nothing is
+	// recorded on the hot path). The queue-wait series additionally arms
+	// the CPU-profile trigger when configured.
+	q.slo = trace.NewSLO(reg, nil, trace.JobStages()...)
+	if opts.QueueWaitP99 > 0 && opts.ProfileDir != "" {
+		q.prof = &trace.CPUProfile{
+			Dir:      opts.ProfileDir,
+			Series:   "queuewait",
+			Hist:     q.slo.Histogram("queue-wait"),
+			Bound:    opts.QueueWaitP99,
+			Duration: opts.ProfileDuration,
+			Cooldown: opts.ProfileCooldown,
+			Log:      log,
+		}
+	}
+	q.tracer = trace.New(trace.Options{
+		Capacity: opts.TraceCapacity,
+		OnSpanEnd: func(d trace.SpanData) {
+			q.slo.Observe(d)
+			if d.Name == "queue-wait" {
+				q.prof.Check()
+			}
+		},
+	})
 	for i := 0; i < opts.Workers; i++ {
 		q.wg.Add(1)
 		go q.worker()
 	}
 	return q
 }
+
+// Tracer exposes the finished-job trace ring (for /debug/traces).
+func (q *Queue) Tracer() *trace.Tracer { return q.tracer }
+
+// SLO exposes the per-stage latency accounting (for /debug/traces).
+func (q *Queue) SLO() *trace.SLO { return q.slo }
+
+// Profiler exposes the queue-wait CPU-profile trigger (nil when not
+// armed).
+func (q *Queue) Profiler() *trace.CPUProfile { return q.prof }
 
 // Version returns the build identity folded into cache keys.
 func (q *Queue) Version() string { return q.opts.Version }
@@ -274,8 +346,11 @@ func (q *Queue) Submit(spec *Spec) (*Job, error) {
 	key := spec.CacheKey(q.opts.Version)
 
 	// The store read happens outside the lock: it is disk I/O, and the
-	// worst a race costs is a duplicate cache probe.
+	// worst a race costs is a duplicate cache probe. Its extent is
+	// recorded retroactively as a store-read span once the job exists.
+	probeStart := time.Now()
 	cached, hit := q.opts.Store.Get(key)
+	probeEnd := time.Now()
 
 	q.mu.Lock()
 	defer q.mu.Unlock()
@@ -283,9 +358,16 @@ func (q *Queue) Submit(spec *Spec) (*Job, error) {
 		return nil, ErrDraining
 	}
 	if primary, ok := q.byKey[key]; ok {
-		// An identical job is already queued or running: join it.
+		// An identical job is already queued or running: join it. The
+		// join is marked on the primary's trace and journal so its
+		// timeline shows who it answered for.
 		q.tel.submitted.Inc()
 		q.tel.joined.Inc()
+		now := time.Now()
+		primary.root.Record("dedup-join", now, now)
+		primary.jnl.Emit(telemetry.Event{Event: "dup-join", ID: primary.id})
+		q.log.Info("job joined to identical in-flight job",
+			"job", primary.id, "span", primary.root.ID())
 		return primary, nil
 	}
 
@@ -299,6 +381,12 @@ func (q *Queue) Submit(spec *Spec) (*Job, error) {
 		state:   StateQueued,
 		created: time.Now(),
 	}
+	job.jnl = telemetry.NewJournal(job.events)
+	job.root = q.tracer.Root("job", job.id, job.jnl, spec.traceAttrs()...)
+	if q.opts.Store != nil {
+		job.root.Record("store-read", probeStart, probeEnd,
+			trace.String("hit", fmt.Sprint(hit)))
+	}
 
 	if hit {
 		q.tel.submitted.Inc()
@@ -307,18 +395,27 @@ func (q *Queue) Submit(spec *Spec) (*Job, error) {
 		job.cacheHit = true
 		job.finished = job.created
 		job.result = cached
-		jnl := telemetry.NewJournal(job.events)
-		jnl.Emit(telemetry.Event{Event: "experiment-finish", ID: job.id, Cached: true})
+		job.jnl.Emit(telemetry.Event{Event: "experiment-finish", ID: job.id, Cached: true})
+		job.root.SetAttr("state", string(StateDone))
+		job.root.SetAttr("cache_hit", "true")
+		job.root.End()
 		job.events.Close()
 		close(job.done)
 		q.record(job)
+		q.log.Info("job answered from result store", "job", job.id, "span", job.root.ID())
 		return job, nil
 	}
 
+	// Queue wait opens before the job is published to a worker (the send
+	// below hands the job to another goroutine) and closes when one picks
+	// it up — or when a drain rejects it. On refusal the unfinished trace
+	// is simply dropped; it never reaches the ring.
+	job.queueWait = job.root.Start("queue-wait")
 	select {
 	case q.ch <- job:
 	default:
 		q.tel.queueFull.Inc()
+		q.log.Warn("queue full, submission refused", "depth", q.opts.QueueDepth)
 		return nil, ErrQueueFull
 	}
 	q.tel.submitted.Inc()
@@ -326,6 +423,8 @@ func (q *Queue) Submit(spec *Spec) (*Job, error) {
 	q.tel.depth.Add(1)
 	q.byKey[key] = job
 	q.record(job)
+	q.log.Info("job admitted", "job", job.id, "span", job.root.ID(),
+		"benchmark", spec.Benchmark, "configs", len(spec.Configs))
 	return job, nil
 }
 
@@ -376,11 +475,17 @@ func (q *Queue) runJob(job *Job) {
 	job.state = StateRunning
 	job.started = time.Now()
 	job.mu.Unlock()
+	job.queueWait.End()
 	q.tel.depth.Add(-1)
 	q.tel.running.Add(1)
 	defer q.tel.running.Add(-1)
+	q.log.Info("job running", "job", job.id, "span", job.root.ID(),
+		"queue_wait_s", job.started.Sub(job.created).Seconds())
 
-	ctx := q.baseCtx
+	// The root span rides the worker's context from here on: every stage
+	// below — attempts, backoff sleeps, trace decode, fan-out replay,
+	// store writes — hangs its span off this one.
+	ctx := trace.ContextWith(q.baseCtx, job.root)
 	if d := firstDuration(job.spec.Deadline, q.opts.JobDeadline); d > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, d)
@@ -390,6 +495,12 @@ func (q *Queue) runJob(job *Job) {
 	if retries < 0 {
 		retries = q.opts.Retries
 	}
+
+	// "run" covers everything between queue wait and settlement: all
+	// attempts, the backoff sleeps between them, and the result-store
+	// write. Together with queue-wait it accounts for the root's
+	// wall-clock to within scheduling noise.
+	rctx, runSpan := trace.Start(ctx, "run")
 
 	var (
 		body    []byte
@@ -419,13 +530,13 @@ func (q *Queue) runJob(job *Job) {
 			return res
 		},
 	}
-	results, _ := experiments.RunAll(ctx, experiments.Config{}, experiments.RunOptions{
+	results, _ := experiments.RunAll(rctx, experiments.Config{}, experiments.RunOptions{
 		Experiments: []experiments.Experiment{exp},
 		Timeout:     firstDuration(job.spec.Timeout, q.opts.JobTimeout),
 		Retries:     retries,
 		Backoff:     &q.opts.Backoff,
 		Retryable:   func(*experiments.Result) bool { return !IsPermanent(lastErr) },
-		Journal:     telemetry.NewJournal(job.events),
+		Journal:     job.jnl,
 	})
 
 	var res *experiments.Result
@@ -436,19 +547,30 @@ func (q *Queue) runJob(job *Job) {
 	case res == nil:
 		// RunAll returned before running anything: the queue context was
 		// already cancelled (drain deadline expired).
+		runSpan.End()
 		q.finish(job, StateFailed, "cancelled before start", nil)
 	case res.Failed() || body == nil:
 		errText := res.Err
 		if errText == "" {
 			errText = "job produced no result"
 		}
+		runSpan.SetAttr("err", errText)
+		runSpan.End()
 		q.finish(job, StateFailed, errText, nil)
 	default:
-		if err := q.opts.Store.Put(job.key, body); err != nil {
-			// The client still gets its result; only future cache hits
-			// are lost. Count it so operators notice a sick disk.
-			q.tel.storeErrors.Inc()
+		if q.opts.Store != nil {
+			putStart := time.Now()
+			err := q.opts.Store.Put(job.key, body)
+			runSpan.Record("store-write", putStart, time.Now(),
+				trace.String("ok", fmt.Sprint(err == nil)))
+			if err != nil {
+				// The client still gets its result; only future cache hits
+				// are lost. Count it so operators notice a sick disk.
+				q.tel.storeErrors.Inc()
+				q.log.Warn("result store write failed", "job", job.id, "err", err)
+			}
 		}
+		runSpan.End()
 		q.finish(job, StateDone, "", body)
 	}
 }
@@ -468,6 +590,18 @@ func (q *Queue) finish(job *Job, state State, errText string, body []byte) {
 	attempts := job.attempts
 	elapsed := job.finished.Sub(job.created)
 	job.mu.Unlock()
+
+	// A drain-rejected job still has its queue-wait span open; End is
+	// idempotent, so the normal path (already ended in runJob) is a no-op.
+	job.queueWait.End()
+	job.root.SetAttr("state", string(state))
+	if errText != "" {
+		job.root.SetAttr("err", errText)
+	}
+	job.root.End()
+	q.log.Info("job finished", "job", job.id, "span", job.root.ID(),
+		"state", string(state), "attempts", attempts,
+		"elapsed_s", elapsed.Seconds(), "err", errText)
 
 	job.events.Close()
 	close(job.done)

@@ -5,6 +5,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"reflect"
 	"strings"
 	"sync/atomic"
 	"testing"
@@ -441,21 +442,43 @@ func TestJobEventsStreamFollowsJournalSchema(t *testing.T) {
 	if err != nil {
 		t.Fatalf("events are not valid journal JSONL: %v", err)
 	}
-	var kinds []string
-	for _, e := range events {
+	// Span closes interleave with the RunAll lifecycle events on the same
+	// journal; the lifecycle framing must survive unchanged underneath.
+	var kinds, spans []string
+	var expStart *telemetry.Event
+	for i, e := range events {
+		if e.Event == "span" {
+			spans = append(spans, e.Span)
+			continue
+		}
 		kinds = append(kinds, e.Event)
-	}
-	want := []string{"run-start", "experiment-start", "experiment-finish", "run-finish"}
-	if len(kinds) != len(want) {
-		t.Fatalf("event kinds = %v, want %v", kinds, want)
-	}
-	for i := range want {
-		if kinds[i] != want[i] {
-			t.Fatalf("event kinds = %v, want %v", kinds, want)
+		if e.Event == "experiment-start" && expStart == nil {
+			expStart = &events[i]
 		}
 	}
-	if events[1].ID != job.ID() {
-		t.Fatalf("event ID = %q, want job ID %q", events[1].ID, job.ID())
+	want := []string{"run-start", "experiment-start", "experiment-finish", "run-finish"}
+	if !reflect.DeepEqual(kinds, want) {
+		t.Fatalf("lifecycle event kinds = %v, want %v", kinds, want)
+	}
+	if expStart == nil || expStart.ID != job.ID() {
+		t.Fatalf("experiment-start ID = %+v, want job ID %q", expStart, job.ID())
+	}
+	// The same log carries the job's span tree; the root span ("job")
+	// closes last.
+	if len(spans) == 0 || spans[len(spans)-1] != "job" {
+		t.Fatalf("span closes = %v, want non-empty ending in \"job\"", spans)
+	}
+	for _, name := range []string{"queue-wait", "attempt", "job"} {
+		found := false
+		for _, s := range spans {
+			if s == name {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("span closes = %v, missing %q", spans, name)
+		}
 	}
 }
 

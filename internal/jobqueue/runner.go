@@ -6,8 +6,10 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"time"
 
 	"jouppi/internal/memtrace"
+	"jouppi/internal/trace"
 	"jouppi/sim"
 )
 
@@ -117,19 +119,29 @@ func DefaultRunner(ctx context.Context, spec *Spec, version string) (*ResultBody
 		return body, nil
 	}
 
+	// The upload is decoded exactly once; its extent is recorded as a
+	// retroactive "decode" span so a slow trace shows up as decode time,
+	// not replay time.
+	decStart := time.Now()
 	tr, degr, err := decodeUpload(spec)
 	if err != nil {
+		trace.FromContext(ctx).Record("decode", decStart, time.Now(),
+			trace.String("format", spec.TraceFormat), trace.String("err", err.Error()))
 		// The uploaded bytes are immutable; a decode failure now is a
 		// decode failure forever.
 		return nil, Permanent(fmt.Errorf("jobqueue: decoding uploaded trace: %w", err))
 	}
+	trace.FromContext(ctx).Record("decode", decStart, time.Now(),
+		trace.String("format", spec.TraceFormat), trace.Int("records", tr.Len()))
 	body.Records = uint64(tr.Len())
 	if degr != nil && degr.Degraded() {
 		body.Degradation = degr
 	}
 	for _, c := range spec.Configs {
+		_, csp := trace.Start(ctx, "replay", trace.String("config", c.Label))
 		sys, err := sim.NewSystem(c.Config)
 		if err != nil {
+			csp.End()
 			// Configs are validated at submission; reaching this means a
 			// bug, but it is still not retryable.
 			return nil, Permanent(fmt.Errorf("jobqueue: config %q: %w", c.Label, err))
@@ -144,8 +156,11 @@ func DefaultRunner(ctx context.Context, spec *Spec, version string) (*ResultBody
 				sys.Store(uint64(a.Addr))
 			}
 		}); err != nil {
+			csp.SetAttr("err", err.Error())
+			csp.End()
 			return nil, err
 		}
+		csp.End()
 		body.Configs = append(body.Configs, ConfigResult{Label: c.Label, Results: sys.Results()})
 	}
 	return body, nil

@@ -10,6 +10,7 @@ import (
 	"strings"
 	"time"
 
+	"jouppi/internal/trace"
 	"jouppi/sim"
 )
 
@@ -93,6 +94,23 @@ func (s *Spec) Validate() error {
 		return fmt.Errorf("jobqueue: negative retries")
 	}
 	return nil
+}
+
+// traceAttrs describes the job's input for its root span: what is being
+// simulated and how wide the fan-out is, without ever embedding trace
+// bytes.
+func (s *Spec) traceAttrs() []trace.Attr {
+	attrs := []trace.Attr{trace.Int("configs", len(s.Configs))}
+	if s.Benchmark != "" {
+		attrs = append(attrs,
+			trace.String("benchmark", s.Benchmark),
+			trace.String("scale", strconv.FormatFloat(s.Scale, 'g', -1, 64)))
+	} else {
+		attrs = append(attrs,
+			trace.String("format", s.TraceFormat),
+			trace.Int("upload_bytes", len(s.TraceData)))
+	}
+	return attrs
 }
 
 // TraceDigest returns the identity of the job's input trace: the hex

@@ -6,6 +6,7 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"time"
 )
 
 // Handler returns an http.Handler exposing the registry and the standard
@@ -39,6 +40,30 @@ func Handler(reg *Registry) http.Handler {
 	return mux
 }
 
+// Default timeouts NewHTTPServer applies. ReadHeaderTimeout is the
+// slowloris bound — a client that trickles header bytes is cut off well
+// before it can pin a connection; ReadTimeout additionally bounds slow
+// bodies (uploaded traces stream fast or not at all), and IdleTimeout
+// reclaims keep-alive connections.
+const (
+	DefaultReadHeaderTimeout = 10 * time.Second
+	DefaultReadTimeout       = 5 * time.Minute
+	DefaultIdleTimeout       = 2 * time.Minute
+)
+
+// NewHTTPServer wraps h in an http.Server with the hardened timeout
+// defaults above. Every listener this repo binds goes through it (or
+// sets the same three fields explicitly), so no endpoint accepts
+// unbounded slow-header connections.
+func NewHTTPServer(h http.Handler) *http.Server {
+	return &http.Server{
+		Handler:           h,
+		ReadHeaderTimeout: DefaultReadHeaderTimeout,
+		ReadTimeout:       DefaultReadTimeout,
+		IdleTimeout:       DefaultIdleTimeout,
+	}
+}
+
 // Server is a running metrics endpoint started by Serve.
 type Server struct {
 	ln  net.Listener
@@ -53,7 +78,7 @@ func Serve(addr string, reg *Registry) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
-	s := &Server{ln: ln, srv: &http.Server{Handler: Handler(reg)}}
+	s := &Server{ln: ln, srv: NewHTTPServer(Handler(reg))}
 	go func() { _ = s.srv.Serve(ln) }()
 	return s, nil
 }

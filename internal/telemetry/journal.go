@@ -34,6 +34,13 @@ import (
 //	miss-event        one sampled L1 miss (Side, Access index, Addr, Set,
 //	                  Tag, Served structure; Class when 3C classification
 //	                  was on)
+//
+// Event kinds emitted by the span system (internal/trace):
+//
+//	span              one finished span (ID is the trace/job ID; Span the
+//	                  stage name; SpanID/Parent the tree edges; ElapsedS
+//	                  the duration; Attrs the span's annotations)
+//	dup-join          an identical in-flight submission joined this job
 type Event struct {
 	Time     time.Time `json:"ts"`
 	Event    string    `json:"event"`
@@ -56,25 +63,38 @@ type Event struct {
 	Served  string `json:"served,omitempty"`
 	Class   string `json:"class,omitempty"`
 	Dropped uint64 `json:"dropped,omitempty"`
+
+	// Span fields (span lines, emitted by internal/trace). Attrs decodes
+	// deterministically: json.Marshal sorts map keys.
+	Span   string            `json:"span,omitempty"`
+	SpanID string            `json:"span_id,omitempty"`
+	Parent string            `json:"parent,omitempty"`
+	Attrs  map[string]string `json:"attrs,omitempty"`
 }
 
 // Journal appends Events to a writer as JSONL. A nil *Journal is the
 // disabled state: Emit is a no-op, so callers never need to branch.
 // Safe for concurrent use; write errors are sticky and reported by Err.
 type Journal struct {
-	mu  sync.Mutex
-	bw  *bufio.Writer
-	err error
-	now func() time.Time // test seam; time.Now when nil
+	mu   sync.Mutex
+	bw   *bufio.Writer
+	base time.Time // monotonic anchor for stamped timestamps
+	err  error
+	now  func() time.Time // test seam; monotonic stamping when nil
 }
 
 // NewJournal starts a journal writing to w. Each Emit is flushed through
 // to w so a crash loses at most the event being written.
 func NewJournal(w io.Writer) *Journal {
-	return &Journal{bw: bufio.NewWriter(w)}
+	return &Journal{bw: bufio.NewWriter(w), base: time.Now()}
 }
 
-// Emit appends one event, stamping Time if the caller left it zero.
+// Emit appends one event, stamping Time if the caller left it zero. The
+// stamp is derived from the monotonic clock (the wall reading of the
+// journal's creation instant advanced by the monotonic time elapsed
+// since), so events stamped by the same process are totally ordered and
+// line up with span start/end times even if the wall clock steps
+// between emits — timelines built from one journal never run backwards.
 func (j *Journal) Emit(e Event) {
 	if j == nil {
 		return
@@ -88,7 +108,7 @@ func (j *Journal) Emit(e Event) {
 		if j.now != nil {
 			e.Time = j.now()
 		} else {
-			e.Time = time.Now()
+			e.Time = j.base.Add(time.Since(j.base))
 		}
 	}
 	data, err := json.Marshal(e)

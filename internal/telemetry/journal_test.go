@@ -1,7 +1,9 @@
 package telemetry
 
 import (
+	"bytes"
 	"errors"
+	"reflect"
 	"strings"
 	"testing"
 	"time"
@@ -42,7 +44,7 @@ func TestJournalRoundTrip(t *testing.T) {
 	for i, e := range out {
 		want := in[i]
 		want.Time = ts
-		if e != want {
+		if !reflect.DeepEqual(e, want) {
 			t.Errorf("event %d round-trip mismatch:\n got %+v\nwant %+v", i, e, want)
 		}
 	}
@@ -104,7 +106,7 @@ func TestJournalMissEventRoundTrip(t *testing.T) {
 	for i, e := range out {
 		want := in[i]
 		want.Time = ts
-		if e != want {
+		if !reflect.DeepEqual(e, want) {
 			t.Errorf("event %d round-trip mismatch:\n got %+v\nwant %+v", i, e, want)
 		}
 	}
@@ -141,5 +143,49 @@ func TestReadEventsNoTrailingNewline(t *testing.T) {
 	}
 	if len(out) != 1 || out[0].Total != 3 {
 		t.Fatalf("unterminated final line not decoded: %+v", out)
+	}
+}
+
+func TestJournalStampsMonotonicTime(t *testing.T) {
+	var buf bytes.Buffer
+	j := NewJournal(&buf)
+	before := time.Now()
+	j.Emit(Event{Event: "run-start"})
+	j.Emit(Event{Event: "run-finish"})
+	after := time.Now()
+
+	events, err := ReadEvents(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 2 {
+		t.Fatalf("got %d events, want 2", len(events))
+	}
+	for i, e := range events {
+		if e.Time.IsZero() {
+			t.Fatalf("event %d not stamped", i)
+		}
+		if e.Time.Before(before.Add(-time.Second)) || e.Time.After(after.Add(time.Second)) {
+			t.Fatalf("event %d stamp %v outside [%v, %v]", i, e.Time, before, after)
+		}
+	}
+	// Stamps from one journal are totally ordered: the monotonic clock
+	// cannot run backwards even if the wall clock steps.
+	if events[1].Time.Before(events[0].Time) {
+		t.Fatalf("stamps run backwards: %v then %v", events[0].Time, events[1].Time)
+	}
+}
+
+func TestJournalExplicitTimePreserved(t *testing.T) {
+	var buf bytes.Buffer
+	j := NewJournal(&buf)
+	want := time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)
+	j.Emit(Event{Event: "span", Time: want})
+	events, err := ReadEvents(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !events[0].Time.Equal(want) {
+		t.Fatalf("explicit time rewritten: got %v, want %v", events[0].Time, want)
 	}
 }

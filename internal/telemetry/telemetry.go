@@ -231,6 +231,39 @@ func (h *Histogram) Count() uint64 {
 	return total
 }
 
+// Quantile returns an upper-bound estimate of the q-th quantile
+// (0 < q ≤ 1): the upper bound of the bucket the quantile rank falls in.
+// Observations in the implicit +Inf bucket report the largest finite
+// bound — a floor, the only honest answer a fixed-bucket histogram has.
+// Returns 0 on a nil or empty histogram. The estimate is what the SLO
+// profile trigger compares against its bound: it can only over-estimate
+// within one bucket, so a trigger threshold is conservative by at most
+// the bucket width.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil {
+		return 0
+	}
+	total := h.Count()
+	if total == 0 || math.IsNaN(q) || q <= 0 {
+		return 0
+	}
+	rank := uint64(math.Ceil(q * float64(total)))
+	if rank > total {
+		rank = total
+	}
+	var cum uint64
+	for i, b := range h.bounds {
+		cum += h.counts[i].Load()
+		if cum >= rank {
+			return b
+		}
+	}
+	if len(h.bounds) == 0 {
+		return 0
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
 // Sum returns the sum of observations (0 on a nil histogram).
 func (h *Histogram) Sum() float64 {
 	if h == nil {

@@ -174,3 +174,39 @@ func TestConcurrentUpdates(t *testing.T) {
 		t.Errorf("histogram sum = %v, want %v", got, want)
 	}
 }
+
+func TestHistogramQuantile(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("q_seconds", "quantile test", []float64{0.1, 1, 10})
+
+	// Empty histogram: no estimate.
+	if got := h.Quantile(0.99); got != 0 {
+		t.Fatalf("empty Quantile = %v, want 0", got)
+	}
+	var nilH *Histogram
+	if got := nilH.Quantile(0.5); got != 0 {
+		t.Fatalf("nil Quantile = %v, want 0", got)
+	}
+
+	for _, v := range []float64{0.05, 0.05, 0.5, 5} {
+		h.Observe(v)
+	}
+	// Cumulative buckets: ≤0.1 → 2, ≤1 → 3, ≤10 → 4. Rank-based
+	// estimates return the upper bound of the rank's bucket.
+	if got := h.Quantile(0.5); got != 0.1 {
+		t.Fatalf("p50 = %v, want 0.1", got)
+	}
+	if got := h.Quantile(0.75); got != 1.0 {
+		t.Fatalf("p75 = %v, want 1", got)
+	}
+	if got := h.Quantile(0.99); got != 10.0 {
+		t.Fatalf("p99 = %v, want 10", got)
+	}
+
+	// An observation past every bound lands in +Inf; the estimate clamps
+	// to the largest finite bound rather than returning infinity.
+	h.Observe(100)
+	if got := h.Quantile(1); got != 10.0 {
+		t.Fatalf("p100 with +Inf tail = %v, want 10", got)
+	}
+}

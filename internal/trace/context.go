@@ -1,0 +1,34 @@
+package trace
+
+import "context"
+
+// ctxKey is the private context key the current span travels under.
+type ctxKey struct{}
+
+// ContextWith returns ctx carrying span. A nil span returns ctx
+// unchanged, so detached callers propagate nothing and pay nothing.
+func ContextWith(ctx context.Context, span *Span) context.Context {
+	if span == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, ctxKey{}, span)
+}
+
+// FromContext returns the span ctx carries, or nil.
+func FromContext(ctx context.Context) *Span {
+	s, _ := ctx.Value(ctxKey{}).(*Span)
+	return s
+}
+
+// Start opens a child of the span ctx carries and returns a context
+// carrying the child. When ctx carries no span (tracing detached), it
+// returns ctx unchanged and a nil span — the whole call is one context
+// lookup, which is why instrumented stages call it unconditionally.
+func Start(ctx context.Context, name string, attrs ...Attr) (context.Context, *Span) {
+	parent := FromContext(ctx)
+	if parent == nil {
+		return ctx, nil
+	}
+	child := parent.Start(name, attrs...)
+	return context.WithValue(ctx, ctxKey{}, child), child
+}

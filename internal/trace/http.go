@@ -1,0 +1,50 @@
+package trace
+
+import (
+	"encoding/json"
+	"net/http"
+)
+
+// tracesResponse is the /debug/traces JSON body.
+type tracesResponse struct {
+	// Traces lists finished traces newest-first (a single trace when ?id=
+	// was given).
+	Traces []TraceData `json:"traces"`
+	// Evicted counts finished traces the bounded ring has dropped.
+	Evicted uint64 `json:"evicted,omitempty"`
+	// SLO summarizes the per-stage latency series with their bucket
+	// exemplars, so a slow bucket points straight at a job ID whose span
+	// tree (above) explains it.
+	SLO []StageSummary `json:"slo,omitempty"`
+}
+
+// Handler serves the finished-trace ring and the SLO summary as JSON:
+//
+//	GET /debug/traces        every retained trace, newest first, plus SLO
+//	GET /debug/traces?id=X   just trace X (404 when not retained)
+//
+// slo may be nil. Mount it on the daemon's mux at /debug/traces.
+func Handler(t *Tracer, slo *SLO) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		resp := tracesResponse{SLO: slo.Summary(), Evicted: t.Evicted()}
+		if id := r.URL.Query().Get("id"); id != "" {
+			td, ok := t.TraceByID(id)
+			if !ok {
+				w.Header().Set("Content-Type", "application/json; charset=utf-8")
+				w.WriteHeader(http.StatusNotFound)
+				_ = json.NewEncoder(w).Encode(map[string]string{"error": "no such trace"})
+				return
+			}
+			resp.Traces = []TraceData{td}
+		} else {
+			resp.Traces = t.Traces()
+		}
+		if resp.Traces == nil {
+			resp.Traces = []TraceData{}
+		}
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(resp)
+	})
+}

@@ -1,0 +1,143 @@
+package trace
+
+import (
+	"fmt"
+	"log/slog"
+	"os"
+	"path/filepath"
+	"runtime/pprof"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"jouppi/internal/telemetry"
+)
+
+// CPUProfile captures a pprof CPU profile to disk when a watched latency
+// histogram's p99 exceeds a bound — the "why is queue wait suddenly
+// slow" snapshot, taken while the slowness is still happening instead of
+// after an operator notices a dashboard. Check is intended to be called
+// from a span-close hook (queue-wait closes, in cachesimd), so the
+// trigger reacts within one job of the breach.
+//
+// Captures are single-flight (the Go runtime allows one CPU profile at a
+// time) and paced by a cooldown so a sustained breach produces one
+// profile per cooldown window, not one per job. A nil *CPUProfile, or
+// one with no bound, never triggers.
+type CPUProfile struct {
+	// Dir receives the profile files (cpu-<series>-<n>.pprof).
+	Dir string
+	// Series names the watched latency in file names and logs.
+	Series string
+	// Hist is the watched histogram; Bound the p99 threshold that arms a
+	// capture. Quantile overrides the watched quantile (0.99 when 0).
+	Hist     *telemetry.Histogram
+	Bound    time.Duration
+	Quantile float64
+	// Duration is the capture window (2s when 0); Cooldown the minimum
+	// gap between captures (10m when 0).
+	Duration time.Duration
+	Cooldown time.Duration
+	// Log, when non-nil, narrates trigger and completion.
+	Log *slog.Logger
+
+	busy atomic.Bool
+	mu   sync.Mutex
+	last time.Time
+	seq  int
+	caps atomic.Uint64
+}
+
+// Captures reports how many profiles have been written.
+func (p *CPUProfile) Captures() uint64 {
+	if p == nil {
+		return 0
+	}
+	return p.caps.Load()
+}
+
+// Busy reports whether a capture is currently running.
+func (p *CPUProfile) Busy() bool { return p != nil && p.busy.Load() }
+
+// Check evaluates the trigger and starts an asynchronous capture when
+// the watched quantile exceeds the bound. It returns true when a capture
+// was started. Check itself never blocks on profiling.
+func (p *CPUProfile) Check() bool {
+	if p == nil || p.Bound <= 0 || p.Hist == nil || p.Dir == "" {
+		return false
+	}
+	q := p.Quantile
+	if q == 0 {
+		q = 0.99
+	}
+	if p.Hist.Quantile(q) <= p.Bound.Seconds() {
+		return false
+	}
+	if !p.busy.CompareAndSwap(false, true) {
+		return false
+	}
+	cooldown := p.Cooldown
+	if cooldown == 0 {
+		cooldown = 10 * time.Minute
+	}
+	p.mu.Lock()
+	if !p.last.IsZero() && time.Since(p.last) < cooldown {
+		p.mu.Unlock()
+		p.busy.Store(false)
+		return false
+	}
+	p.last = time.Now()
+	p.seq++
+	seq := p.seq
+	p.mu.Unlock()
+
+	go p.capture(seq)
+	return true
+}
+
+// capture writes one CPU profile, then clears the busy flag.
+func (p *CPUProfile) capture(seq int) {
+	defer p.busy.Store(false)
+	dur := p.Duration
+	if dur == 0 {
+		dur = 2 * time.Second
+	}
+	series := p.Series
+	if series == "" {
+		series = "latency"
+	}
+	path := filepath.Join(p.Dir, fmt.Sprintf("cpu-%s-%03d.pprof", series, seq))
+	f, err := os.Create(path)
+	if err != nil {
+		p.logErr("creating profile file", err)
+		return
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		// Another profiler (an operator on /debug/pprof/profile) owns the
+		// CPU profile right now; drop this capture rather than fight it.
+		f.Close()
+		os.Remove(path)
+		p.logErr("starting CPU profile", err)
+		return
+	}
+	if p.Log != nil {
+		p.Log.Warn("SLO breach: capturing CPU profile",
+			"series", series, "bound_s", p.Bound.Seconds(), "path", path)
+	}
+	time.Sleep(dur)
+	pprof.StopCPUProfile()
+	if err := f.Close(); err != nil {
+		p.logErr("closing profile file", err)
+		return
+	}
+	p.caps.Add(1)
+	if p.Log != nil {
+		p.Log.Info("CPU profile captured", "series", series, "path", path)
+	}
+}
+
+func (p *CPUProfile) logErr(what string, err error) {
+	if p.Log != nil {
+		p.Log.Error("profile capture failed", "stage", what, "err", err)
+	}
+}

@@ -1,0 +1,176 @@
+package trace
+
+import (
+	"sort"
+	"sync"
+
+	"jouppi/internal/telemetry"
+)
+
+// Stage maps one span name onto one SLO latency series.
+type Stage struct {
+	// Span is the span name whose closes feed this stage.
+	Span string
+	// Metric is the histogram name registered for it (e.g.
+	// "slo_queue_wait_seconds").
+	Metric string
+	// Help is the metric's help string.
+	Help string
+}
+
+// Exemplar is the last trace observed in one histogram bucket — the
+// job you open /debug/traces with when that bucket's latency worries
+// you. Slow buckets carrying a concrete job ID are the point: an SLO
+// breach names a job whose span tree shows where the time went.
+type Exemplar struct {
+	// LE is the bucket's upper bound in seconds (+Inf encodes as 0 with
+	// Inf set).
+	LE  float64 `json:"le"`
+	Inf bool    `json:"inf,omitempty"`
+	// Count is how many observations landed in this bucket.
+	Count uint64 `json:"count"`
+	// Trace is the trace/job ID of the latest observation in the bucket;
+	// Seconds its duration.
+	Trace   string  `json:"trace"`
+	Seconds float64 `json:"seconds"`
+}
+
+// StageSummary is the queryable state of one stage.
+type StageSummary struct {
+	Span   string  `json:"span"`
+	Metric string  `json:"metric"`
+	Count  uint64  `json:"count"`
+	P50    float64 `json:"p50_seconds"`
+	P90    float64 `json:"p90_seconds"`
+	P99    float64 `json:"p99_seconds"`
+	// Exemplars lists only occupied buckets, slowest last.
+	Exemplars []Exemplar `json:"exemplars,omitempty"`
+}
+
+// sloStage is the live accumulator behind one Stage.
+type sloStage struct {
+	spec   Stage
+	hist   *telemetry.Histogram
+	bounds []float64
+
+	mu        sync.Mutex
+	exemplars []Exemplar // len(bounds)+1; last is +Inf
+}
+
+// SLO derives per-stage latency histograms and bucket exemplars from
+// span closes. Histograms live in a telemetry.Registry (scraped like any
+// other metric); exemplars are queryable through Summary and the
+// /debug/traces handler. Publication follows the delta discipline: the
+// hot path records nothing, and each span close publishes its whole
+// interval in one Observe. A nil *SLO no-ops.
+type SLO struct {
+	stages map[string]*sloStage // by span name
+	order  []string
+}
+
+// NewSLO registers one histogram per stage on reg, all sharing bounds
+// (DefaultDurationBuckets when nil). A nil registry still accumulates
+// exemplars and quantiles; the histograms are simply unexported.
+func NewSLO(reg *telemetry.Registry, bounds []float64, stages ...Stage) *SLO {
+	if bounds == nil {
+		bounds = telemetry.DefaultDurationBuckets()
+	}
+	if reg == nil {
+		reg = telemetry.NewRegistry()
+	}
+	sorted := append([]float64(nil), bounds...)
+	sort.Float64s(sorted)
+	s := &SLO{stages: make(map[string]*sloStage, len(stages))}
+	for _, st := range stages {
+		s.stages[st.Span] = &sloStage{
+			spec:      st,
+			hist:      reg.Histogram(st.Metric, st.Help, sorted),
+			bounds:    sorted,
+			exemplars: make([]Exemplar, len(sorted)+1),
+		}
+		s.order = append(s.order, st.Span)
+	}
+	return s
+}
+
+// Observe routes one finished span into its stage, if any. Wire it as
+// (or into) the tracer's OnSpanEnd hook.
+func (s *SLO) Observe(d SpanData) {
+	if s == nil {
+		return
+	}
+	st, ok := s.stages[d.Name]
+	if !ok {
+		return
+	}
+	sec := d.Duration().Seconds()
+	st.hist.Observe(sec)
+	i := sort.SearchFloat64s(st.bounds, sec)
+	st.mu.Lock()
+	ex := &st.exemplars[i]
+	ex.Count++
+	ex.Trace = d.Trace
+	ex.Seconds = sec
+	st.mu.Unlock()
+}
+
+// Histogram returns the stage's histogram (nil when the span name is
+// not a stage), for wiring triggers like CPUProfile.
+func (s *SLO) Histogram(span string) *telemetry.Histogram {
+	if s == nil {
+		return nil
+	}
+	st, ok := s.stages[span]
+	if !ok {
+		return nil
+	}
+	return st.hist
+}
+
+// Summary snapshots every stage in registration order.
+func (s *SLO) Summary() []StageSummary {
+	if s == nil {
+		return nil
+	}
+	out := make([]StageSummary, 0, len(s.order))
+	for _, name := range s.order {
+		st := s.stages[name]
+		sum := StageSummary{
+			Span:   st.spec.Span,
+			Metric: st.spec.Metric,
+			Count:  st.hist.Count(),
+			P50:    st.hist.Quantile(0.50),
+			P90:    st.hist.Quantile(0.90),
+			P99:    st.hist.Quantile(0.99),
+		}
+		st.mu.Lock()
+		for i, ex := range st.exemplars {
+			if ex.Count == 0 {
+				continue
+			}
+			if i < len(st.bounds) {
+				ex.LE = st.bounds[i]
+			} else {
+				ex.LE, ex.Inf = 0, true
+			}
+			sum.Exemplars = append(sum.Exemplars, ex)
+		}
+		st.mu.Unlock()
+		out = append(out, sum)
+	}
+	return out
+}
+
+// JobStages returns the stage set the cachesimd job lifecycle publishes:
+// queue wait (admission to worker pickup), per-attempt run time, and
+// end-to-end job latency.
+func JobStages() []Stage {
+	return []Stage{
+		{Span: "queue-wait", Metric: "slo_queue_wait_seconds",
+			Help: "time jobs spent admitted but not yet running"},
+		{Span: "attempt", Metric: "slo_attempt_seconds",
+			Help: "wall time of each job attempt (excluding queueing and backoff)"},
+		{Span: "job", Metric: "slo_job_seconds",
+			Help: "end-to-end job latency from admission to terminal state"},
+	}
+}

@@ -1,0 +1,388 @@
+// Package trace is a lightweight, zero-dependency span system for
+// request-scoped latency attribution: a span is a named interval with a
+// parent, monotonic start/end times, and key/value attributes, and a
+// trace is the tree of spans hung off one root (a cachesimd job, a CLI
+// sweep). It exists for the same reason the 3C classifier does — a
+// number you cannot attribute is a number you cannot improve — applied
+// to wall-clock instead of miss rate: the service cannot meet a latency
+// SLO without knowing whether a slow job spent its time queued, backing
+// off between retries, decoding its trace, or replaying it.
+//
+// The package follows the telemetry package's nil-safety discipline so
+// instrumented code never branches: a nil *Tracer hands out nil roots, a
+// nil *Span no-ops every method, and Start on a context that carries no
+// span returns a nil span. Detached code paths therefore pay one
+// predicted branch (plus one context lookup at propagation boundaries),
+// and spans are only ever created at request/stage granularity — never
+// per access — so the attached cost is invisible next to a replay.
+//
+// Finished spans are exported two ways:
+//
+//   - as "span" events on the trace's telemetry.Journal (the same JSONL
+//     schema the run journal and /jobs/{id}/events use), so one job ID
+//     links logs, journal events, spans, and metrics, and
+//   - into an in-memory ring of finished traces, queryable over HTTP at
+//     /debug/traces (see Handler).
+//
+// SLO accounting (see SLO) and the queue-wait p99 profile trigger (see
+// CPUProfile) are derived from span closes, so per-stage histograms
+// follow the delta-publication discipline: the hot path updates nothing,
+// and one Observe per span close publishes the whole interval.
+package trace
+
+import (
+	"fmt"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"jouppi/internal/telemetry"
+)
+
+// Attr is one key/value annotation on a span. Values are strings so the
+// export formats (journal events, /debug/traces JSON) stay flat.
+type Attr struct {
+	Key   string `json:"k"`
+	Value string `json:"v"`
+}
+
+// String builds a string attribute.
+func String(k, v string) Attr { return Attr{Key: k, Value: v} }
+
+// Int builds an integer attribute.
+func Int(k string, v int) Attr { return Attr{Key: k, Value: strconv.Itoa(v)} }
+
+// Uint64 builds an unsigned integer attribute.
+func Uint64(k string, v uint64) Attr {
+	return Attr{Key: k, Value: strconv.FormatUint(v, 10)}
+}
+
+// SpanData is the immutable record of a finished span.
+type SpanData struct {
+	// Trace is the ID of the trace this span belongs to (for a cachesimd
+	// job, the job ID).
+	Trace  string    `json:"trace"`
+	Name   string    `json:"name"`
+	ID     string    `json:"id"`
+	Parent string    `json:"parent,omitempty"` // parent span ID; "" on the root
+	Start  time.Time `json:"start"`
+	End    time.Time `json:"end"`
+	Attrs  []Attr    `json:"attrs,omitempty"`
+}
+
+// Duration is the span's wall-clock extent.
+func (d SpanData) Duration() time.Duration { return d.End.Sub(d.Start) }
+
+// Attr returns the value of the named attribute ("" when absent).
+func (d SpanData) Attr(key string) string {
+	for _, a := range d.Attrs {
+		if a.Key == key {
+			return a.Value
+		}
+	}
+	return ""
+}
+
+// TraceData is one finished trace: every span that closed before the
+// root did, in close order (the root is always last).
+type TraceData struct {
+	ID    string     `json:"id"`
+	Root  string     `json:"root"` // root span name
+	Start time.Time  `json:"start"`
+	End   time.Time  `json:"end"`
+	Spans []SpanData `json:"spans"`
+	// Dropped counts spans that closed after the root had already
+	// finalized the trace (a bug in the instrumented code, not fatal).
+	Dropped int `json:"dropped,omitempty"`
+}
+
+// Span finds a span by name (first match in close order).
+func (t *TraceData) Span(name string) (SpanData, bool) {
+	for _, s := range t.Spans {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return SpanData{}, false
+}
+
+// Options configures a Tracer.
+type Options struct {
+	// Capacity bounds the ring of finished traces kept for /debug/traces
+	// (256 when zero or negative).
+	Capacity int
+	// OnSpanEnd, when non-nil, observes every finished span
+	// synchronously. It is the hook SLO accounting and the profile
+	// trigger hang off; it must be fast and must not call back into the
+	// span being closed.
+	OnSpanEnd func(SpanData)
+}
+
+const defaultCapacity = 256
+
+// Tracer mints spans and retains finished traces in a bounded ring. A
+// nil *Tracer is the detached state: Root returns a nil span and every
+// derived operation no-ops.
+type Tracer struct {
+	capacity int
+	onEnd    func(SpanData)
+	seq      atomic.Uint64
+
+	mu      sync.Mutex
+	ring    []TraceData // oldest first
+	evicted uint64
+	dropped uint64
+}
+
+// New builds a live tracer.
+func New(opts Options) *Tracer {
+	if opts.Capacity <= 0 {
+		opts.Capacity = defaultCapacity
+	}
+	return &Tracer{capacity: opts.Capacity, onEnd: opts.OnSpanEnd}
+}
+
+// nextID mints a process-unique span ID.
+func (t *Tracer) nextID() string {
+	return fmt.Sprintf("s%06x", t.seq.Add(1))
+}
+
+// Root starts a new trace. traceID names the trace (a job ID; "" mints
+// one), and jnl, when non-nil, receives one "span" event per span close
+// so the trace interleaves with the run journal it belongs to. A nil
+// tracer returns a nil span.
+func (t *Tracer) Root(name, traceID string, jnl *telemetry.Journal, attrs ...Attr) *Span {
+	if t == nil {
+		return nil
+	}
+	if traceID == "" {
+		traceID = fmt.Sprintf("t%06x", t.seq.Add(1))
+	}
+	at := &activeTrace{tracer: t, id: traceID, journal: jnl}
+	return &Span{
+		at:    at,
+		name:  name,
+		id:    t.nextID(),
+		start: time.Now(),
+		attrs: append([]Attr(nil), attrs...),
+	}
+}
+
+// push retires a finished trace into the ring.
+func (t *Tracer) push(td TraceData) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.ring = append(t.ring, td)
+	if over := len(t.ring) - t.capacity; over > 0 {
+		t.evicted += uint64(over)
+		t.ring = append(t.ring[:0], t.ring[over:]...)
+	}
+}
+
+// Traces snapshots the finished traces, newest first.
+func (t *Tracer) Traces() []TraceData {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]TraceData, len(t.ring))
+	for i := range t.ring {
+		out[i] = t.ring[len(t.ring)-1-i]
+	}
+	return out
+}
+
+// TraceByID finds a finished trace by its ID.
+func (t *Tracer) TraceByID(id string) (TraceData, bool) {
+	if t == nil {
+		return TraceData{}, false
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for i := len(t.ring) - 1; i >= 0; i-- {
+		if t.ring[i].ID == id {
+			return t.ring[i], true
+		}
+	}
+	return TraceData{}, false
+}
+
+// Evicted reports how many finished traces the ring has dropped.
+func (t *Tracer) Evicted() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.evicted
+}
+
+// activeTrace accumulates the finished spans of one in-flight trace.
+type activeTrace struct {
+	tracer  *Tracer
+	id      string
+	journal *telemetry.Journal
+
+	mu      sync.Mutex
+	spans   []SpanData
+	done    bool
+	dropped int
+}
+
+// finish records one closed span, finalizing the trace when the root
+// closes. Journal export and the OnSpanEnd hook run outside the trace
+// lock (the journal has its own).
+func (at *activeTrace) finish(d SpanData, root bool) {
+	at.mu.Lock()
+	if at.done {
+		at.dropped++
+		at.tracer.mu.Lock()
+		at.tracer.dropped++
+		at.tracer.mu.Unlock()
+		at.mu.Unlock()
+		return
+	}
+	at.spans = append(at.spans, d)
+	var td TraceData
+	if root {
+		at.done = true
+		td = TraceData{
+			ID: at.id, Root: d.Name, Start: d.Start, End: d.End,
+			Spans: at.spans, Dropped: at.dropped,
+		}
+	}
+	at.mu.Unlock()
+
+	at.journal.Emit(spanEvent(d))
+	if at.tracer.onEnd != nil {
+		at.tracer.onEnd(d)
+	}
+	if root {
+		at.tracer.push(td)
+	}
+}
+
+// spanEvent renders a finished span as one journal event, on the same
+// flat schema the run journal uses.
+func spanEvent(d SpanData) telemetry.Event {
+	e := telemetry.Event{
+		Time:     d.End,
+		Event:    "span",
+		ID:       d.Trace,
+		Span:     d.Name,
+		SpanID:   d.ID,
+		Parent:   d.Parent,
+		ElapsedS: d.Duration().Seconds(),
+	}
+	if len(d.Attrs) > 0 {
+		e.Attrs = make(map[string]string, len(d.Attrs))
+		for _, a := range d.Attrs {
+			e.Attrs[a.Key] = a.Value
+		}
+	}
+	return e
+}
+
+// Span is one open interval of a trace. A nil *Span no-ops every method,
+// so detached code paths never branch. A span is safe for concurrent
+// SetAttr/End against itself, and sibling spans may close concurrently
+// (fan-out consumers do).
+type Span struct {
+	at     *activeTrace
+	name   string
+	id     string
+	parent string
+	start  time.Time
+
+	mu    sync.Mutex
+	attrs []Attr
+	ended bool
+}
+
+// ID returns the span's process-unique ID ("" on a nil span).
+func (s *Span) ID() string {
+	if s == nil {
+		return ""
+	}
+	return s.id
+}
+
+// TraceID returns the owning trace's ID ("" on a nil span).
+func (s *Span) TraceID() string {
+	if s == nil {
+		return ""
+	}
+	return s.at.id
+}
+
+// Start opens a child span. A nil receiver returns a nil child.
+func (s *Span) Start(name string, attrs ...Attr) *Span {
+	if s == nil {
+		return nil
+	}
+	return &Span{
+		at:     s.at,
+		name:   name,
+		id:     s.at.tracer.nextID(),
+		parent: s.id,
+		start:  time.Now(),
+		attrs:  append([]Attr(nil), attrs...),
+	}
+}
+
+// Record adds an already-finished child span — for intervals measured
+// before the span existed (the result-store probe that precedes job
+// admission) or measured by code that should not hold a span open.
+func (s *Span) Record(name string, start, end time.Time, attrs ...Attr) {
+	if s == nil {
+		return
+	}
+	s.at.finish(SpanData{
+		Trace: s.at.id, Name: name, ID: s.at.tracer.nextID(), Parent: s.id,
+		Start: start, End: end, Attrs: append([]Attr(nil), attrs...),
+	}, false)
+}
+
+// SetAttr sets (or replaces) an attribute on an open span. Attributes
+// set after End are lost.
+func (s *Span) SetAttr(key, value string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ended {
+		return
+	}
+	for i := range s.attrs {
+		if s.attrs[i].Key == key {
+			s.attrs[i].Value = value
+			return
+		}
+	}
+	s.attrs = append(s.attrs, Attr{Key: key, Value: value})
+}
+
+// End closes the span, publishing it to the journal, the OnSpanEnd
+// hook, and — when this is the root — the finished-trace ring. End is
+// idempotent; only the first call publishes.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.ended {
+		s.mu.Unlock()
+		return
+	}
+	s.ended = true
+	attrs := s.attrs
+	s.mu.Unlock()
+
+	s.at.finish(SpanData{
+		Trace: s.at.id, Name: s.name, ID: s.id, Parent: s.parent,
+		Start: s.start, End: time.Now(), Attrs: attrs,
+	}, s.parent == "")
+}

@@ -1,0 +1,432 @@
+package trace
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"jouppi/internal/telemetry"
+)
+
+// TestNilSafety exercises every method on detached (nil) values: the
+// whole point of the discipline is that instrumented code never
+// branches, so nothing here may panic.
+func TestNilSafety(t *testing.T) {
+	var tr *Tracer
+	root := tr.Root("job", "j1", nil)
+	if root != nil {
+		t.Fatalf("nil tracer Root = %v, want nil", root)
+	}
+	root.SetAttr("k", "v")
+	root.Record("probe", time.Now(), time.Now())
+	child := root.Start("child")
+	if child != nil {
+		t.Fatalf("nil span Start = %v, want nil", child)
+	}
+	child.End()
+	root.End()
+	if got := root.ID(); got != "" {
+		t.Fatalf("nil span ID = %q", got)
+	}
+	if got := root.TraceID(); got != "" {
+		t.Fatalf("nil span TraceID = %q", got)
+	}
+	if got := tr.Traces(); got != nil {
+		t.Fatalf("nil tracer Traces = %v", got)
+	}
+	if _, ok := tr.TraceByID("j1"); ok {
+		t.Fatal("nil tracer TraceByID found something")
+	}
+	if got := tr.Evicted(); got != 0 {
+		t.Fatalf("nil tracer Evicted = %d", got)
+	}
+
+	var s *SLO
+	s.Observe(SpanData{Name: "queue-wait"})
+	if got := s.Summary(); got != nil {
+		t.Fatalf("nil SLO Summary = %v", got)
+	}
+	if got := s.Histogram("queue-wait"); got != nil {
+		t.Fatalf("nil SLO Histogram = %v", got)
+	}
+
+	var p *CPUProfile
+	if p.Check() {
+		t.Fatal("nil profile triggered")
+	}
+	if p.Busy() || p.Captures() != 0 {
+		t.Fatal("nil profile reports activity")
+	}
+
+	// Context propagation on a span-free context: Start must return the
+	// context unchanged and a nil span.
+	ctx := context.Background()
+	ctx2, sp := Start(ctx, "work")
+	if ctx2 != ctx || sp != nil {
+		t.Fatalf("detached Start = (%v, %v), want (ctx, nil)", ctx2, sp)
+	}
+	if got := FromContext(ctx); got != nil {
+		t.Fatalf("FromContext(empty) = %v", got)
+	}
+	if got := ContextWith(ctx, nil); got != ctx {
+		t.Fatal("ContextWith(nil span) changed the context")
+	}
+}
+
+// TestSpanTree checks that a root with live children, a retroactive
+// Record, and attributes finalizes into the expected TraceData shape.
+func TestSpanTree(t *testing.T) {
+	tr := New(Options{})
+	root := tr.Root("job", "j42", nil, String("benchmark", "liver"))
+	if root.TraceID() != "j42" {
+		t.Fatalf("TraceID = %q, want j42", root.TraceID())
+	}
+
+	probeStart := time.Now().Add(-time.Millisecond)
+	root.Record("store-read", probeStart, time.Now(), String("hit", "false"))
+
+	child := root.Start("queue-wait")
+	child.End()
+	grand := root.Start("run")
+	inner := grand.Start("attempt", Int("attempt", 1))
+	inner.SetAttr("err", "")
+	inner.End()
+	grand.End()
+	root.SetAttr("state", "done")
+	root.End()
+
+	// End after finalization must not corrupt anything, just count.
+	late := root.Start("late")
+	late.End()
+
+	td, ok := tr.TraceByID("j42")
+	if !ok {
+		t.Fatal("trace j42 not retained")
+	}
+	if td.Root != "job" || td.ID != "j42" {
+		t.Fatalf("trace = %+v", td)
+	}
+	wantOrder := []string{"store-read", "queue-wait", "attempt", "run", "job"}
+	if len(td.Spans) != len(wantOrder) {
+		t.Fatalf("got %d spans %v, want %v", len(td.Spans), spanNames(td), wantOrder)
+	}
+	for i, name := range wantOrder {
+		if td.Spans[i].Name != name {
+			t.Fatalf("span order = %v, want %v", spanNames(td), wantOrder)
+		}
+	}
+	if td.Dropped != 0 {
+		// The late span closed after finalization; it is counted on the
+		// *next* snapshot only if it raced the push. Re-fetch to check.
+		t.Fatalf("dropped = %d before late close was possible", td.Dropped)
+	}
+
+	jobSpan, _ := td.Span("job")
+	if jobSpan.Attr("state") != "done" || jobSpan.Attr("benchmark") != "liver" {
+		t.Fatalf("root attrs = %v", jobSpan.Attrs)
+	}
+	if jobSpan.Parent != "" {
+		t.Fatalf("root parent = %q", jobSpan.Parent)
+	}
+	att, _ := td.Span("attempt")
+	run, _ := td.Span("run")
+	if att.Parent != run.ID {
+		t.Fatalf("attempt parent = %q, want run %q", att.Parent, run.ID)
+	}
+	sr, _ := td.Span("store-read")
+	if sr.Parent != jobSpan.ID || sr.Attr("hit") != "false" {
+		t.Fatalf("store-read = %+v", sr)
+	}
+	if d := sr.Duration(); d <= 0 {
+		t.Fatalf("store-read duration = %v", d)
+	}
+}
+
+func spanNames(td TraceData) []string {
+	var names []string
+	for _, s := range td.Spans {
+		names = append(names, s.Name)
+	}
+	return names
+}
+
+// TestEndIdempotent checks a double End publishes exactly once.
+func TestEndIdempotent(t *testing.T) {
+	var closes int
+	tr := New(Options{OnSpanEnd: func(SpanData) { closes++ }})
+	root := tr.Root("job", "", nil)
+	root.End()
+	root.End()
+	if closes != 1 {
+		t.Fatalf("root closed %d times, want 1", closes)
+	}
+	if got := len(tr.Traces()); got != 1 {
+		t.Fatalf("retained %d traces, want 1", got)
+	}
+}
+
+// TestRingEviction checks the bounded ring keeps the newest traces and
+// counts what it dropped.
+func TestRingEviction(t *testing.T) {
+	tr := New(Options{Capacity: 2})
+	for i := 0; i < 5; i++ {
+		root := tr.Root("job", fmt.Sprintf("j%d", i), nil)
+		root.End()
+	}
+	traces := tr.Traces()
+	if len(traces) != 2 {
+		t.Fatalf("retained %d traces, want 2", len(traces))
+	}
+	// Newest first.
+	if traces[0].ID != "j4" || traces[1].ID != "j3" {
+		t.Fatalf("retained %s, %s; want j4, j3", traces[0].ID, traces[1].ID)
+	}
+	if got := tr.Evicted(); got != 3 {
+		t.Fatalf("evicted = %d, want 3", got)
+	}
+	if _, ok := tr.TraceByID("j0"); ok {
+		t.Fatal("evicted trace still findable")
+	}
+}
+
+// TestJournalExport round-trips span closes through the JSONL journal
+// schema: every close is one "span" event carrying trace/span IDs,
+// parentage, duration, and attributes.
+func TestJournalExport(t *testing.T) {
+	var buf bytes.Buffer
+	jnl := telemetry.NewJournal(&buf)
+	tr := New(Options{})
+	root := tr.Root("job", "j7", jnl, String("benchmark", "ccom"))
+	child := root.Start("queue-wait")
+	child.End()
+	root.End()
+
+	events, err := telemetry.ReadEvents(&buf)
+	if err != nil {
+		t.Fatalf("journal is not valid JSONL: %v", err)
+	}
+	if len(events) != 2 {
+		t.Fatalf("got %d events, want 2", len(events))
+	}
+	qw, rt := events[0], events[1]
+	if qw.Event != "span" || qw.Span != "queue-wait" || qw.ID != "j7" {
+		t.Fatalf("queue-wait event = %+v", qw)
+	}
+	if qw.Parent == "" || qw.SpanID == "" {
+		t.Fatalf("queue-wait missing IDs: %+v", qw)
+	}
+	if rt.Span != "job" || rt.Parent != "" || rt.Attrs["benchmark"] != "ccom" {
+		t.Fatalf("root event = %+v", rt)
+	}
+	if qw.Parent != rt.SpanID {
+		t.Fatalf("queue-wait parent = %q, want root %q", qw.Parent, rt.SpanID)
+	}
+	if rt.ElapsedS < 0 {
+		t.Fatalf("root elapsed = %v", rt.ElapsedS)
+	}
+	if qw.Time.IsZero() || rt.Time.IsZero() {
+		t.Fatal("span events missing timestamps")
+	}
+}
+
+// TestConcurrentSpans closes sibling spans from many goroutines at once
+// (the fan-out consumer shape); run under -race this is the data-race
+// check the fan-out instrumentation depends on.
+func TestConcurrentSpans(t *testing.T) {
+	var buf bytes.Buffer
+	jnl := telemetry.NewJournal(&buf)
+	slo := NewSLO(nil, nil, Stage{Span: "consumer", Metric: "consumer_seconds"})
+	tr := New(Options{OnSpanEnd: slo.Observe})
+	root := tr.Root("job", "jr", jnl)
+
+	const n = 32
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sp := root.Start("consumer", Int("consumer", i))
+			sp.SetAttr("done", "true")
+			sp.End()
+		}(i)
+	}
+	wg.Wait()
+	root.End()
+
+	td, ok := tr.TraceByID("jr")
+	if !ok {
+		t.Fatal("trace not retained")
+	}
+	if len(td.Spans) != n+1 {
+		t.Fatalf("got %d spans, want %d", len(td.Spans), n+1)
+	}
+	if events, err := telemetry.ReadEvents(&buf); err != nil || len(events) != n+1 {
+		t.Fatalf("journal: %d events, err %v; want %d", len(events), err, n+1)
+	}
+	sum := slo.Summary()
+	if len(sum) != 1 || sum[0].Count != n {
+		t.Fatalf("SLO summary = %+v, want count %d", sum, n)
+	}
+}
+
+// TestContextPropagation checks the span travels through contexts and
+// that Start hangs children off the carried span.
+func TestContextPropagation(t *testing.T) {
+	tr := New(Options{})
+	root := tr.Root("job", "jc", nil)
+	ctx := ContextWith(context.Background(), root)
+	if got := FromContext(ctx); got != root {
+		t.Fatalf("FromContext = %v, want root", got)
+	}
+	ctx2, child := Start(ctx, "stage")
+	if child == nil {
+		t.Fatal("Start returned nil span on a carrying context")
+	}
+	if got := FromContext(ctx2); got != child {
+		t.Fatal("child context does not carry the child span")
+	}
+	child.End()
+	root.End()
+	td, _ := tr.TraceByID("jc")
+	st, ok := td.Span("stage")
+	if !ok || st.Parent != td.Spans[len(td.Spans)-1].ID {
+		t.Fatalf("stage span = %+v", st)
+	}
+}
+
+// TestSLOQuantilesAndExemplars feeds known durations and checks bucket
+// attribution: quantile estimates land on bucket upper bounds, and each
+// occupied bucket remembers the last trace that landed in it.
+func TestSLOQuantilesAndExemplars(t *testing.T) {
+	bounds := []float64{0.1, 1, 10}
+	slo := NewSLO(nil, bounds, Stage{Span: "job", Metric: "slo_job_seconds"})
+	base := time.Now()
+	obs := func(trace string, seconds float64) {
+		slo.Observe(SpanData{
+			Trace: trace, Name: "job",
+			Start: base, End: base.Add(time.Duration(seconds * float64(time.Second))),
+		})
+	}
+	obs("fast-1", 0.05)
+	obs("fast-2", 0.07)
+	obs("mid", 0.5)
+	obs("slow", 5)
+
+	sum := slo.Summary()
+	if len(sum) != 1 {
+		t.Fatalf("got %d summaries", len(sum))
+	}
+	s := sum[0]
+	if s.Count != 4 {
+		t.Fatalf("count = %d", s.Count)
+	}
+	// Rank-based bucket upper bounds: p50 → rank 2 → 0.1s bucket,
+	// p99 → rank 4 → 10s bucket.
+	if s.P50 != 0.1 || s.P99 != 10 {
+		t.Fatalf("p50 = %v, p99 = %v; want 0.1, 10", s.P50, s.P99)
+	}
+	if len(s.Exemplars) != 3 {
+		t.Fatalf("exemplars = %+v, want 3 occupied buckets", s.Exemplars)
+	}
+	if ex := s.Exemplars[0]; ex.LE != 0.1 || ex.Count != 2 || ex.Trace != "fast-2" {
+		t.Fatalf("fast bucket = %+v", ex)
+	}
+	if ex := s.Exemplars[2]; ex.LE != 10 || ex.Trace != "slow" || ex.Seconds != 5 {
+		t.Fatalf("slow bucket = %+v", ex)
+	}
+	// Unknown span names are not stages and must be ignored.
+	slo.Observe(SpanData{Name: "unrelated", Start: base, End: base})
+	if slo.Summary()[0].Count != 4 {
+		t.Fatal("unrelated span leaked into the stage")
+	}
+}
+
+// TestCPUProfileTrigger drives the watched histogram over its bound and
+// checks exactly one profile lands on disk (single-flight + cooldown).
+func TestCPUProfileTrigger(t *testing.T) {
+	dir := t.TempDir()
+	hist := telemetry.NewRegistry().Histogram("w", "", []float64{0.001, 10})
+	p := &CPUProfile{
+		Dir: dir, Series: "queuewait", Hist: hist,
+		Bound: 500 * time.Millisecond, Duration: 10 * time.Millisecond,
+	}
+	// Below bound: p99 sits in the 0.001 bucket.
+	hist.Observe(0.0001)
+	if p.Check() {
+		t.Fatal("triggered below bound")
+	}
+	// Breach: p99 estimate becomes 10s > 500ms. Repeated checks during
+	// the capture and the cooldown window must not start a second one.
+	hist.Observe(5)
+	first := p.Check()
+	if !first {
+		t.Fatal("no trigger on breach")
+	}
+	for i := 0; i < 10; i++ {
+		if p.Check() {
+			t.Fatal("second capture started inside cooldown")
+		}
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for p.Captures() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("capture never completed")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	matches, err := filepath.Glob(filepath.Join(dir, "cpu-queuewait-*.pprof"))
+	if err != nil || len(matches) != 1 {
+		t.Fatalf("profiles on disk = %v (err %v), want exactly 1", matches, err)
+	}
+}
+
+// TestHandler checks the /debug/traces endpoint: full listing, ?id=
+// filter, and the 404 path.
+func TestHandler(t *testing.T) {
+	slo := NewSLO(nil, nil, JobStages()...)
+	tr := New(Options{OnSpanEnd: slo.Observe})
+	for _, id := range []string{"j1", "j2"} {
+		root := tr.Root("job", id, nil)
+		root.Start("queue-wait").End()
+		root.End()
+	}
+	h := Handler(tr, slo)
+
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/traces", nil))
+	var resp struct {
+		Traces []TraceData    `json:"traces"`
+		SLO    []StageSummary `json:"slo"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatalf("bad JSON: %v", err)
+	}
+	if len(resp.Traces) != 2 || resp.Traces[0].ID != "j2" {
+		t.Fatalf("traces = %+v, want j2 newest-first", resp.Traces)
+	}
+	if len(resp.SLO) != 3 {
+		t.Fatalf("slo stages = %d, want 3", len(resp.SLO))
+	}
+
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/traces?id=j1", nil))
+	resp.Traces = nil
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatalf("bad JSON: %v", err)
+	}
+	if len(resp.Traces) != 1 || resp.Traces[0].ID != "j1" {
+		t.Fatalf("?id=j1 → %+v", resp.Traces)
+	}
+
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/traces?id=nope", nil))
+	if rec.Code != 404 {
+		t.Fatalf("missing trace status = %d, want 404", rec.Code)
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"jouppi/internal/fanout"
 	"jouppi/internal/memtrace"
 	"jouppi/internal/telemetry"
+	"jouppi/internal/trace"
 	"jouppi/internal/workload"
 )
 
@@ -56,6 +57,14 @@ func replayMany(ctx context.Context, name string, scale float64,
 		consumers[i] = fanout.Sink(sys.sys)
 	}
 
+	// The whole fan-out pass is one "replay" span: trace decode/production
+	// and broadcast are a single stage of a job's wall-clock, and the
+	// record count lands as an attribute at close. Span granularity is
+	// per replay, never per access, so tracing stays off the hot path.
+	ctx, rsp := trace.Start(ctx, "replay",
+		trace.String("benchmark", name), trace.Int("configs", len(cfgs)))
+	defer rsp.End()
+
 	// Instructions are counted once on the producer side; every consumer
 	// sees the same stream, so they all share the count.
 	src := workload.NewSource(b, scale)
@@ -71,5 +80,6 @@ func replayMany(ctx context.Context, name string, scale float64,
 		sys.instructions = counting.Instructions()
 		out[i] = sys.Results()
 	}
+	rsp.SetAttr("records", fmt.Sprint(counting.Total()))
 	return out, nil
 }

@@ -2,6 +2,7 @@ package jouppi
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"math"
 	"os"
@@ -12,6 +13,7 @@ import (
 	"jouppi/internal/hierarchy"
 	"jouppi/internal/memtrace"
 	"jouppi/internal/telemetry"
+	"jouppi/internal/trace"
 	"jouppi/internal/workload"
 	"jouppi/sim"
 )
@@ -274,6 +276,7 @@ func TestWriteBenchTelemetryJSON(t *testing.T) {
 		OverheadP  float64    `json:"overhead_percent"`
 		Intro      entry      `json:"introspect_on"`
 		IntroOverP float64    `json:"introspect_overhead_percent"`
+		TraceOverP float64    `json:"trace_overhead_percent"`
 		File       fileReplay `json:"file_replay"`
 	}{
 		Benchmark: "TelemetryReplay",
@@ -300,6 +303,27 @@ func TestWriteBenchTelemetryJSON(t *testing.T) {
 	report.File.OverheadP = pairedOverheadPercent(250,
 		func() { replayFile(nil) },
 		func() { replayFile(fileReg) })
+	// Trace attachment is priced on the whole fan-out replay path — the
+	// exact code a traced cachesimd job runs — against the detached nil
+	// fast path. Spans exist only at replay/consumer granularity, so this
+	// prices a handful of span closes amortized over a full trace pass.
+	tracer := trace.New(trace.Options{Capacity: 4})
+	traceCfgs := []sim.Config{sim.ImprovedSystem()}
+	replayTraced := func(attach bool) {
+		ctx := context.Background()
+		var root *trace.Span
+		if attach {
+			root = tracer.Root("bench", "", nil)
+			ctx = trace.ContextWith(ctx, root)
+		}
+		if _, err := sim.ReplayManyContext(ctx, "ccom", benchScale, nil, traceCfgs); err != nil {
+			t.Fatal(err)
+		}
+		root.End()
+	}
+	report.TraceOverP = pairedOverheadPercent(250,
+		func() { replayTraced(false) },
+		func() { replayTraced(true) })
 	buf, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {
 		t.Fatal(err)
@@ -308,11 +332,11 @@ func TestWriteBenchTelemetryJSON(t *testing.T) {
 		t.Fatal(err)
 	}
 	t.Logf("wrote %s: off %d ns/op (%d allocs), on %d ns/op (%d allocs), overhead %.1f%%; "+
-		"introspect on %d ns/op (%d allocs), overhead %.1f%%; "+
+		"introspect on %d ns/op (%d allocs), overhead %.1f%%; trace overhead %.1f%%; "+
 		"file replay off %d ns/op (%d allocs), on %d ns/op (%d allocs), overhead %.1f%%",
 		out, report.Off.NsPerOp, report.Off.AllocsPerOp,
 		report.On.NsPerOp, report.On.AllocsPerOp, report.OverheadP,
-		report.Intro.NsPerOp, report.Intro.AllocsPerOp, report.IntroOverP,
+		report.Intro.NsPerOp, report.Intro.AllocsPerOp, report.IntroOverP, report.TraceOverP,
 		report.File.Off.NsPerOp, report.File.Off.AllocsPerOp,
 		report.File.On.NsPerOp, report.File.On.AllocsPerOp, report.File.OverheadP)
 }
