@@ -20,6 +20,7 @@ import (
 	"jouppi/internal/core"
 	"jouppi/internal/introspect"
 	"jouppi/internal/memtrace"
+	"jouppi/internal/shardreplay"
 	"jouppi/internal/telemetry"
 	"jouppi/internal/textplot"
 	"jouppi/internal/version"
@@ -52,6 +53,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		missSample = fs.Int("misssample", 0, "sample every Nth L1 miss into a bounded event ring (0 = off)")
 		missCap    = fs.Int("misscap", 0, "miss-event ring capacity (default 1024)")
 		missDump   = fs.String("missdump", "", "write the sampled miss events as JSONL to this file (enables -misssample 1 unless set)")
+		shards     = fs.Int("shards", 1, "replay the single configuration on this many set-partitioned shards (results are bit-identical; configurations with globally-coupled structures fall back to sequential with a note)")
 		lenient    = fs.Bool("lenient", false, "skip malformed trace records (up to -maxdrops) and report the degradation instead of failing")
 		maxDrops   = fs.Uint64("maxdrops", 1<<20, "malformed-record cap in -lenient mode (0 = unlimited)")
 		metrics    = fs.String("metrics-addr", "", "serve /metrics, /vars and /debug/pprof on this address for the duration of the replay")
@@ -77,6 +79,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	if *fanouts != "" && *classify3 {
 		fmt.Fprintln(stderr, "cachesim: -classify is not supported with -fanout")
+		return 2
+	}
+	if *fanouts != "" && *shards > 1 {
+		fmt.Fprintln(stderr, "cachesim: -shards is not supported with -fanout (fan-out already parallelizes across configurations)")
 		return 2
 	}
 	if *missDump != "" && *missSample == 0 {
@@ -175,6 +181,35 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "cachesim:", err)
 		return 2
 	}
+
+	if *shards > 1 {
+		// Structures coupled through the global access stream cannot
+		// shard; declare them so the planner's fallback says why. The
+		// decision only routes work — results are bit-identical either way.
+		var coupled []string
+		if *missCache > 0 {
+			coupled = append(coupled, "-misscache: the miss cache is a shared fully-associative structure ordered by the global miss stream")
+		}
+		if *victim > 0 {
+			coupled = append(coupled, "-victim: the victim cache is a shared fully-associative structure ordered by the global eviction stream")
+		}
+		if *ways > 0 {
+			coupled = append(coupled, "-ways: stream buffers are allocated by the global miss stream")
+		}
+		if *classify3 {
+			coupled = append(coupled, "-classify: the 3C classifier keeps a global fully-associative LRU shadow")
+		}
+		if introOn {
+			coupled = append(coupled, "-phase/-heatmap/-misssample: introspection observers are ordered by the global access stream")
+		}
+		dec := shardreplay.PlanCache(l1cfg, *shards, coupled...)
+		if dec.Sharded() {
+			return runShardedReplay(stdout, stderr, dec, l1cfg, src, keep, reg,
+				srcErr, degr, *lenient, *progress, decoded)
+		}
+		fmt.Fprintf(stderr, "cachesim: replaying sequentially: %s\n", dec.Fallback)
+	}
+
 	l1 := cache.MustNew(l1cfg)
 
 	var fe core.FrontEnd
@@ -218,23 +253,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	// end of replay), so the hot loop carries no telemetry work beyond a
 	// pending-count increment. With reg nil tel stays nil and even that
 	// disappears.
-	type feTel struct {
-		accesses, l1Hits, auxHits, missCacheHits, victimHits, streamHits, fullMisses *telemetry.Counter
-		last                                                                         core.Stats
-		pending                                                                      int
-	}
 	const telFlushEvery = 4096
-	var tel *feTel
+	tel := newFETel(reg)
 	if reg != nil {
-		tel = &feTel{
-			accesses:      reg.Counter("sim_replay_accesses_total", "references replayed through the cache under study"),
-			l1Hits:        reg.Counter("sim_l1_hits_total", "first-level cache hits"),
-			auxHits:       reg.Counter("sim_aux_hits_total", "hits in any auxiliary structure"),
-			missCacheHits: reg.Counter("sim_miss_cache_hits_total", "miss-cache hits"),
-			victimHits:    reg.Counter("sim_victim_hits_total", "victim-cache hits"),
-			streamHits:    reg.Counter("sim_stream_hits_total", "stream-buffer hits"),
-			fullMisses:    reg.Counter("sim_full_misses_total", "misses served by the next level"),
-		}
 		l1.Instrument(cache.NewCounters(reg, l1cfg.Name))
 		if cl != nil {
 			cl.Instrument(
@@ -243,29 +264,15 @@ func run(args []string, stdout, stderr io.Writer) int {
 				reg.Counter("sim_3c_conflict_misses_total", "plain-cache misses classified conflict"))
 		}
 	}
-	addDelta := func(c *telemetry.Counter, cur, last uint64) {
-		if cur != last {
-			c.Add(cur - last)
-		}
-	}
 	flushTel := func() {
 		if tel == nil {
 			return
 		}
-		cur := fe.Stats()
-		addDelta(tel.accesses, cur.Accesses, tel.last.Accesses)
-		addDelta(tel.l1Hits, cur.L1Hits, tel.last.L1Hits)
-		addDelta(tel.auxHits, cur.AuxHits, tel.last.AuxHits)
-		addDelta(tel.missCacheHits, cur.MissCacheHits, tel.last.MissCacheHits)
-		addDelta(tel.victimHits, cur.VictimHits, tel.last.VictimHits)
-		addDelta(tel.streamHits, cur.StreamHits, tel.last.StreamHits)
-		addDelta(tel.fullMisses, cur.FullMisses(), tel.last.FullMisses())
-		tel.last = cur
+		tel.publish(fe.Stats())
 		l1.FlushTelemetry()
 		if cl != nil {
 			cl.Flush()
 		}
-		tel.pending = 0
 	}
 	var prog *telemetry.Progress
 	if *progress {
@@ -307,27 +314,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	st := fe.Stats()
-	fmt.Fprintf(stdout, "configuration:   %s over %dB/%dB/%d-way cache\n", fe.Name(), *size, *line, *assoc)
+	degraded := ""
 	if *lenient {
 		// The degradation report rides alongside the results so damaged
 		// inputs are visible, never silent.
-		fmt.Fprintf(stdout, "degradation:     %s\n", degr())
+		degraded = fmt.Sprint(degr())
 	}
-	fmt.Fprintf(stdout, "accesses:        %d\n", st.Accesses)
-	fmt.Fprintf(stdout, "L1 hits:         %d\n", st.L1Hits)
-	fmt.Fprintf(stdout, "L1 misses:       %d (raw rate %.4f)\n", st.L1Misses, st.RawMissRate())
-	if st.AuxHits > 0 {
-		fmt.Fprintf(stdout, "aux hits:        %d (victim %d, miss-cache %d, stream %d)\n",
-			st.AuxHits, st.VictimHits, st.MissCacheHits, st.StreamHits)
-	}
-	fmt.Fprintf(stdout, "full misses:     %d (effective rate %.4f)\n", st.FullMisses(), st.MissRate())
-	if st.PrefetchIssued > 0 {
-		fmt.Fprintf(stdout, "prefetches:      %d issued, %d used (%.1f%% accuracy)\n",
-			st.PrefetchIssued, st.PrefetchUsed,
-			100*float64(st.PrefetchUsed)/float64(st.PrefetchIssued))
-	}
-	fmt.Fprintf(stdout, "stall cycles:    %d (%.2f per access)\n",
-		st.StallCycles, float64(st.StallCycles)/float64(max(1, st.Accesses)))
+	printStats(stdout, fe.Name(), *size, *line, *assoc, st, degraded)
 	if cl != nil {
 		c := cl.Counts()
 		total := max(1, c.Total())

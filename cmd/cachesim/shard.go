@@ -1,0 +1,170 @@
+package main
+
+// The -shards replay path: the single configuration is replicated once
+// per shard and the trace is routed by L1 set index, so each replica
+// sees exactly the accesses that touch its sets and the merged stats
+// are bit-identical to the sequential replay's (internal/shardreplay's
+// differential suite pins this). stdout is printed through the same
+// helper as the sequential path, so the two outputs are identical by
+// construction; the only sharding trace is on stderr and in telemetry.
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"time"
+
+	"jouppi/internal/cache"
+	"jouppi/internal/core"
+	"jouppi/internal/memtrace"
+	"jouppi/internal/shardreplay"
+	"jouppi/internal/telemetry"
+)
+
+// feTel publishes the replayed front-end's outcome counters as deltas
+// of its own stats: the sequential path flushes every telFlushEvery
+// kept accesses and at end of replay; the sharded path publishes once
+// at the end, from the merging goroutine, since per-shard stats are
+// single-owner until the shard goroutines finish.
+type feTel struct {
+	accesses, l1Hits, auxHits, missCacheHits, victimHits, streamHits, fullMisses *telemetry.Counter
+	last                                                                         core.Stats
+	pending                                                                      int
+}
+
+func newFETel(reg *telemetry.Registry) *feTel {
+	if reg == nil {
+		return nil
+	}
+	return &feTel{
+		accesses:      reg.Counter("sim_replay_accesses_total", "references replayed through the cache under study"),
+		l1Hits:        reg.Counter("sim_l1_hits_total", "first-level cache hits"),
+		auxHits:       reg.Counter("sim_aux_hits_total", "hits in any auxiliary structure"),
+		missCacheHits: reg.Counter("sim_miss_cache_hits_total", "miss-cache hits"),
+		victimHits:    reg.Counter("sim_victim_hits_total", "victim-cache hits"),
+		streamHits:    reg.Counter("sim_stream_hits_total", "stream-buffer hits"),
+		fullMisses:    reg.Counter("sim_full_misses_total", "misses served by the next level"),
+	}
+}
+
+func addDelta(c *telemetry.Counter, cur, last uint64) {
+	if cur != last {
+		c.Add(cur - last)
+	}
+}
+
+func (t *feTel) publish(cur core.Stats) {
+	addDelta(t.accesses, cur.Accesses, t.last.Accesses)
+	addDelta(t.l1Hits, cur.L1Hits, t.last.L1Hits)
+	addDelta(t.auxHits, cur.AuxHits, t.last.AuxHits)
+	addDelta(t.missCacheHits, cur.MissCacheHits, t.last.MissCacheHits)
+	addDelta(t.victimHits, cur.VictimHits, t.last.VictimHits)
+	addDelta(t.streamHits, cur.StreamHits, t.last.StreamHits)
+	addDelta(t.fullMisses, cur.FullMisses(), t.last.FullMisses())
+	t.last = cur
+	t.pending = 0
+}
+
+// printStats renders the replayed front-end's counters. Both replay
+// paths print through it, so sharded stdout matches sequential stdout
+// byte for byte.
+func printStats(stdout io.Writer, name string, size, line, assoc int, st core.Stats, degraded string) {
+	fmt.Fprintf(stdout, "configuration:   %s over %dB/%dB/%d-way cache\n", name, size, line, assoc)
+	if degraded != "" {
+		// The degradation report rides alongside the results so damaged
+		// inputs are visible, never silent.
+		fmt.Fprintf(stdout, "degradation:     %s\n", degraded)
+	}
+	fmt.Fprintf(stdout, "accesses:        %d\n", st.Accesses)
+	fmt.Fprintf(stdout, "L1 hits:         %d\n", st.L1Hits)
+	fmt.Fprintf(stdout, "L1 misses:       %d (raw rate %.4f)\n", st.L1Misses, st.RawMissRate())
+	if st.AuxHits > 0 {
+		fmt.Fprintf(stdout, "aux hits:        %d (victim %d, miss-cache %d, stream %d)\n",
+			st.AuxHits, st.VictimHits, st.MissCacheHits, st.StreamHits)
+	}
+	fmt.Fprintf(stdout, "full misses:     %d (effective rate %.4f)\n", st.FullMisses(), st.MissRate())
+	if st.PrefetchIssued > 0 {
+		fmt.Fprintf(stdout, "prefetches:      %d issued, %d used (%.1f%% accuracy)\n",
+			st.PrefetchIssued, st.PrefetchUsed,
+			100*float64(st.PrefetchUsed)/float64(st.PrefetchIssued))
+	}
+	fmt.Fprintf(stdout, "stall cycles:    %d (%.2f per access)\n",
+		st.StallCycles, float64(st.StallCycles)/float64(max(1, st.Accesses)))
+}
+
+// filterSource narrows a source to the kept accesses on the producer
+// side, before shard routing — the same stream the sequential loop's
+// keep filter admits.
+type filterSource struct {
+	src  memtrace.Source
+	keep func(memtrace.Access) bool
+}
+
+func (f filterSource) Next() (memtrace.Access, bool) {
+	for {
+		a, ok := f.src.Next()
+		if !ok || f.keep(a) {
+			return a, ok
+		}
+	}
+}
+
+// runShardedReplay replays the planned sharded decision and prints the
+// merged stats.
+func runShardedReplay(stdout, stderr io.Writer, dec shardreplay.Decision, l1cfg cache.Config,
+	src memtrace.Source, keep func(memtrace.Access) bool, reg *telemetry.Registry,
+	srcErr func() error, degr func() memtrace.Degradation, lenient, progress bool,
+	decoded *telemetry.Counter) int {
+
+	build := func() (core.FrontEnd, error) {
+		c, err := cache.New(l1cfg)
+		if err != nil {
+			return nil, err
+		}
+		return core.NewBaseline(c, nil, core.DefaultTiming()), nil
+	}
+	fes, err := shardreplay.NewFrontEnds(l1cfg, dec.Requested, build)
+	if err != nil {
+		fmt.Fprintln(stderr, "cachesim:", err)
+		return 1
+	}
+	fes.AttachTelemetry(reg)
+	fmt.Fprintf(stderr, "cachesim: sharded replay on %d shards (set-index bits [%d,%d), bit-identical to sequential)\n",
+		dec.Shards, dec.FieldShift, dec.FieldShift+dec.FieldWidth)
+
+	var prog *telemetry.Progress
+	if progress {
+		prog = telemetry.NewProgress(stderr, decoded, nil, nil)
+		prog.Start(200 * time.Millisecond)
+		defer prog.Stop()
+	}
+
+	if err := fes.Replay(context.Background(), filterSource{src: src, keep: keep}); err != nil {
+		fmt.Fprintln(stderr, "cachesim:", err)
+		return 1
+	}
+	if prog != nil {
+		prog.Stop()
+	}
+	st := fes.Stats()
+	newFETel(reg).publishMerged(st)
+	degraded := ""
+	if lenient {
+		memtrace.PublishDegradation(reg, degr())
+		degraded = fmt.Sprint(degr())
+	}
+	if err := srcErr(); err != nil {
+		fmt.Fprintln(stderr, "cachesim:", err)
+		return 1
+	}
+	printStats(stdout, fes.FrontEnds()[0].Name(), l1cfg.Size, l1cfg.LineSize, l1cfg.Assoc, st, degraded)
+	return 0
+}
+
+// publishMerged publishes the end-of-replay merged stats (a no-op when
+// telemetry is off, so the nil receiver is fine).
+func (t *feTel) publishMerged(st core.Stats) {
+	if t != nil {
+		t.publish(st)
+	}
+}

@@ -1,0 +1,79 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestShardedStdoutIdentical pins the CLI half of the sharding
+// contract: -shards must not change a single byte of stdout.
+func TestShardedStdoutIdentical(t *testing.T) {
+	path := writeTestTrace(t)
+	for _, side := range []string{"data", "instr", "all"} {
+		code, seq, _ := runCmd(t, "-trace", path, "-side", side)
+		if code != 0 {
+			t.Fatalf("sequential exit %d", code)
+		}
+		code, sharded, errOut := runCmd(t, "-trace", path, "-side", side, "-shards", "4")
+		if code != 0 {
+			t.Fatalf("sharded exit %d, stderr %q", code, errOut)
+		}
+		if seq != sharded {
+			t.Errorf("side %s: sharded stdout diverged\n--- sequential ---\n%s--- sharded ---\n%s", side, seq, sharded)
+		}
+		if !strings.Contains(errOut, "sharded replay on 4 shards") {
+			t.Errorf("side %s: stderr missing shard note: %q", side, errOut)
+		}
+	}
+}
+
+// TestShardedFallbackNote pins that every globally-coupled flag demotes
+// -shards to a sequential replay with a reason on stderr — and the run
+// still succeeds with unchanged output shape.
+func TestShardedFallbackNote(t *testing.T) {
+	path := writeTestTrace(t)
+	for _, tc := range []struct {
+		extra []string
+		want  string
+	}{
+		{[]string{"-victim", "4"}, "-victim"},
+		{[]string{"-misscache", "2"}, "-misscache"},
+		{[]string{"-ways", "2"}, "-ways"},
+		{[]string{"-classify"}, "-classify"},
+		{[]string{"-heatmap"}, "-heatmap"},
+	} {
+		args := append([]string{"-trace", path, "-shards", "4"}, tc.extra...)
+		code, out, errOut := runCmd(t, args...)
+		if code != 0 {
+			t.Fatalf("%v: exit %d, stderr %q", tc.extra, code, errOut)
+		}
+		if !strings.Contains(errOut, "replaying sequentially") || !strings.Contains(errOut, tc.want) {
+			t.Errorf("%v: stderr missing fallback reason: %q", tc.extra, errOut)
+		}
+		if !strings.Contains(out, "configuration:") {
+			t.Errorf("%v: no results printed", tc.extra)
+		}
+	}
+}
+
+// TestShardsRejectedWithFanout pins the flag conflict.
+func TestShardsRejectedWithFanout(t *testing.T) {
+	path := writeTestTrace(t)
+	code, _, errOut := runCmd(t, "-trace", path, "-shards", "2", "-fanout", "size=8192")
+	if code != 2 || !strings.Contains(errOut, "-shards") {
+		t.Errorf("exit %d, stderr %q", code, errOut)
+	}
+}
+
+// TestShardedLenientAndMetrics exercises the sharded path's lenient
+// decode and end-of-replay telemetry publication.
+func TestShardedLenientAndMetrics(t *testing.T) {
+	path := writeTestTrace(t)
+	code, out, errOut := runCmd(t, "-trace", path, "-shards", "4", "-lenient", "-progress")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr %q", code, errOut)
+	}
+	if !strings.Contains(out, "degradation:") {
+		t.Errorf("lenient run did not report degradation:\n%s", out)
+	}
+}

@@ -1,0 +1,78 @@
+package hierarchy
+
+import (
+	"testing"
+
+	"jouppi/internal/core"
+	"jouppi/internal/memtrace"
+	"jouppi/internal/telemetry"
+)
+
+// syncRecorder is a MissObserver that records every SyncAccesses call.
+type syncRecorder struct {
+	syncs []uint64 // instruction-side counts, in delivery order
+}
+
+func (r *syncRecorder) ObserveMiss(memtrace.Access, core.Result, uint64) {}
+func (r *syncRecorder) Counters(bool) *MissCounters                      { return nil }
+func (r *syncRecorder) SyncAccesses(instr bool, accesses uint64) {
+	if instr {
+		r.syncs = append(r.syncs, accesses)
+	}
+}
+
+// TestPeriodicFlushSyncsMissObserver pins the MissObserver contract at
+// the periodic mid-replay flush: with telemetry attached, every
+// telFlushEvery-access flush must also deliver SyncAccesses, so an
+// observer's windows keep closing through miss-free stretches of a long
+// replay. This failed before Access was changed to run the full
+// FlushTelemetry at the periodic boundary instead of the
+// telemetry-only flushTel — the observer then saw no sync until the
+// replay ended.
+func TestPeriodicFlushSyncsMissObserver(t *testing.T) {
+	sys, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := &syncRecorder{}
+	sys.AttachMissObserver(rec)
+	sys.AttachTelemetry(telemetry.NewRegistry())
+
+	// Two full flush periods of instruction fetches, fed one Access at a
+	// time — no replay-end or Results boundary is ever reached.
+	for i := 0; i < 2*telFlushEvery; i++ {
+		sys.Access(memtrace.Access{Kind: memtrace.Ifetch, Addr: memtrace.Addr(uint64(i%64) * 16)})
+	}
+
+	if len(rec.syncs) < 2 {
+		t.Fatalf("got %d mid-replay syncs over two flush periods, want ≥2", len(rec.syncs))
+	}
+	if got := rec.syncs[0]; got != telFlushEvery {
+		t.Errorf("first sync reported %d accesses, want %d", got, telFlushEvery)
+	}
+	if got := rec.syncs[1]; got != 2*telFlushEvery {
+		t.Errorf("second sync reported %d accesses, want %d", got, 2*telFlushEvery)
+	}
+}
+
+// TestPeriodicFlushWithoutTelemetryStaysLazy pins the complementary
+// half of the contract: without a registry attached there is no
+// periodic flush, so sync arrives only at explicit boundaries.
+func TestPeriodicFlushWithoutTelemetryStaysLazy(t *testing.T) {
+	sys, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := &syncRecorder{}
+	sys.AttachMissObserver(rec)
+	for i := 0; i < telFlushEvery+1; i++ {
+		sys.Access(memtrace.Access{Kind: memtrace.Ifetch, Addr: memtrace.Addr(uint64(i%64) * 16)})
+	}
+	if len(rec.syncs) != 0 {
+		t.Fatalf("detached system synced %d times mid-replay", len(rec.syncs))
+	}
+	sys.FlushTelemetry()
+	if len(rec.syncs) != 1 || rec.syncs[0] != telFlushEvery+1 {
+		t.Fatalf("explicit flush syncs = %v, want one exact count", rec.syncs)
+	}
+}

@@ -41,6 +41,11 @@ type SubmitRequest struct {
 	Deadline string `json:"deadline,omitempty"`
 	// Retries overrides the server's retry budget when non-nil.
 	Retries *int `json:"retries,omitempty"`
+	// Shards replays each configuration on this many set-partitioned
+	// shards (0 or 1 = sequential; max 64). Results are bit-identical
+	// either way — configurations that cannot shard fall back to a
+	// sequential replay — so shards does not change the job's cache key.
+	Shards int `json:"shards,omitempty"`
 }
 
 // ToSpec validates the request into a runnable Spec.
@@ -52,6 +57,7 @@ func (r *SubmitRequest) ToSpec() (*Spec, error) {
 		Lenient:     r.Lenient,
 		MaxDrops:    r.MaxDrops,
 		Retries:     -1,
+		Shards:      r.Shards,
 	}
 	if r.Trace != "" {
 		data, err := base64.StdEncoding.DecodeString(r.Trace)

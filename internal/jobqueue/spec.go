@@ -55,6 +55,13 @@ type Spec struct {
 	// Retries re-runs a retryably-failed job this many extra times,
 	// paced by the queue's backoff policy. -1 means the queue default.
 	Retries int
+	// Shards replays each configuration on this many set-partitioned
+	// shards (0 or 1 = sequential). Sharding is pure execution policy:
+	// results are bit-identical (configurations that cannot shard fall
+	// back to a sequential replay automatically), so Shards is excluded
+	// from the cache key — a sharded and a sequential submission of the
+	// same job share one result.
+	Shards int
 }
 
 // Validate checks a Spec the way Submit will rely on it.
@@ -93,6 +100,9 @@ func (s *Spec) Validate() error {
 	if s.Retries < -1 {
 		return fmt.Errorf("jobqueue: negative retries")
 	}
+	if s.Shards < 0 || s.Shards > 64 {
+		return fmt.Errorf("jobqueue: shards must be between 0 and 64, got %d", s.Shards)
+	}
 	return nil
 }
 
@@ -129,7 +139,10 @@ func (s *Spec) TraceDigest() string {
 // replayed stream, so it must key separately), the canonicalized
 // configuration list, and the build version. Identical submissions to
 // the same binary collapse to one key; any difference in input, config,
-// or code yields a different one.
+// or code yields a different one. Execution policy — Timeout, Deadline,
+// Retries, Shards — is deliberately excluded: it changes how the result
+// is computed, never what it is (sharded replay is bit-identical by the
+// shardreplay differential suite), so policy variants share one result.
 func (s *Spec) CacheKey(version string) string {
 	h := sha256.New()
 	fmt.Fprintf(h, "trace=%s format=%s lenient=%t maxdrops=%d\n",

@@ -1,0 +1,133 @@
+package shardreplay_test
+
+// FrontEnds tests: the stand-alone first-level shape (cachesim's) must
+// obey the same contract as the full hierarchy — bit-identical merged
+// stats, or a loud fallback when the caller declares coupled structure.
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+
+	"jouppi/internal/cache"
+	"jouppi/internal/core"
+	"jouppi/internal/memtrace"
+	"jouppi/internal/shardreplay"
+)
+
+func baselineL1() cache.Config {
+	return cache.Config{Name: "L1", Size: 4096, LineSize: 16, Assoc: 1}
+}
+
+func buildBaseline(cc cache.Config) func() (core.FrontEnd, error) {
+	return func() (core.FrontEnd, error) {
+		c, err := cache.New(cc)
+		if err != nil {
+			return nil, err
+		}
+		return core.NewBaseline(c, nil, core.DefaultTiming()), nil
+	}
+}
+
+// TestFrontEndsDifferential replays each paper workload through one
+// front-end sequentially and through a sharded replica set, and
+// requires the merged core.Stats to match field-for-field.
+func TestFrontEndsDifferential(t *testing.T) {
+	cc := baselineL1()
+	for _, bench := range []string{"ccom", "linpack"} {
+		t.Run(bench, func(t *testing.T) {
+			tr := diffTrace(t, bench)
+
+			seq, err := buildBaseline(cc)()
+			if err != nil {
+				t.Fatal(err)
+			}
+			tr.Each(func(a memtrace.Access) { seq.Access(uint64(a.Addr), a.Kind == memtrace.Store) })
+
+			fes, err := shardreplay.NewFrontEnds(cc, 4, buildBaseline(cc))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if dec := fes.Decision(); !dec.Sharded() {
+				t.Fatalf("baseline L1 did not shard: %q", dec.Fallback)
+			}
+			if got := len(fes.FrontEnds()); got != 4 {
+				t.Fatalf("replica count = %d, want 4", got)
+			}
+			if err := fes.Replay(context.Background(), tr.Source()); err != nil {
+				t.Fatal(err)
+			}
+			if want, got := seq.Stats(), fes.Stats(); want != got {
+				t.Errorf("stats diverge:\nsequential %+v\nsharded    %+v", want, got)
+			}
+		})
+	}
+}
+
+// TestFrontEndsCoupledFallback pins that a declared coupled structure —
+// the classifier, introspection taps, an augmentation — forces one
+// replica and surfaces the caller's reason verbatim.
+func TestFrontEndsCoupledFallback(t *testing.T) {
+	const reason = "3C classifier keeps a global LRU shadow"
+	fes, err := shardreplay.NewFrontEnds(baselineL1(), 8, buildBaseline(baselineL1()), "", reason)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec := fes.Decision()
+	if dec.Sharded() || dec.Shards != 1 {
+		t.Fatalf("coupled config sharded: %+v", dec)
+	}
+	if !strings.Contains(dec.Fallback, reason) {
+		t.Errorf("fallback %q lost the caller's reason", dec.Fallback)
+	}
+	// The fallback replica must still replay (inline).
+	tr := diffTrace(t, "ccom")
+	if err := fes.Replay(context.Background(), tr.Source()); err != nil {
+		t.Fatal(err)
+	}
+	if fes.Stats().Accesses == 0 {
+		t.Error("fallback replica saw no accesses")
+	}
+}
+
+// TestFrontEndsBuildError pins that a failing factory aborts construction.
+func TestFrontEndsBuildError(t *testing.T) {
+	boom := errors.New("boom")
+	_, err := shardreplay.NewFrontEnds(baselineL1(), 4,
+		func() (core.FrontEnd, error) { return nil, boom })
+	if !errors.Is(err, boom) {
+		t.Fatalf("got %v, want build error", err)
+	}
+}
+
+// TestPlanCacheFallbacks covers the stand-alone planner's matrix.
+func TestPlanCacheFallbacks(t *testing.T) {
+	fa := cache.Config{Name: "FA", Size: 1024, LineSize: 16, Assoc: 64}
+	if d := shardreplay.PlanCache(fa, 4); d.Sharded() || !strings.Contains(d.Fallback, "single set") {
+		t.Errorf("fully-associative cache: %+v", d)
+	}
+	rnd := baselineL1()
+	rnd.Assoc, rnd.Replacement = 2, cache.Random
+	if d := shardreplay.PlanCache(rnd, 4); d.Sharded() || !strings.Contains(d.Fallback, "random") {
+		t.Errorf("random replacement: %+v", d)
+	}
+	if d := shardreplay.PlanCache(baselineL1(), 1); d.Sharded() || d.Fallback != "" {
+		t.Errorf("single-shard request: %+v", d)
+	}
+	// More shards than field values: capped at the value count.
+	small := cache.Config{Name: "S", Size: 64, LineSize: 16, Assoc: 1} // 4 sets
+	if d := shardreplay.PlanCache(small, 64); d.Shards != 4 {
+		t.Errorf("cap: %+v", d)
+	}
+}
+
+// TestPartitionPanicsOnFallback pins the misuse guard.
+func TestPartitionPanicsOnFallback(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Partition() on a fallback decision did not panic")
+		}
+	}()
+	shardreplay.PlanCache(baselineL1(), 1).Partition()
+}

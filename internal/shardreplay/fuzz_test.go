@@ -1,0 +1,111 @@
+// The fuzz target lives in the package's external test suite so it can
+// seed its corpus from internal/faultinject's byte corruptors, same as
+// the memtrace fuzz targets.
+package shardreplay_test
+
+import (
+	"bytes"
+	"testing"
+
+	"jouppi/internal/cache"
+	"jouppi/internal/core"
+	"jouppi/internal/faultinject"
+	"jouppi/internal/memtrace"
+	"jouppi/internal/shardreplay"
+)
+
+// fuzzTraceBytes returns a well-formed binary trace that touches
+// several sets of the small fuzz cache.
+func fuzzTraceBytes() []byte {
+	tr := memtrace.NewTrace(0)
+	for i := 0; i < 64; i++ {
+		kind := memtrace.Ifetch
+		if i%2 == 1 {
+			kind = memtrace.Load
+		}
+		if i%5 == 3 {
+			kind = memtrace.Store
+		}
+		tr.Append(memtrace.Access{Addr: memtrace.Addr(uint64(i) * 48), Kind: kind})
+	}
+	var buf bytes.Buffer
+	tr.WriteTo(&buf)
+	return buf.Bytes()
+}
+
+// FuzzShardMerge feeds arbitrary (usually damaged) trace bytes through
+// two independent lenient decodes — one replayed sequentially, one
+// through the sharded engine — and requires both the degradation
+// reports and the merged simulation stats to be identical. Sharding
+// must be invisible even on corrupt input: the decoder, not the replay
+// topology, decides what survives.
+func FuzzShardMerge(f *testing.F) {
+	valid := fuzzTraceBytes()
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])
+	f.Add([]byte{})
+	for seed := int64(1); seed <= 3; seed++ {
+		f.Add(faultinject.Truncate(valid, seed))
+		f.Add(faultinject.FlipBits(valid, seed, 4))
+		f.Add(faultinject.DuplicateSpan(valid, seed, 8))
+		f.Add(faultinject.TruncateHeader(valid, seed))
+	}
+
+	cc := cache.Config{Name: "L1", Size: 512, LineSize: 16, Assoc: 1} // 32 sets
+	build := func() (core.FrontEnd, error) {
+		c, err := cache.New(cc)
+		if err != nil {
+			return nil, err
+		}
+		return core.NewBaseline(c, nil, core.DefaultTiming()), nil
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Damaged headers are rejected before lenient decode begins; only
+		// a stream that opens exercises the replay comparison.
+		seqR, err := memtrace.NewReader(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		seqR.Lenient(0)
+		seqFE, err := build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		memtrace.Each(seqR, func(a memtrace.Access) {
+			seqFE.Access(uint64(a.Addr), a.Kind == memtrace.Store)
+		})
+		if err := seqR.Err(); err != nil {
+			t.Fatalf("lenient sequential decode errored: %v", err)
+		}
+
+		shR, err := memtrace.NewReader(bytes.NewReader(data))
+		if err != nil {
+			t.Fatal("same bytes opened once but not twice")
+		}
+		shR.Lenient(0)
+		fes, err := shardreplay.NewFrontEnds(cc, 3, build)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := fes.Replay(t.Context(), shR); err != nil {
+			t.Fatalf("sharded replay: %v", err)
+		}
+		if err := shR.Err(); err != nil {
+			t.Fatalf("lenient sharded decode errored: %v", err)
+		}
+
+		seqD, shD := seqR.Degradation(), shR.Degradation()
+		if seqD.Dropped != shD.Dropped || seqD.First != shD.First {
+			t.Fatalf("degradation diverged:\nsequential %+v\nsharded    %+v", seqD, shD)
+		}
+		for reason, n := range seqD.Reasons {
+			if shD.Reasons[reason] != n {
+				t.Fatalf("degradation reason %q: sequential %d, sharded %d", reason, n, shD.Reasons[reason])
+			}
+		}
+		if want, got := seqFE.Stats(), fes.Stats(); want != got {
+			t.Fatalf("stats diverged on damaged input:\nsequential %+v\nsharded    %+v", want, got)
+		}
+	})
+}

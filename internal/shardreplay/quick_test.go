@@ -1,0 +1,181 @@
+package shardreplay_test
+
+// Metamorphic and property tests: relations that must hold for *every*
+// input, checked with testing/quick where the input space is cheap to
+// sample and with explicit sweeps where a replay is involved.
+//
+//   - shard-count invariance: the merged results are the same function
+//     of the trace for every K (including K=1 and non-power-of-two K);
+//   - per-shard decomposition: the shard counters sum field-for-field
+//     to the merged counters;
+//   - partition soundness: every cache set is owned by exactly one
+//     shard, and bits outside the common field never change ownership.
+
+import (
+	"context"
+	"fmt"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"jouppi/internal/cache"
+	"jouppi/internal/core"
+	"jouppi/internal/hierarchy"
+	"jouppi/internal/memtrace"
+	"jouppi/internal/shardreplay"
+)
+
+// TestShardCountInvariance replays one trace at every interesting shard
+// count — one (inline path), powers of two, a prime, and more shards
+// than common-field values (capped) — and requires every replay to
+// produce bit-identical results.
+func TestShardCountInvariance(t *testing.T) {
+	tr := diffTrace(t, "ccom")
+	want := replaySequential(t, hierarchy.Config{}, tr)
+	for _, k := range []int{1, 2, 4, 7, 16, 64} {
+		t.Run(fmt.Sprintf("k%d", k), func(t *testing.T) {
+			got, dec := replayShardedN(t, hierarchy.Config{}, tr, k)
+			if dec.Shards > k {
+				t.Errorf("effective shards %d exceed requested %d", dec.Shards, k)
+			}
+			requireBitIdentical(t, want, got)
+		})
+	}
+}
+
+// TestShardResultsSumToMerged pins the decomposition the merge relies
+// on: summing the per-shard counters field-for-field (via the same Add
+// methods MergeResults uses) reproduces the merged counters exactly,
+// and no shard is silently idle on a trace that touches every set slice.
+func TestShardResultsSumToMerged(t *testing.T) {
+	tr := diffTrace(t, "yacc")
+	h, err := shardreplay.NewHierarchy(hierarchy.Config{}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := h.Shards(); got != 8 {
+		t.Fatalf("effective shards = %d, want 8", got)
+	}
+	if err := h.Replay(context.Background(), tr.Source()); err != nil {
+		t.Fatal(err)
+	}
+	merged := h.Results(tr.Instructions())
+
+	var sum hierarchy.Results
+	for i, r := range h.ShardResults() {
+		if r.I.Accesses+r.D.Accesses == 0 {
+			t.Errorf("shard %d received no accesses", i)
+		}
+		sum.I.Add(r.I)
+		sum.D.Add(r.D)
+		sum.L2I.Add(r.L2I)
+		sum.L2D.Add(r.L2D)
+		sum.Mem.Add(r.Mem)
+	}
+	sum.Instructions = merged.Instructions
+	sum.Breakdown = merged.Breakdown // derived, not a per-shard counter
+	requireBitIdentical(t, sum, merged)
+}
+
+// TestPartitionCoversEverySet property-checks the partition function
+// over random geometries: for every cache in the plan, each set index
+// maps to exactly one shard, and two addresses in the same set always
+// land in the same shard.
+func TestPartitionCoversEverySet(t *testing.T) {
+	property := func(sizeLog, lineLog, assocLog uint8, k uint8) bool {
+		line := 1 << (4 + lineLog%4)    // 16..128B
+		size := line << (4 + sizeLog%8) // 16..2048 lines
+		assoc := 1 << (assocLog % 3)    // 1..4-way
+		shards := 2 + int(k%15)         // 2..16
+		cc := cache.Config{Name: "C", Size: size, LineSize: line, Assoc: assoc}
+		if cc.Sets() < 2 {
+			return true // single-set geometries fall back, nothing to cover
+		}
+		dec := shardreplay.PlanCache(cc, shards)
+		if !dec.Sharded() {
+			// A standalone cache with ≥2 sets always has set-index bits.
+			return false
+		}
+		p := dec.Partition()
+		// Walk one line-aligned address per set, plus aliases that differ
+		// only in tag and offset bits: ownership must depend on the set
+		// alone, and every shard index must stay in range.
+		owner := make(map[int]int, cc.Sets())
+		for set := 0; set < cc.Sets(); set++ {
+			base := memtrace.Addr(uint64(set) * uint64(line))
+			s := p.ShardOf(base)
+			if s < 0 || s >= dec.Shards {
+				return false
+			}
+			owner[set] = s
+			tagAlias := base + memtrace.Addr(uint64(cc.Sets())*uint64(line)*3)
+			offAlias := base + memtrace.Addr(line-1)
+			if p.ShardOf(tagAlias) != s || p.ShardOf(offAlias) != s {
+				return false
+			}
+		}
+		return len(owner) == cc.Sets()
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPartitionBalance pins that the modulo routing uses every shard
+// when the field has at least as many values as shards — no shard may
+// be structurally unreachable.
+func TestPartitionBalance(t *testing.T) {
+	property := func(k uint8) bool {
+		shards := 2 + int(k%31)
+		dec := shardreplay.PlanHierarchy(hierarchy.Config{}, shards)
+		if !dec.Sharded() {
+			return false
+		}
+		p := dec.Partition()
+		seen := make(map[int]bool)
+		for v := 0; v < 1<<dec.FieldWidth; v++ {
+			seen[p.ShardOf(memtrace.Addr(uint64(v)<<dec.FieldShift))] = true
+		}
+		return len(seen) == dec.Shards
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 64}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestStatsAddCoversEveryField guards the merge against field rot: a
+// counter added to core.Stats, L2Stats or MemStats without extending
+// Add would silently drop events from merged results. Adding a struct
+// filled with ones to a zero value must set every numeric field.
+func TestStatsAddCoversEveryField(t *testing.T) {
+	check := func(name string, zero, ones interface{}, add func()) {
+		fill(reflect.ValueOf(ones).Elem())
+		add()
+		v := reflect.ValueOf(zero).Elem()
+		for i := 0; i < v.NumField(); i++ {
+			if v.Field(i).Kind() == reflect.Uint64 && v.Field(i).Uint() != 1 {
+				t.Errorf("%s.Add drops field %s", name, v.Type().Field(i).Name)
+			}
+		}
+	}
+	{
+		var dst, src core.Stats
+		check("core.Stats", &dst, &src, func() { dst.Add(src) })
+	}
+	{
+		var dst, src hierarchy.L2Stats
+		check("L2Stats", &dst, &src, func() { dst.Add(src) })
+	}
+	{
+		var dst, src hierarchy.MemStats
+		check("MemStats", &dst, &src, func() { dst.Add(src) })
+	}
+}
+
+func fill(v reflect.Value) {
+	for i := 0; i < v.NumField(); i++ {
+		if f := v.Field(i); f.Kind() == reflect.Uint64 {
+			f.SetUint(1)
+		}
+	}
+}

@@ -1,0 +1,138 @@
+package jouppi
+
+// The sharded-replay scaling exhibit: one configuration, one generated
+// trace, replayed across 1/2/4/8 set-partitioned shards. The results are
+// bit-identical at every shard count (TestShardReplayBenchEquivalence
+// pins it on the benchmark's own trace); the artifact records how
+// throughput scales with shards on the measuring host. The host's core
+// count is part of the artifact — on a single-core machine the curve is
+// flat and the benchgate speedup floor only arms itself on hosts with
+// enough cores to make the number meaningful.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+
+	"jouppi/internal/hierarchy"
+	"jouppi/internal/memtrace"
+	"jouppi/internal/shardreplay"
+	"jouppi/internal/workload"
+)
+
+// shardBenchCounts is the shard sweep the artifact records.
+var shardBenchCounts = []int{1, 2, 4, 8}
+
+func shardBenchTrace(tb testing.TB) *memtrace.Trace {
+	tb.Helper()
+	return workload.GenerateTrace(workload.MustByName("ccom"), benchScale)
+}
+
+// replayShardedTrace replays tr through the paper-baseline hierarchy on
+// the given shard count and returns the merged results.
+func replayShardedTrace(tb testing.TB, tr *memtrace.Trace, shards int) hierarchy.Results {
+	tb.Helper()
+	h, err := shardreplay.NewHierarchy(hierarchy.Config{}, shards)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	if err := h.Replay(context.Background(), tr.Source()); err != nil {
+		tb.Fatal(err)
+	}
+	return h.Results(tr.Instructions())
+}
+
+// TestShardReplayBenchEquivalence pins bit-identity on the exact trace
+// and configuration the scaling artifact measures.
+func TestShardReplayBenchEquivalence(t *testing.T) {
+	tr := shardBenchTrace(t)
+	want := replayShardedTrace(t, tr, 1)
+	for _, k := range shardBenchCounts[1:] {
+		if got := replayShardedTrace(t, tr, k); got != want {
+			t.Errorf("%d shards diverged:\n got %+v\nwant %+v", k, got, want)
+		}
+	}
+}
+
+// BenchmarkShardReplay measures replay throughput per shard count
+// interactively; the JSON artifact below is the recorded measurement.
+func BenchmarkShardReplay(b *testing.B) {
+	tr := shardBenchTrace(b)
+	for _, k := range shardBenchCounts {
+		b.Run(fmt.Sprintf("shards=%d", k), func(b *testing.B) {
+			var total uint64
+			for i := 0; i < b.N; i++ {
+				replayShardedTrace(b, tr, k)
+				total += uint64(tr.Len())
+			}
+			b.ReportMetric(float64(total)/1e6/b.Elapsed().Seconds(), "MAcc/s")
+		})
+	}
+}
+
+// TestWriteBenchShardJSON measures the shard sweep with
+// testing.Benchmark and writes the scaling curve — including the host's
+// core count, which decides how much the speedup number can mean — to
+// the file named by the BENCH_SHARD_JSON environment variable (wired up
+// as `make bench-json`). Without the variable the test is skipped.
+func TestWriteBenchShardJSON(t *testing.T) {
+	out := os.Getenv("BENCH_SHARD_JSON")
+	if out == "" {
+		t.Skip("set BENCH_SHARD_JSON=<path> to write the shard scaling artifact")
+	}
+	tr := shardBenchTrace(t)
+
+	type entry struct {
+		Shards     int     `json:"shards"`
+		NsPerOp    int64   `json:"ns_per_op"`
+		MAccPerSec float64 `json:"macc_per_sec"`
+		N          int     `json:"n"`
+	}
+	var points []entry
+	for _, k := range shardBenchCounts {
+		k := k
+		r := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				replayShardedTrace(b, tr, k)
+			}
+		})
+		e := entry{Shards: k, NsPerOp: r.NsPerOp(), N: r.N}
+		if r.NsPerOp() > 0 {
+			e.MAccPerSec = float64(tr.Len()) / 1e6 / (float64(r.NsPerOp()) / 1e9)
+		}
+		points = append(points, e)
+	}
+	report := struct {
+		Benchmark  string  `json:"benchmark"`
+		Workload   string  `json:"workload"`
+		Scale      float64 `json:"scale"`
+		Records    int     `json:"trace_records"`
+		Cores      int     `json:"cores"`
+		GoMaxProcs int     `json:"gomaxprocs"`
+		Points     []entry `json:"points"`
+		SpeedupAt8 float64 `json:"speedup_at_8"`
+	}{
+		Benchmark:  "ShardReplay",
+		Workload:   "ccom",
+		Scale:      benchScale,
+		Records:    tr.Len(),
+		Cores:      runtime.NumCPU(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Points:     points,
+	}
+	if points[len(points)-1].NsPerOp > 0 {
+		report.SpeedupAt8 = float64(points[0].NsPerOp) / float64(points[len(points)-1].NsPerOp)
+	}
+	buf, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(out, append(buf, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %s: %d cores, speedup at 8 shards %.2fx (1 shard %d ns/op, 8 shards %d ns/op)",
+		out, report.Cores, report.SpeedupAt8, points[0].NsPerOp, points[len(points)-1].NsPerOp)
+}

@@ -1,0 +1,184 @@
+package sim
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"jouppi/internal/introspect"
+	"jouppi/internal/telemetry"
+	"jouppi/internal/workload"
+)
+
+func TestShardPlanDecisions(t *testing.T) {
+	info, err := ShardPlan(BaselineSystem(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !info.Sharded() || info.Shards != 4 || info.Requested != 4 || info.Fallback != "" {
+		t.Fatalf("baseline plan = %+v, want 4 clean shards", info)
+	}
+
+	info, err = ShardPlan(BaselineSystem(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Sharded() || info.Shards != 1 || info.Fallback != "" {
+		t.Fatalf("one-shard plan = %+v, want sequential without fallback", info)
+	}
+
+	coupled := BaselineSystem()
+	coupled.D.VictimCacheEntries = 4
+	info, err = ShardPlan(coupled, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Sharded() || info.Shards != 1 || info.Fallback == "" {
+		t.Fatalf("victim plan = %+v, want fallback to 1 shard with a reason", info)
+	}
+	if !strings.Contains(info.Fallback, "victim") {
+		t.Errorf("fallback reason %q does not name the victim cache", info.Fallback)
+	}
+
+	bad := BaselineSystem()
+	bad.D.MissCacheEntries, bad.D.VictimCacheEntries = 2, 2
+	if _, err := ShardPlan(bad, 4); err == nil {
+		t.Error("invalid augmentation accepted")
+	}
+}
+
+// TestReplayShardedMatchesRunBenchmark is the facade half of the
+// bit-identity pin: the public sharded entry point must reproduce
+// RunBenchmark exactly, on both the sharded and the fallback route.
+func TestReplayShardedMatchesRunBenchmark(t *testing.T) {
+	const scale = 0.02
+	for _, tc := range []struct {
+		name    string
+		cfg     Config
+		sharded bool
+	}{
+		{"baseline", BaselineSystem(), true},
+		{"improved", ImprovedSystem(), false}, // victim + stream buffers force the fallback
+	} {
+		want, err := RunBenchmark("ccom", scale, tc.cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, info, err := ReplaySharded("ccom", scale, 4, tc.cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if info.Sharded() != tc.sharded {
+			t.Errorf("%s: sharded = %v (info %+v), want %v", tc.name, info.Sharded(), info, tc.sharded)
+		}
+		if got != want {
+			t.Errorf("%s: sharded results diverge\n got %+v\nwant %+v", tc.name, got, want)
+		}
+	}
+}
+
+// TestShardedIntrospectionHeatMerges pins the per-shard probe story:
+// every L1 set belongs to one shard, so MergeHeat over the shard probes
+// reproduces the sequential heatmap exactly, and the replay's numbers
+// are untouched by the attached probes.
+func TestShardedIntrospectionHeatMerges(t *testing.T) {
+	const scale = 0.02
+	opts := Introspection{Heatmap: true, Window: -1}
+	ctx := context.Background()
+
+	want, seqProbe, err := RunBenchmarkIntrospected(ctx, "ccom", scale, BaselineSystem(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sys, err := NewShardedSystem(BaselineSystem(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sys.Info().Sharded() {
+		t.Fatalf("baseline did not shard: %+v", sys.Info())
+	}
+	probes := sys.AttachIntrospection(opts)
+	if len(probes) != 4 {
+		t.Fatalf("got %d probe sets, want one per shard", len(probes))
+	}
+	if err := replayShardedBenchmark(ctx, sys, "ccom", scale); err != nil {
+		t.Fatal(err)
+	}
+	if got := sys.Results(); got != want {
+		t.Errorf("introspected sharded results diverge\n got %+v\nwant %+v", got, want)
+	}
+
+	for _, side := range []struct {
+		name string
+		seq  []introspect.SetCounts
+		pick func(*introspect.SystemProbe) []introspect.SetCounts
+	}{
+		{"I", seqProbe.I.Heat(), func(sp *introspect.SystemProbe) []introspect.SetCounts { return sp.I.Heat() }},
+		{"D", seqProbe.D.Heat(), func(sp *introspect.SystemProbe) []introspect.SetCounts { return sp.D.Heat() }},
+	} {
+		parts := make([][]introspect.SetCounts, len(probes))
+		for i, sp := range probes {
+			parts[i] = side.pick(sp)
+		}
+		merged := introspect.MergeHeat(parts...)
+		if len(merged) != len(side.seq) {
+			t.Fatalf("%s heat length %d, want %d", side.name, len(merged), len(side.seq))
+		}
+		for i := range merged {
+			if merged[i] != side.seq[i] {
+				t.Errorf("%s set %d: merged %+v, sequential %+v", side.name, i, merged[i], side.seq[i])
+			}
+		}
+	}
+}
+
+// replayShardedBenchmark feeds the named workload through an
+// already-built sharded system (test helper; the production path is
+// ReplayShardedContext, which builds its own system).
+func replayShardedBenchmark(ctx context.Context, sys *ShardedSystem, name string, scale float64) error {
+	b, err := benchmark(name)
+	if err != nil {
+		return err
+	}
+	src := workload.NewSource(b, scale)
+	defer src.Close()
+	return sys.ReplaySource(ctx, src)
+}
+
+func TestReplayShardedTelemetryAndCancellation(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	if _, _, err := ReplayShardedContext(context.Background(), "ccom", 0.02, 4, reg, BaselineSystem()); err != nil {
+		t.Fatal(err)
+	}
+	snap := reg.Snapshot()
+	if snap["shardreplay_records_total"] == 0 {
+		t.Error("engine telemetry not published")
+	}
+	if snap["sim_l1i_accesses_total"] == 0 {
+		t.Error("per-shard system telemetry not published")
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, err := ReplayShardedContext(ctx, "ccom", 0.02, 4, nil, BaselineSystem()); err == nil {
+		t.Error("cancelled sharded replay succeeded")
+	}
+}
+
+func TestReplayShardedErrors(t *testing.T) {
+	if _, _, err := ReplaySharded("nonesuch", 0.02, 4, BaselineSystem()); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+	if _, _, err := ReplaySharded("ccom", 0, 4, BaselineSystem()); err == nil {
+		t.Error("zero scale accepted")
+	}
+	bad := BaselineSystem()
+	bad.L1I.LineSize = 5
+	if _, _, err := ReplaySharded("ccom", 0.02, 4, bad); err == nil {
+		t.Error("invalid config accepted")
+	}
+	if _, err := NewShardedSystem(bad, 4); err == nil {
+		t.Error("NewShardedSystem accepted invalid config")
+	}
+}
